@@ -1,0 +1,169 @@
+// Command lambdatrim drives the λ-trim pipeline on one corpus application:
+// static analysis, cost profiling, Delta-Debugging debloat, and a
+// before/after cold-start report.
+//
+// Usage:
+//
+//	lambdatrim <app> [-k N] [-scoring combined|time|memory|random] [-granularity attr|stmt]
+//	lambdatrim -dir path/to/app [-out path/to/optimized] ...
+//	lambdatrim -list
+//
+// With -dir, the application is loaded from a real directory (handler.py +
+// site-packages/ + oracle.json, the paper's input format); -out exports the
+// optimized image for deployment.
+//
+// Example:
+//
+//	lambdatrim resnet -k 20
+//	lambdatrim -dir ./myapp -out ./myapp-trimmed
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/appcorpus"
+	"repro/internal/appspec"
+	"repro/internal/debloat"
+	"repro/internal/faas"
+	"repro/internal/imageio"
+	"repro/internal/powertune"
+	"repro/internal/profiler"
+)
+
+func main() {
+	fs := flag.NewFlagSet("lambdatrim", flag.ExitOnError)
+	k := fs.Int("k", 20, "number of top-ranked modules to debloat")
+	scoring := fs.String("scoring", "combined", "profiler scoring: combined|time|memory|random")
+	granularity := fs.String("granularity", "attr", "DD granularity: attr|stmt")
+	workers := fs.Int("workers", 1, "concurrent oracle evaluations per DD round")
+	dir := fs.String("dir", "", "load the application from this directory instead of the corpus")
+	out := fs.String("out", "", "export the optimized image to this directory")
+	tune := fs.Bool("tune", false, "power-tune memory configurations before and after debloating")
+	list := fs.Bool("list", false, "list corpus applications and exit")
+
+	args := os.Args[1:]
+	var appName string
+	if len(args) > 0 && !strings.HasPrefix(args[0], "-") {
+		appName = args[0]
+		args = args[1:]
+	}
+	fs.Parse(args)
+
+	if *list || (appName == "" && *dir == "") {
+		fmt.Println("corpus applications:")
+		for _, d := range appcorpus.Catalog() {
+			fmt.Printf("  %-18s (%s; import %.2fs, exec %.2fs)\n", d.Name, d.Source, d.ImportS, d.ExecS)
+		}
+		if appName == "" && *dir == "" && !*list {
+			os.Exit(2)
+		}
+		return
+	}
+
+	var app *appspec.App
+	if *dir != "" {
+		loaded, err := imageio.LoadDir(*dir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "loading %s: %v\n", *dir, err)
+			os.Exit(1)
+		}
+		app = loaded
+	} else {
+		app = appcorpus.MustBuild(appName)
+		appName = app.Name
+	}
+	if appName == "" {
+		appName = app.Name
+	}
+	cfg := debloat.DefaultConfig()
+	cfg.K = *k
+	switch *scoring {
+	case "combined":
+		cfg.Scoring = profiler.Combined
+	case "time":
+		cfg.Scoring = profiler.TimeOnly
+	case "memory":
+		cfg.Scoring = profiler.MemoryOnly
+	case "random":
+		cfg.Scoring = profiler.Random
+	default:
+		fmt.Fprintf(os.Stderr, "unknown scoring %q\n", *scoring)
+		os.Exit(2)
+	}
+	if *granularity == "stmt" {
+		cfg.Granularity = debloat.StmtGranularity
+	}
+	cfg.Workers = *workers
+
+	fmt.Printf("λ-trim: debloating %s (K=%d, scoring=%s, granularity=%s)\n\n",
+		appName, cfg.K, cfg.Scoring, cfg.Granularity)
+
+	res, err := debloat.Run(app, cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "debloat failed: %v\n", err)
+		os.Exit(1)
+	}
+
+	fmt.Println("profiler ranking (top-K by marginal monetary cost):")
+	for i, mp := range res.Profile.TopK(cfg.K) {
+		fmt.Printf("  %2d. %-28s t=%8.3fs  m=%7.2fMB  score=%.4f\n",
+			i+1, mp.Name, mp.ImportTime.Seconds(), mp.MemoryMB, mp.Score)
+	}
+
+	fmt.Println("\nper-module debloating results:")
+	for _, m := range res.Modules {
+		if m.Skipped != "" {
+			fmt.Printf("  %-28s skipped (%s)\n", m.Module, m.Skipped)
+			continue
+		}
+		fmt.Printf("  %-28s attrs %4d -> %4d  (removed %4d; %d oracle tests)\n",
+			m.Module, m.AttrsBefore, m.AttrsAfter, len(m.Removed), m.DD.Tests)
+	}
+	fmt.Printf("\ndebloating used %d oracle runs, simulated time %.0fs\n",
+		res.OracleRuns, res.DebloatTime.Seconds())
+
+	platform := faas.DefaultConfig()
+	before, err := faas.MeasureColdStart(res.Original, platform)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "measuring original: %v\n", err)
+		os.Exit(1)
+	}
+	after, err := faas.MeasureColdStart(res.App, platform)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "measuring optimized: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println("\ncold-start comparison (original -> optimized):")
+	fmt.Printf("  function init  %8.3fs -> %8.3fs\n", before.Init.Seconds(), after.Init.Seconds())
+	fmt.Printf("  E2E latency    %8.3fs -> %8.3fs  (%.2fx)\n",
+		before.E2E.Seconds(), after.E2E.Seconds(), before.E2E.Seconds()/after.E2E.Seconds())
+	fmt.Printf("  memory         %7.1fMB -> %7.1fMB\n", before.PeakMB, after.PeakMB)
+	fmt.Printf("  cost / 100K    %8.2f$ -> %8.2f$\n", before.CostUSD*1e5, after.CostUSD*1e5)
+
+	if *tune {
+		// λ-trim's footprint reduction unlocks smaller, cheaper memory
+		// configurations — power-tune both variants to quantify it.
+		for _, variant := range []struct {
+			label string
+			app   *appspec.App
+		}{{"original", res.Original}, {"optimized", res.App}} {
+			sweep, err := powertune.Sweep(variant.app, platform, powertune.DefaultLadder(), 0.7)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "power tuning %s: %v\n", variant.label, err)
+				os.Exit(1)
+			}
+			fmt.Printf("\n[%s] %s", variant.label, sweep.Render())
+		}
+	}
+
+	if *out != "" {
+		if err := imageio.SaveDir(res.App, *out); err != nil {
+			fmt.Fprintf(os.Stderr, "exporting optimized image: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("\noptimized image exported to %s\n", *out)
+	}
+}

@@ -1,0 +1,76 @@
+// continuous demonstrates the paper's oracle-hardening loop (§5.4 + §9):
+//
+//  1. λ-trim debloats an app with the user's oracle set;
+//  2. a differential fuzzer probes the optimized app against the original
+//     and finds an input that only the original handles (a dynamically
+//     accessed attribute that static analysis could not protect);
+//  3. the failing input joins the oracle set and λ-trim re-runs — reusing
+//     the previous reductions for every module that still validates, and
+//     re-debloating only what must change;
+//  4. the repaired app serves the once-failing input natively, with no
+//     fallback invocation.
+//
+// Run with: go run ./examples/continuous
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/appcorpus"
+	"repro/internal/debloat"
+	"repro/internal/faas"
+)
+
+func main() {
+	app := appcorpus.MustBuild("dna-visualization")
+
+	// Round 1: debloat with the shipped oracle set.
+	first, err := debloat.Run(app, debloat.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("round 1: removed %d attributes with %d oracle runs\n",
+		first.TotalRemoved(), first.OracleRuns)
+
+	// The trimmed app still works for normal traffic, but a rare input
+	// triggers the fallback. Demonstrate via the platform.
+	p := faas.New(faas.DefaultConfig())
+	p.DeployWithFallback(first.App, first.Original)
+	inv, err := p.Invoke(first.App.Name, map[string]any{"dna": "ATGC", "mode": "advanced"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("rare input served by fallback: %v (E2E %v)\n", inv.FallbackUsed, inv.E2E)
+
+	// Round 2: fuzz the optimized app against the original.
+	report, err := debloat.Fuzz(first.Original, first.App, 400, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("fuzzer: %d trials, %d diverging input(s)\n", report.Trials, len(report.Failing))
+	if len(report.Failing) == 0 {
+		log.Fatal("expected the fuzzer to find the divergence")
+	}
+	for _, tc := range report.Failing {
+		fmt.Printf("  diverging event: %v\n", tc.Event)
+	}
+
+	// Round 3: extend the oracle and re-run continuously.
+	second, err := debloat.Rerun(first, report.Failing, debloat.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("round 2 (rerun): removed %d attributes with %d oracle runs\n",
+		second.TotalRemoved(), second.OracleRuns)
+
+	// The repaired app handles the rare input without any fallback.
+	p2 := faas.New(faas.DefaultConfig())
+	p2.DeployWithFallback(second.App, second.Original)
+	inv2, err := p2.Invoke(second.App.Name, map[string]any{"dna": "ATGC", "mode": "advanced"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("rare input after rerun: fallback=%v, E2E %v, result %s\n",
+		inv2.FallbackUsed, inv2.E2E, inv2.Result)
+}

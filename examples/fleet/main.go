@@ -1,0 +1,59 @@
+// fleet debloats the entire 21-app benchmark corpus and prints fleet-wide
+// savings — what an operator adopting λ-trim across a serverless estate
+// would see.
+//
+// Run with: go run ./examples/fleet
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/appcorpus"
+	"repro/internal/debloat"
+	"repro/internal/faas"
+	"repro/internal/stats"
+)
+
+func main() {
+	cfg := faas.DefaultConfig()
+	var speedups, memImps, costImps []float64
+	var totalBefore, totalAfter float64
+
+	fmt.Printf("%-18s %10s %10s %9s %9s %9s\n",
+		"app", "init o->t", "", "speedup", "mem", "cost")
+	for _, def := range appcorpus.Catalog() {
+		app := def.Build()
+		res, err := debloat.Run(app, debloat.DefaultConfig())
+		if err != nil {
+			log.Fatalf("%s: %v", def.Name, err)
+		}
+		before, err := faas.MeasureColdStart(res.Original, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		after, err := faas.MeasureColdStart(res.App, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		speedup := stats.Speedup(before.E2E.Seconds(), after.E2E.Seconds())
+		memImp := stats.Improvement(before.PeakMB, after.PeakMB)
+		costImp := stats.Improvement(before.CostUSD, after.CostUSD)
+		speedups = append(speedups, speedup)
+		memImps = append(memImps, memImp)
+		costImps = append(costImps, costImp)
+		totalBefore += before.CostUSD * 1e5
+		totalAfter += after.CostUSD * 1e5
+
+		fmt.Printf("%-18s %8.2fs -> %7.2fs %8.2fx %8.1f%% %8.1f%%\n",
+			def.Name, before.Init.Seconds(), after.Init.Seconds(),
+			speedup, 100*memImp, 100*costImp)
+	}
+
+	fmt.Printf("\nfleet summary over %d apps:\n", len(speedups))
+	fmt.Printf("  mean E2E speedup      %.2fx (max %.2fx)\n", stats.Mean(speedups), stats.Max(speedups))
+	fmt.Printf("  mean memory saving    %.1f%% (max %.1f%%)\n", 100*stats.Mean(memImps), 100*stats.Max(memImps))
+	fmt.Printf("  mean cost saving      %.1f%% (max %.1f%%)\n", 100*stats.Mean(costImps), 100*stats.Max(costImps))
+	fmt.Printf("  fleet bill / 100K invocations per app: $%.2f -> $%.2f\n", totalBefore, totalAfter)
+}

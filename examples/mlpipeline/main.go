@@ -1,0 +1,88 @@
+// mlpipeline optimizes the resnet image-classification app (the paper's
+// headline workload: 2x E2E speedup) and walks through every pipeline
+// stage, then contrasts λ-trim with checkpoint/restore, reproducing the
+// crossover discussion of §8.6.
+//
+// Run with: go run ./examples/mlpipeline
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/analyzer"
+	"repro/internal/appcorpus"
+	"repro/internal/checkpoint"
+	"repro/internal/debloat"
+	"repro/internal/faas"
+	"repro/internal/profiler"
+)
+
+func main() {
+	app := appcorpus.MustBuild("resnet")
+
+	// Stage 1 — static analysis: imported modules + PyCG-protected attrs.
+	report, err := analyzer.Analyze(app.Image, app.Entry, app.Handler)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("static analyzer: %d imports: %v\n", len(report.Imports), report.Imports)
+	fmt.Printf("protected torch attributes (definitely accessed): %v\n",
+		report.ProtectedList("torch"))
+
+	// Stage 2 — cost profiling: rank modules by marginal monetary cost.
+	prof, err := profiler.Run(app.Image, app.Entry, profiler.Options{Scoring: profiler.Combined})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nprofiler: initialization takes %v and %.1f MB; top modules:\n",
+		prof.TotalTime, prof.TotalMemMB)
+	for i, m := range prof.TopK(5) {
+		fmt.Printf("  %d. %-18s t=%7.3fs m=%7.1fMB (Eq.2 score %.3f)\n",
+			i+1, m.Name, m.ImportTime.Seconds(), m.MemoryMB, m.Score)
+	}
+
+	// Stage 3 — debloating.
+	res, err := debloat.Run(app, debloat.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ndebloater: %d oracle runs, %d attributes removed\n",
+		res.OracleRuns, res.TotalRemoved())
+	for _, m := range res.Modules {
+		if m.Skipped == "" && m.Module == "torch" {
+			fmt.Printf("  torch: %d -> %d attributes (paper: 1414 -> 108 kept)\n",
+				m.AttrsBefore, m.AttrsAfter)
+		}
+	}
+
+	// Stage 4 — deploy both variants and compare cold starts.
+	cfg := faas.DefaultConfig()
+	before, err := faas.MeasureColdStart(res.Original, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	after, err := faas.MeasureColdStart(res.App, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ncold start: E2E %.2fs -> %.2fs (%.2fx), init %.2fs -> %.2fs, cost/100K $%.2f -> $%.2f\n",
+		before.E2E.Seconds(), after.E2E.Seconds(),
+		before.E2E.Seconds()/after.E2E.Seconds(),
+		before.Init.Seconds(), after.Init.Seconds(),
+		before.CostUSD*1e5, after.CostUSD*1e5)
+
+	// Stage 5 — versus checkpoint/restore (§8.6): for a large ML app, C/R
+	// restore beats re-import, but λ-trim shrinks the checkpoint, so the
+	// combination wins.
+	cmp, err := checkpoint.CompareInit(res.Original, res.App)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ninitialization variants (Figure 12):\n")
+	fmt.Printf("  original          %8.2fs\n", cmp.Original.Seconds())
+	fmt.Printf("  original + C/R    %8.2fs  (ckpt %.0f MB)\n", cmp.OriginalCR.Seconds(), cmp.OriginalCkptMB)
+	fmt.Printf("  λ-trim            %8.2fs\n", cmp.Debloated.Seconds())
+	fmt.Printf("  λ-trim + C/R      %8.2fs  (ckpt %.0f MB, %.0f%% smaller)\n",
+		cmp.DebloatedCR.Seconds(), cmp.DebloatedCkptMB, 100*cmp.CkptSizeSavings)
+}

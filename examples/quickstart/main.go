@@ -1,0 +1,127 @@
+// Quickstart: the paper's running example (§6.2, Figures 5-7).
+//
+// We build a tiny serverless app that uses a simplified torch library with
+// six attributes, of which the app needs four. λ-trim's Delta Debugging
+// removes MSELoss and SGD — and with SGD, the entire import of torch.optim
+// disappears, exactly as in Figure 7 of the paper.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/appspec"
+	"repro/internal/debloat"
+	"repro/internal/faas"
+	"repro/internal/vfs"
+)
+
+func main() {
+	app := buildApp()
+
+	fmt.Println("=== original site-packages/torch/__init__.py ===")
+	src, _ := app.Image.Read("site-packages/torch/__init__.py")
+	fmt.Println(src)
+
+	// Run the full λ-trim pipeline: static analysis, profiling, DD.
+	res, err := debloat.Run(app, debloat.DefaultConfig())
+	if err != nil {
+		log.Fatalf("debloat: %v", err)
+	}
+
+	fmt.Println("=== debloated site-packages/torch/__init__.py ===")
+	out, _ := res.App.Image.Read("site-packages/torch/__init__.py")
+	fmt.Println(out)
+
+	for _, m := range res.Modules {
+		if m.Skipped != "" {
+			continue
+		}
+		fmt.Printf("module %-14s attrs %d -> %d (removed: %v)\n",
+			m.Module, m.AttrsBefore, m.AttrsAfter, m.Removed)
+	}
+
+	// Measure the cold-start effect on the platform simulator.
+	cfg := faas.DefaultConfig()
+	before, err := faas.MeasureColdStart(res.Original, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	after, err := faas.MeasureColdStart(res.App, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ncold start: init %v -> %v, memory %.1f -> %.1f MB, cost/100K $%.2f -> $%.2f\n",
+		before.Init, after.Init, before.PeakMB, after.PeakMB,
+		before.CostUSD*1e5, after.CostUSD*1e5)
+}
+
+// buildApp assembles the Figure 5 application and its simplified torch.
+func buildApp() *appspec.App {
+	fs := vfs.New()
+	fs.Write("handler.py", `
+import torch
+
+def handler(event, context):
+    x = torch.tensor([1.0, 2.0])
+    y = torch.tensor([3.0, 4.0])
+    z = torch.view(torch.add(x, y), 2, 1)
+    model = torch.nn.Linear(2, 1)
+    model.weights = torch.tensor([1.0, 2.0])
+    model.bias = torch.tensor([3.0])
+    out = model(z)
+    print(out.data)
+    return out.data[0]
+`)
+	fs.Write("site-packages/torch/__init__.py", `
+from torch.nn import Linear, MSELoss
+from torch.optim import SGD
+load_native(40, 16)
+
+class tensor:
+    def __init__(self, data):
+        self.data = data
+
+def add(t1, t2):
+    out = []
+    for pair in zip(t1.data, t2.data):
+        out.append(pair[0] + pair[1])
+    return tensor(out)
+
+def view(t, dim1, dim2):
+    return tensor(t.data)
+`)
+	fs.Write("site-packages/torch/nn/__init__.py", `
+load_native(70, 28)
+
+class Linear:
+    def __init__(self, n_in, n_out):
+        self.n_in = n_in
+        self.n_out = n_out
+        self.weights = None
+        self.bias = None
+    def __call__(self, t):
+        total = 0.0
+        for pair in zip(t.data, self.weights.data):
+            total += pair[0] * pair[1]
+        return type(t)([total + self.bias.data[0]])
+
+class MSELoss:
+    def __init__(self):
+        load_native(10, 6)
+`)
+	fs.Write("site-packages/torch/optim/__init__.py", `
+load_native(55, 22)
+
+class SGD:
+    def __init__(self, params, lr=0.01):
+        self.params = params
+        self.lr = lr
+`)
+	return &appspec.App{
+		Name: "quickstart", Image: fs, Entry: "handler", Handler: "handler",
+		Oracle: []appspec.TestCase{{Name: "default", Event: map[string]any{}}},
+	}
+}

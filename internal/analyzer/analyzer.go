@@ -1,0 +1,116 @@
+// Package analyzer implements λ-trim's static analysis stage (§5.1 of the
+// paper): a single pass over the application's AST to identify all imported
+// modules, plus a PyCG-style call-graph analysis (internal/callgraph) to
+// compute the module attributes that are definitely accessed by the
+// application. Definitely-accessed attributes are excluded from Delta
+// Debugging, which both guarantees they survive and shrinks the search
+// space.
+package analyzer
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/callgraph"
+	"repro/internal/pylang"
+	"repro/internal/pyparser"
+	"repro/internal/vfs"
+)
+
+// Report is the static analyzer's output, consumed by the profiler and
+// debloater.
+type Report struct {
+	// Entry is the application's entry module name (e.g. "handler").
+	Entry string
+	// Handler is the lambda handler function name within the entry module.
+	Handler string
+	// Imports lists the modules imported by the entry module, in first-
+	// occurrence order.
+	Imports []string
+	// Protected maps module name -> attributes that must not be removed
+	// because the application definitely accesses them.
+	Protected map[string]map[string]bool
+	// Graph is the underlying call-graph result.
+	Graph *callgraph.Result
+}
+
+// ProtectedList returns the protected attributes of module, sorted.
+func (r *Report) ProtectedList(module string) []string {
+	set := r.Protected[module]
+	out := make([]string, 0, len(set))
+	for a := range set {
+		out = append(out, a)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Analyze parses the entry module from the image and runs both analyses.
+func Analyze(fs *vfs.FS, entry, handler string) (*Report, error) {
+	src, err := fs.Read(entry + ".py")
+	if err != nil {
+		return nil, fmt.Errorf("analyzer: entry module not found: %w", err)
+	}
+	mod, err := pyparser.Parse(entry, src)
+	if err != nil {
+		return nil, fmt.Errorf("analyzer: %w", err)
+	}
+
+	// Pass 1 — imports (single AST traversal, as in the paper).
+	imports := collectImports(mod)
+
+	// Pass 2 — call graph / definitely-accessed attributes.
+	graph := callgraph.Analyze(mod, handler)
+
+	protected := make(map[string]map[string]bool, len(graph.Accessed))
+	for m, attrs := range graph.Accessed {
+		cp := make(map[string]bool, len(attrs))
+		for a := range attrs {
+			cp[a] = true
+		}
+		protected[m] = cp
+	}
+
+	return &Report{
+		Entry:     entry,
+		Handler:   handler,
+		Imports:   imports,
+		Protected: protected,
+		Graph:     graph,
+	}, nil
+}
+
+// collectImports walks the whole module AST (including function bodies, to
+// catch lazy imports inside handlers) and returns imported module names in
+// first-occurrence order.
+func collectImports(mod *pylang.Module) []string {
+	var out []string
+	seen := make(map[string]bool)
+	add := func(name string) {
+		if name == "" || seen[name] {
+			return
+		}
+		seen[name] = true
+		out = append(out, name)
+	}
+	pylang.Walk(mod, func(n pylang.Node) bool {
+		switch v := n.(type) {
+		case *pylang.ImportStmt:
+			for _, alias := range v.Names {
+				add(alias.Name)
+				// "import a.b.c" implies a and a.b are imported too.
+				parts := strings.Split(alias.Name, ".")
+				for i := 1; i < len(parts); i++ {
+					add(strings.Join(parts[:i], "."))
+				}
+			}
+		case *pylang.FromImportStmt:
+			if v.Level == 0 {
+				add(v.Module)
+			}
+		}
+		return true
+	})
+	return out
+}

@@ -1,0 +1,111 @@
+package analyzer
+
+import (
+	"testing"
+
+	"repro/internal/vfs"
+)
+
+func buildImage(handler string) *vfs.FS {
+	fs := vfs.New()
+	fs.Write("handler.py", handler)
+	return fs
+}
+
+func TestAnalyzeBasic(t *testing.T) {
+	fs := buildImage(`
+import torch
+from numpy import array
+
+def handler(event, context):
+    t = torch.tensor(array([1.0]))
+    return torch.nn.functional(t)
+`)
+	rep, err := Analyze(fs, "handler", "handler")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantImports := map[string]bool{"torch": true, "numpy": true}
+	for _, imp := range rep.Imports {
+		delete(wantImports, imp)
+	}
+	if len(wantImports) != 0 {
+		t.Errorf("missing imports: %v (got %v)", wantImports, rep.Imports)
+	}
+	if !rep.Protected["torch"]["tensor"] || !rep.Protected["torch"]["nn"] {
+		t.Errorf("torch protection = %v", rep.ProtectedList("torch"))
+	}
+	if !rep.Protected["numpy"]["array"] {
+		t.Errorf("numpy protection = %v", rep.ProtectedList("numpy"))
+	}
+	if !rep.Protected["torch.nn"]["functional"] {
+		t.Errorf("torch.nn protection = %v", rep.ProtectedList("torch.nn"))
+	}
+}
+
+func TestAnalyzeLazyImportsInsideFunctions(t *testing.T) {
+	fs := buildImage(`
+def handler(event, context):
+    import heavy
+    return heavy.run()
+`)
+	rep, err := Analyze(fs, "handler", "handler")
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, imp := range rep.Imports {
+		if imp == "heavy" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("lazy import missed: %v", rep.Imports)
+	}
+}
+
+func TestAnalyzeDottedImportExpansion(t *testing.T) {
+	fs := buildImage("import a.b.c\n\ndef handler(event, context):\n    return None\n")
+	rep, err := Analyze(fs, "handler", "handler")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]bool{"a": true, "a.b": true, "a.b.c": true}
+	for _, imp := range rep.Imports {
+		delete(want, imp)
+	}
+	if len(want) != 0 {
+		t.Errorf("missing expanded imports: %v (got %v)", want, rep.Imports)
+	}
+}
+
+func TestAnalyzeMissingEntry(t *testing.T) {
+	if _, err := Analyze(vfs.New(), "nope", "handler"); err == nil {
+		t.Error("expected error for missing entry module")
+	}
+}
+
+func TestAnalyzeSyntaxError(t *testing.T) {
+	fs := buildImage("def broken(:\n")
+	if _, err := Analyze(fs, "handler", "handler"); err == nil {
+		t.Error("expected parse error")
+	}
+}
+
+func TestAnalyzeImportOrderFirstOccurrence(t *testing.T) {
+	fs := buildImage(`
+import zzz
+import aaa
+import zzz
+
+def handler(event, context):
+    return None
+`)
+	rep, err := Analyze(fs, "handler", "handler")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Imports) != 2 || rep.Imports[0] != "zzz" || rep.Imports[1] != "aaa" {
+		t.Errorf("imports = %v, want [zzz aaa]", rep.Imports)
+	}
+}

@@ -1,0 +1,648 @@
+package appcorpus
+
+// Handwritten "_core" submodule sources: the functioning API surface of
+// each synthetic library, written in the Python subset. Application
+// handlers exercise these, so the debloater's oracle checks real behaviour,
+// not canned strings. Every core that backs a kept cluster also embeds
+// checkRegistrySnippet.
+
+const numpyCore = `
+class ndarray:
+    def __init__(self, data):
+        self.data = data
+        self.shape = (len(data),)
+    def tolist(self):
+        return self.data
+
+def array(data):
+    return ndarray(data)
+
+def zeros(n):
+    out = []
+    for _ in range(n):
+        out.append(0.0)
+    return ndarray(out)
+
+def dot(a, b):
+    total = 0.0
+    for pair in zip(a.data, b.data):
+        total += pair[0] * pair[1]
+    return total
+
+def mean(a):
+    if len(a.data) == 0:
+        raise ValueError("mean of empty array")
+    return sum(a.data) / len(a.data)
+
+def std(a):
+    m = mean(a)
+    acc = 0.0
+    for x in a.data:
+        acc += (x - m) ** 2
+    return (acc / len(a.data)) ** 0.5
+
+def argmax(a):
+    best = 0
+    for i in range(len(a.data)):
+        if a.data[i] > a.data[best]:
+            best = i
+    return best
+` + checkRegistrySnippet
+
+const torchCore = `
+class Tensor:
+    def __init__(self, data):
+        self.data = data
+    def tolist(self):
+        return self.data
+
+def tensor(data):
+    return Tensor(data)
+
+def add(a, b):
+    out = []
+    for pair in zip(a.data, b.data):
+        out.append(pair[0] + pair[1])
+    return Tensor(out)
+
+def matmul(a, b):
+    total = 0.0
+    for pair in zip(a.data, b.data):
+        total += pair[0] * pair[1]
+    return Tensor([total])
+
+def relu(t):
+    out = []
+    for x in t.data:
+        out.append(x if x > 0 else 0.0)
+    return Tensor(out)
+
+def softmax(t):
+    total = 0.0
+    for x in t.data:
+        total += x
+    out = []
+    for x in t.data:
+        out.append(x / total if total != 0 else 0.0)
+    return Tensor(out)
+` + checkRegistrySnippet
+
+// torchNNSource is the handwritten torch.nn submodule (Figure 5 of the
+// paper builds a torch.nn.Linear).
+const torchNNSource = `
+from torch._core import Tensor, matmul
+
+class Linear:
+    def __init__(self, n_in, n_out):
+        self.n_in = n_in
+        self.n_out = n_out
+        self.weights = None
+        self.bias = None
+    def __call__(self, t):
+        out = matmul(t, self.weights)
+        return Tensor([out.data[0] + self.bias.data[0]])
+
+class ReLU:
+    def __call__(self, t):
+        out = []
+        for x in t.data:
+            out.append(x if x > 0 else 0.0)
+        return Tensor(out)
+
+class Sequential:
+    def __init__(self, layers):
+        self.layers = layers
+    def __call__(self, t):
+        for layer in self.layers:
+            t = layer(t)
+        return t
+`
+
+const transformersCore = `
+class PretrainedModel:
+    def __init__(self, name):
+        self.name = name
+        self.weights = native_alloc(24)
+    def __call__(self, text):
+        score = 0.0
+        for word in text.split(" "):
+            score += len(word)
+        return {"label": "POSITIVE" if score % 2 == 0 else "NEGATIVE", "score": score}
+
+def pipeline(task, model="distilbert-base"):
+    load_native(180, 9)
+    return PretrainedModel(model)
+
+def tokenize(text):
+    return text.lower().split(" ")
+` + checkRegistrySnippet
+
+const pandasCore = `
+class DataFrame:
+    def __init__(self, columns):
+        self.columns = columns
+    def col_sum(self, name):
+        return sum(self.columns[name])
+    def col_mean(self, name):
+        vals = self.columns[name]
+        return sum(vals) / len(vals)
+    def describe(self):
+        out = {}
+        for name in sorted(self.columns.keys()):
+            out[name] = self.col_mean(name)
+        return out
+
+def merge_frames(a, b):
+    cols = {}
+    cols.update(a.columns)
+    cols.update(b.columns)
+    return DataFrame(cols)
+` + checkRegistrySnippet
+
+const sklearnCore = `
+class LinearRegression:
+    def __init__(self):
+        self.slope = 0.0
+        self.intercept = 0.0
+    def fit(self, xs, ys):
+        n = len(xs)
+        mx = sum(xs) / n
+        my = sum(ys) / n
+        num = 0.0
+        den = 0.0
+        for pair in zip(xs, ys):
+            num += (pair[0] - mx) * (pair[1] - my)
+            den += (pair[0] - mx) ** 2
+        self.slope = num / den if den != 0 else 0.0
+        self.intercept = my - self.slope * mx
+        return self
+    def predict(self, xs):
+        out = []
+        for x in xs:
+            out.append(self.slope * x + self.intercept)
+        return out
+
+def scale(xs):
+    m = sum(xs) / len(xs)
+    out = []
+    for x in xs:
+        out.append(x - m)
+    return out
+
+def train_test_split(xs, ratio=0.5):
+    cut = int(len(xs) * ratio)
+    return (xs[:cut], xs[cut:])
+` + checkRegistrySnippet
+
+const boto3Core = `
+class Client:
+    def __init__(self, service):
+        self.service = service
+    def get_object(self, bucket, key):
+        return remote_call(self.service, "get_object", {"bucket": bucket, "key": key})
+    def put_object(self, bucket, key, body):
+        return remote_call(self.service, "put_object", {"bucket": bucket, "key": key, "size": len(body)})
+    def invoke(self, name, payload):
+        return remote_call(self.service, "invoke", {"name": name, "payload": payload})
+
+def client(service):
+    return Client(service)
+
+class Session:
+    def __init__(self, region="us-east-1"):
+        self.region = region
+    def client(self, service):
+        return Client(service)
+` + checkRegistrySnippet
+
+const wandImageCore = `
+class Image:
+    def __init__(self, blob=None, width=640, height=480):
+        self.width = width
+        self.height = height
+        self.blob = blob
+    def resize(self, width, height):
+        compute(260)
+        self.width = width
+        self.height = height
+        return self
+    def make_blob(self, fmt="png"):
+        return fmt + ":" + str(self.width) + "x" + str(self.height)
+` + checkRegistrySnippet
+
+const lightgbmCore = `
+class Dataset:
+    def __init__(self, data, label=None):
+        self.data = data
+        self.label = label
+
+class Booster:
+    def __init__(self, trees):
+        self.trees = trees
+    def predict(self, rows):
+        out = []
+        for row in rows:
+            score = 0.0
+            for v in row:
+                score += v * self.trees
+            out.append(score / (self.trees * len(row)))
+        return out
+
+def train(params, dataset, num_rounds=10):
+    compute(8)
+    return Booster(num_rounds)
+` + checkRegistrySnippet
+
+const requestsCore = `
+class Response:
+    def __init__(self, status, body):
+        self.status_code = status
+        self.text = body
+    def json(self):
+        return {"status": self.status_code, "body": self.text}
+
+def get(url, timeout=30):
+    remote_call("http", "GET", {"url": url})
+    return Response(200, "<html><body>" + url + "</body></html>")
+
+def post(url, data=None):
+    remote_call("http", "POST", {"url": url})
+    return Response(201, "created")
+` + checkRegistrySnippet
+
+const lxmlHTMLCore = `
+class Element:
+    def __init__(self, tag, text, children=None):
+        self.tag = tag
+        self.text = text
+        self.children = children if children is not None else []
+    def text_content(self):
+        out = self.text
+        for child in self.children:
+            out = out + child.text_content()
+        return out
+
+def fromstring(markup):
+    stripped = markup.replace("<html>", "").replace("</html>", "")
+    stripped = stripped.replace("<body>", "").replace("</body>", "")
+    return Element("html", stripped)
+
+def tostring(el):
+    return "<" + el.tag + ">" + el.text_content() + "</" + el.tag + ">"
+` + checkRegistrySnippet
+
+const skimageCore = `
+class ImageArr:
+    def __init__(self, pixels, width, height):
+        self.pixels = pixels
+        self.width = width
+        self.height = height
+
+def imread(path):
+    pixels = []
+    for i in range(16):
+        pixels.append((i * 17) % 256)
+    return ImageArr(pixels, 4, 4)
+
+def sobel(img):
+    compute(30)
+    out = []
+    for i in range(len(img.pixels)):
+        prev = img.pixels[i - 1] if i > 0 else 0
+        out.append(abs(img.pixels[i] - prev))
+    return ImageArr(out, img.width, img.height)
+
+def rescale(img, factor):
+    out = []
+    for p in img.pixels:
+        out.append(p * factor)
+    return ImageArr(out, img.width, img.height)
+
+def img_sum(img):
+    return sum(img.pixels)
+` + checkRegistrySnippet
+
+const tensorflowCore = `
+class TFTensor:
+    def __init__(self, data):
+        self.data = data
+
+def constant(data):
+    return TFTensor(data)
+
+def reduce_sum(t):
+    return sum(t.data)
+
+def tf_matmul(a, b):
+    total = 0.0
+    for pair in zip(a.data, b.data):
+        total += pair[0] * pair[1]
+    return TFTensor([total])
+
+def nn_softmax(t):
+    total = 0.0
+    for x in t.data:
+        total += x
+    out = []
+    for x in t.data:
+        out.append(x / total if total != 0 else 0.0)
+    return TFTensor(out)
+` + checkRegistrySnippet
+
+const squiggleCore = `
+import numpy
+
+def transform(dna):
+    xs = []
+    ys = []
+    x = 0.0
+    y = 0.0
+    for base in dna:
+        x += 1.0
+        if base == "A":
+            y += 1.0
+        elif base == "T":
+            y -= 1.0
+        elif base == "G":
+            y += 0.5
+        else:
+            y -= 0.5
+        xs.append(x)
+        ys.append(y)
+    return (numpy.array(xs), numpy.array(ys))
+
+def gc_content(dna):
+    gc = 0
+    for base in dna:
+        if base == "G" or base == "C":
+            gc += 1
+    return gc / len(dna) if len(dna) > 0 else 0.0
+` + checkRegistrySnippet
+
+const ffmpegCore = `
+def probe(path):
+    compute(40)
+    return {"format": path.split(".")[-1], "duration": 12.0, "streams": 2}
+
+def run(args):
+    compute(2400)
+    return {"ok": True, "args": len(args)}
+
+def input_file(path):
+    return {"path": path}
+` + checkRegistrySnippet
+
+const igraphCore = `
+class Graph:
+    def __init__(self):
+        self.vertices = 0
+        self.edges = []
+    def add_vertices(self, n):
+        self.vertices += n
+    def add_edges(self, pairs):
+        for p in pairs:
+            self.edges.append(p)
+    def degree(self):
+        out = []
+        for v in range(self.vertices):
+            d = 0
+            for e in self.edges:
+                if e[0] == v or e[1] == v:
+                    d += 1
+            out.append(d)
+        return out
+` + checkRegistrySnippet
+
+const markdownCore = `
+def markdown(text):
+    out = []
+    for line in text.split("\n"):
+        if line.startswith("# "):
+            out.append("<h1>" + line[2:] + "</h1>")
+        elif line.startswith("## "):
+            out.append("<h2>" + line[3:] + "</h2>")
+        elif line.startswith("- "):
+            out.append("<li>" + line[2:] + "</li>")
+        elif len(line) > 0:
+            out.append("<p>" + line + "</p>")
+    return "\n".join(out)
+` + checkRegistrySnippet
+
+const pilCore = `
+class Img:
+    def __init__(self, pixels, size):
+        self.pixels = pixels
+        self.size = size
+    def resize(self, size):
+        compute(25)
+        return Img(self.pixels[:size], size)
+    def to_list(self):
+        return self.pixels
+
+def image_open(path):
+    pixels = []
+    for i in range(8):
+        pixels.append((i * 31) % 255)
+    return Img(pixels, 8)
+` + checkRegistrySnippet
+
+const nltkCore = `
+def word_tokenize(text):
+    return text.replace(",", " ").replace(".", " ").split()
+
+def pos_tag(words):
+    out = []
+    for w in words:
+        if w.endswith("ing"):
+            out.append((w, "VBG"))
+        elif w.endswith("ly"):
+            out.append((w, "RB"))
+        else:
+            out.append((w, "NN"))
+    return out
+` + checkRegistrySnippet
+
+const textblobCore = `
+import nltk
+
+class TextBlob:
+    def __init__(self, text):
+        self.text = text
+        self.words = nltk.word_tokenize(text)
+    def sentiment(self):
+        score = 0.0
+        for w in self.words:
+            if w in ["good", "great", "happy", "excellent"]:
+                score += 1.0
+            elif w in ["bad", "sad", "terrible", "awful"]:
+                score -= 1.0
+        return score / len(self.words) if len(self.words) > 0 else 0.0
+    def tags(self):
+        return nltk.pos_tag(self.words)
+` + checkRegistrySnippet
+
+const chdbCore = `
+def query(sql, fmt="CSV"):
+    compute(60)
+    parts = sql.lower().split(" ")
+    n = 3
+    if "limit" in parts:
+        n = int(parts[parts.index("limit") + 1])
+    rows = []
+    for i in range(n):
+        rows.append([i, i * i])
+    return rows
+` + checkRegistrySnippet
+
+const reportlabCore = `
+class Canvas:
+    def __init__(self, name):
+        self.name = name
+        self.lines = []
+    def draw_string(self, x, y, text):
+        self.lines.append(text)
+    def save(self):
+        compute(120)
+        return self.name + ":" + str(len(self.lines))
+` + checkRegistrySnippet
+
+const pptxCore = `
+class Presentation:
+    def __init__(self):
+        self.slides = []
+    def add_slide(self, title):
+        self.slides.append(title)
+    def save(self, name):
+        compute(90)
+        return name + ":" + str(len(self.slides))
+` + checkRegistrySnippet
+
+const docxCore = `
+class Document:
+    def __init__(self):
+        self.paragraphs = []
+    def add_paragraph(self, text):
+        self.paragraphs.append(text)
+    def save(self, name):
+        compute(80)
+        return name + ":" + str(len(self.paragraphs))
+` + checkRegistrySnippet
+
+const sympyCore = `
+class Symbol:
+    def __init__(self, name):
+        self.name = name
+
+def expand_square(sym):
+    return sym.name + "**2 + 2*" + sym.name + " + 1"
+
+def diff_poly(coeffs):
+    out = []
+    for i in range(1, len(coeffs)):
+        out.append(coeffs[i] * i)
+    return out
+
+def solve_linear(a, b):
+    if a == 0:
+        raise ValueError("not linear")
+    return -b / a
+` + checkRegistrySnippet
+
+const qiskitCore = `
+class QuantumCircuit:
+    def __init__(self, qubits):
+        self.qubits = qubits
+        self.gates = []
+    def h(self, q):
+        self.gates.append(("h", q))
+    def cx(self, a, b):
+        self.gates.append(("cx", a, b))
+    def measure_all(self):
+        self.gates.append(("measure",))
+
+def simulate(circuit, shots=1024):
+    compute(140)
+    counts = {}
+    zero = "0" * circuit.qubits
+    one = "1" * circuit.qubits
+    counts[zero] = shots // 2
+    counts[one] = shots - shots // 2
+    return counts
+` + checkRegistrySnippet
+
+const qiskitNatureCore = `
+import qiskit
+
+def ground_state_energy(molecule):
+    circuit = qiskit.QuantumCircuit(2)
+    circuit.h(0)
+    circuit.cx(0, 1)
+    circuit.measure_all()
+    counts = qiskit.simulate(circuit, shots=1000)
+    return -1.0 * len(molecule) - len(counts) * 0.05
+` + checkRegistrySnippet
+
+const shapelyCore = `
+class Point:
+    def __init__(self, x, y):
+        self.x = x
+        self.y = y
+    def distance(self, other):
+        return ((self.x - other.x) ** 2 + (self.y - other.y) ** 2) ** 0.5
+
+class Polygon:
+    def __init__(self, points):
+        self.points = points
+    def area(self):
+        total = 0.0
+        n = len(self.points)
+        for i in range(n):
+            j = (i + 1) % n
+            total += self.points[i][0] * self.points[j][1]
+            total -= self.points[j][0] * self.points[i][1]
+        return abs(total) / 2.0
+` + checkRegistrySnippet
+
+const spacyCore = `
+class Doc:
+    def __init__(self, tokens):
+        self.tokens = tokens
+    def ents(self):
+        out = []
+        for t in self.tokens:
+            if t[0:1] == t[0:1].upper() and t[0:1].isdigit() == False and len(t) > 1:
+                out.append(t)
+        return out
+
+class Language:
+    def __init__(self, name):
+        self.name = name
+    def __call__(self, text):
+        return Doc(text.split(" "))
+
+def load(model):
+    load_native(600, 60)
+    return Language(model)
+` + checkRegistrySnippet
+
+const joblibCore = `
+def dump(obj, name):
+    return name
+
+def load_obj(name):
+    return {"name": name}
+
+def hash_obj(obj):
+    return str(len(str(obj)))
+` + checkRegistrySnippet
+
+const genericCore = `
+def configure(opts):
+    return {"configured": True, "n": len(opts)}
+
+def process(data, factor=1):
+    out = []
+    for x in data:
+        out.append(x * factor)
+    return out
+` + checkRegistrySnippet

@@ -1,0 +1,154 @@
+package appcorpus
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/appspec"
+	"repro/internal/vfs"
+)
+
+// AppDef is one corpus entry with its Table 1 calibration targets.
+type AppDef struct {
+	Name   string
+	Source string // "FaaSLight", "RainbowCake", or "PyPI"
+	// Table 1 columns.
+	SizeMB  float64
+	ImportS float64
+	ExecS   float64
+	E2ES    float64
+	// MemoryMB is the calibrated runtime footprint (including the ~35 MB
+	// interpreter base) the original app reaches.
+	MemoryMB float64
+	// RepModule is the representative module reported in Table 3.
+	RepModule string
+	// RepAttrs is that module's top-level attribute count (Table 3 "Pre").
+	RepAttrs int
+
+	build func() *appspec.App
+}
+
+// Build constructs a fresh instance of the application (new image).
+func (d *AppDef) Build() *appspec.App { return d.build() }
+
+// Catalog returns the 21 benchmark definitions in Table 1 order.
+func Catalog() []*AppDef {
+	defs := []*AppDef{
+		// From FaaSLight.
+		appHuggingface(), appImageResize(), appLightGBM(), appLXML(),
+		appScikit(), appSkimage(), appTensorflow(), appWine(),
+		// From RainbowCake.
+		appDNAVisualization(), appFFmpeg(), appIgraph(), appMarkdown(),
+		appResnet(), appTextblob(),
+		// New applications (PyPI).
+		appChdbOlap(), appEpubPdf(), appJsym(), appPandas(),
+		appQiskitNature(), appShapelyNumpy(), appSpacy(),
+	}
+	return defs
+}
+
+// Lookup returns the definition for name.
+func Lookup(name string) (*AppDef, bool) {
+	for _, d := range Catalog() {
+		if d.Name == name {
+			return d, true
+		}
+	}
+	return nil, false
+}
+
+// Names returns all corpus app names, sorted.
+func Names() []string {
+	var out []string
+	for _, d := range Catalog() {
+		out = append(out, d.Name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// MustBuild builds an app by name, panicking on unknown names.
+func MustBuild(name string) *appspec.App {
+	d, ok := Lookup(name)
+	if !ok {
+		panic(fmt.Sprintf("appcorpus: unknown app %q", name))
+	}
+	return d.Build()
+}
+
+// makeLib assembles a calibrated LibSpec. exports are the core API names
+// the app (or dependent libraries) use; attrs is the target top-level
+// attribute count; kept is the registry-pinned cluster size; removableMS
+// and removableMB are the import cost shares that debloating can recover.
+func makeLib(name string, deps, exports []string, coreSrc string, attrs, kept int,
+	totalMS, totalMB, removableMS, removableMB float64) LibSpec {
+
+	exp := make([]string, 0, len(exports)+1)
+	exp = append(exp, exports...)
+	if kept > 0 {
+		exp = append(exp, "_check_registry")
+	}
+	unremovMS := totalMS - removableMS
+	unremovMB := totalMB - removableMB
+	if unremovMS < 0 || unremovMB < 0 {
+		panic(fmt.Sprintf("appcorpus: %s removable exceeds total", name))
+	}
+
+	l := LibSpec{
+		Name:        name,
+		Deps:        deps,
+		CoreSource:  coreSrc,
+		CoreExports: exp,
+		CoreMS:      0.45 * unremovMS,
+		CoreMB:      0.5 * unremovMB,
+		CoreLoadMS:  0.55 * unremovMS,
+		CoreLoadMB:  0.5 * unremovMB,
+		KeptCluster: kept,
+	}
+
+	// Account for namespace bindings created by machinery rather than by
+	// the generated statements: the _core submodule, one binding per
+	// group submodule, and one per dependency import.
+	remaining := attrs - len(exp) - kept - 1 - len(deps)
+	if kept > 0 {
+		remaining-- // the registry binding
+	}
+	nGroups := (remaining*3/4)/60 + 2
+	if nGroups > 8 {
+		nGroups = 8
+	}
+	remaining -= nGroups
+	if remaining < 4 {
+		remaining = 4
+	}
+	pads := remaining / 4
+	groupAttrs := remaining - pads
+	l.Groups = SplitGroups("g", nGroups, groupAttrs, removableMS, removableMB*0.8)
+	l.PadAttrs = pads
+	l.PadMemMB = removableMB * 0.2
+	return l
+}
+
+// assemble builds the deployable app from its parts and calibrates the
+// unbilled platform delay so cold E2E matches Table 1.
+func assemble(def *AppDef, handlerSrc string, libs []LibSpec, oracle []appspec.TestCase) *appspec.App {
+	fs := vfs.New()
+	fs.Write("handler.py", handlerSrc)
+	for i := range libs {
+		libs[i].WriteTo(fs)
+	}
+	delayMS := (def.E2ES - def.ImportS - def.ExecS) * 1000
+	if delayMS < 50 {
+		delayMS = 50
+	}
+	return &appspec.App{
+		Name:         def.Name,
+		Image:        fs,
+		Entry:        "handler",
+		Handler:      "handler",
+		Oracle:       oracle,
+		SetupDelayMS: delayMS,
+		ImageSizeMB:  def.SizeMB,
+		Tags:         map[string]string{"source": def.Source, "rep_module": def.RepModule},
+	}
+}

@@ -1,0 +1,756 @@
+package appcorpus
+
+import "repro/internal/appspec"
+
+// The 21 corpus applications. Each definition carries its Table 1 targets
+// (size, import, exec, E2E), a calibrated memory footprint, the Table 3
+// representative module, and a builder that generates the deployment image.
+// Library cost splits are chosen so that λ-trim's removal of redundant
+// attributes recovers approximately the per-app improvements reported in
+// Figure 8 / Table 2 of the paper.
+
+// ---- FaaSLight suite -------------------------------------------------------
+
+func appHuggingface() *AppDef {
+	d := &AppDef{
+		Name: "huggingface", Source: "FaaSLight",
+		SizeMB: 799.38, ImportS: 5.52, ExecS: 0.86, E2ES: 10.12,
+		MemoryMB: 430, RepModule: "transformers", RepAttrs: 3300,
+	}
+	d.build = func() *appspec.App {
+		torch := torchLib(2200, 160, 164, 3, 40)
+		transformers := makeLib("transformers", []string{"torch"},
+			[]string{"pipeline", "tokenize", "PretrainedModel"},
+			transformersCore, 3300, 8, 3140, 190, 400, 6)
+		handler := `
+import torch
+from transformers import pipeline
+
+classifier = pipeline("sentiment-analysis")
+
+def handler(event, context):
+    text = event.get("text", "serverless is great")
+    if event.get("mode", "basic") == "advanced":
+        attr_name = "pad_" + "0000"
+        rare = getattr(torch, attr_name)
+        compute(850)
+        return {"advanced": rare(text)}
+    result = classifier(text)
+    t = torch.tensor([result["score"], 1.0])
+    s = torch.softmax(t)
+    compute(850)
+    print("label:", result["label"])
+    return {"label": result["label"], "confidence": s.data[0]}
+`
+		return assemble(d, handler, []LibSpec{torch, transformers}, []appspec.TestCase{
+			{Name: "positive", Event: map[string]any{"text": "good great excellent day"}},
+			{Name: "negative", Event: map[string]any{"text": "terrible awful weather today"}},
+		})
+	}
+	return d
+}
+
+func appImageResize() *AppDef {
+	d := &AppDef{
+		Name: "image-resize", Source: "FaaSLight",
+		SizeMB: 102.05, ImportS: 0.42, ExecS: 0.95, E2ES: 1.88,
+		MemoryMB: 110, RepModule: "wand.image", RepAttrs: 91,
+	}
+	d.build = func() *appspec.App {
+		boto := boto3Lib(260, 30, 5, 1)
+		wand := makeLib("wand", nil, []string{"configure", "process"},
+			genericCore, 25, 4, 40, 5, 1, 0.3)
+		wandImage := makeLib("wand.image", nil, []string{"Image"},
+			wandImageCore, 91, 12, 120, 40, 1.6, 2)
+		handler := `
+import boto3
+from wand.image import Image
+
+s3 = boto3.client("s3")
+
+def handler(event, context):
+    key = event.get("key", "photo.png")
+    obj = s3.get_object("images", key)
+    img = Image(blob=key, width=1920, height=1080)
+    img.resize(640, 360)
+    blob = img.make_blob("png")
+    s3.put_object("thumbnails", key, blob)
+    compute(640)
+    print("resized:", blob)
+    return {"key": key, "thumb": blob}
+`
+		return assemble(d, handler, []LibSpec{boto, wand, wandImage}, []appspec.TestCase{
+			{Name: "png", Event: map[string]any{"key": "cat.png"}},
+			{Name: "jpg", Event: map[string]any{"key": "dog.jpg"}},
+		})
+	}
+	return d
+}
+
+func appLightGBM() *AppDef {
+	d := &AppDef{
+		Name: "lightgbm", Source: "FaaSLight",
+		SizeMB: 120.22, ImportS: 0.57, ExecS: 0.04, E2ES: 1.14,
+		MemoryMB: 140, RepModule: "lightgbm", RepAttrs: 45,
+	}
+	d.build = func() *appspec.App {
+		numpy := numpyLib(130, 25, 62, 10, 20)
+		lgbm := makeLib("lightgbm", []string{"numpy"},
+			[]string{"Dataset", "Booster", "train"},
+			lightgbmCore, 45, 6, 440, 80, 250, 44)
+		handler := `
+import numpy
+import lightgbm
+
+def handler(event, context):
+    rows = event.get("rows", [[1.0, 2.0], [3.0, 4.0]])
+    labels = event.get("labels", [0.0, 1.0])
+    if event.get("mode", "basic") == "advanced":
+        attr_name = "pad_" + "0000"
+        rare = getattr(lightgbm, attr_name)
+        compute(20)
+        return {"advanced": rare(rows)}
+    ds = lightgbm.Dataset(rows, label=labels)
+    booster = lightgbm.train({"objective": "regression"}, ds, num_rounds=5)
+    preds = booster.predict(rows)
+    arr = numpy.array(preds)
+    compute(20)
+    print("mean prediction:", numpy.mean(arr))
+    return {"predictions": preds}
+`
+		return assemble(d, handler, []LibSpec{numpy, lgbm}, []appspec.TestCase{
+			{Name: "small", Event: map[string]any{
+				"rows": []any{[]any{1.0, 2.0}, []any{3.0, 4.0}}, "labels": []any{0.0, 1.0}}},
+		})
+	}
+	return d
+}
+
+func appLXML() *AppDef {
+	d := &AppDef{
+		Name: "lxml", Source: "FaaSLight",
+		SizeMB: 58.01, ImportS: 0.24, ExecS: 0.39, E2ES: 1.12,
+		MemoryMB: 75, RepModule: "lxml.html", RepAttrs: 84,
+	}
+	d.build = func() *appspec.App {
+		requests := makeLib("requests", nil, []string{"get", "post", "Response"},
+			requestsCore, 64, 8, 100, 15, 40, 0.05)
+		lxml := makeLib("lxml", nil, []string{"configure", "process"},
+			genericCore, 40, 6, 60, 10, 15, 0.05)
+		lxmlHTML := makeLib("lxml.html", nil, []string{"Element", "fromstring", "tostring"},
+			lxmlHTMLCore, 84, 10, 80, 15, 45, 0.06)
+		handler := `
+import requests
+from lxml import html
+
+def handler(event, context):
+    url = event.get("url", "https://example.com/page")
+    resp = requests.get(url)
+    tree = html.fromstring(resp.text)
+    text = tree.text_content()
+    compute(370)
+    print("chars:", len(text))
+    return {"status": resp.status_code, "length": len(text)}
+`
+		return assemble(d, handler, []LibSpec{requests, lxml, lxmlHTML}, []appspec.TestCase{
+			{Name: "page", Event: map[string]any{"url": "https://example.com/a"}},
+			{Name: "other", Event: map[string]any{"url": "https://example.org/b"}},
+		})
+	}
+	return d
+}
+
+func appScikit() *AppDef {
+	d := &AppDef{
+		Name: "scikit", Source: "FaaSLight",
+		SizeMB: 177.01, ImportS: 0.30, ExecS: 0.01, E2ES: 1.93,
+		MemoryMB: 150, RepModule: "joblib", RepAttrs: 50,
+	}
+	d.build = func() *appspec.App {
+		joblib := joblibLib(80, 30, 19, 4.7)
+		sklearn := sklearnLib(220, 85, 40, 10)
+		handler := `
+import sklearn
+
+def handler(event, context):
+    xs = event.get("xs", [1.0, 2.0, 3.0, 4.0])
+    ys = event.get("ys", [2.0, 4.0, 6.0, 8.0])
+    model = sklearn.LinearRegression()
+    model.fit(xs, ys)
+    preds = model.predict([5.0, 6.0])
+    print("slope:", model.slope)
+    return {"predictions": preds}
+`
+		return assemble(d, handler, []LibSpec{joblib, sklearn}, []appspec.TestCase{
+			{Name: "linear", Event: map[string]any{
+				"xs": []any{1.0, 2.0, 3.0, 4.0}, "ys": []any{2.0, 4.0, 6.0, 8.0}}},
+		})
+	}
+	return d
+}
+
+func appSkimage() *AppDef {
+	d := &AppDef{
+		Name: "skimage", Source: "FaaSLight",
+		SizeMB: 155.37, ImportS: 1.87, ExecS: 0.10, E2ES: 2.76,
+		MemoryMB: 195, RepModule: "skimage", RepAttrs: 18,
+	}
+	d.build = func() *appspec.App {
+		ski := makeLib("skimage", nil,
+			[]string{"ImageArr", "imread", "sobel", "rescale", "img_sum"},
+			skimageCore, 18, 2, 1870, 160, 793, 82)
+		handler := `
+import skimage
+
+def handler(event, context):
+    path = event.get("path", "image.png")
+    img = skimage.imread(path)
+    edges = skimage.sobel(img)
+    scaled = skimage.rescale(edges, 2)
+    total = skimage.img_sum(scaled)
+    compute(60)
+    print("edge sum:", total)
+    return {"sum": total, "width": scaled.width}
+`
+		return assemble(d, handler, []LibSpec{ski}, []appspec.TestCase{
+			{Name: "img", Event: map[string]any{"path": "image.png"}},
+		})
+	}
+	return d
+}
+
+func appTensorflow() *AppDef {
+	d := &AppDef{
+		Name: "tensorflow", Source: "FaaSLight",
+		SizeMB: 586.13, ImportS: 4.53, ExecS: 0.04, E2ES: 5.33,
+		MemoryMB: 400, RepModule: "tensorflow", RepAttrs: 355,
+	}
+	d.build = func() *appspec.App {
+		numpy := numpyLib(130, 25, 56, 4, 30)
+		tf := makeLib("tensorflow", []string{"numpy"},
+			[]string{"TFTensor", "constant", "reduce_sum", "tf_matmul", "nn_softmax"},
+			tensorflowCore, 355, 30, 4400, 330, 650, 32)
+		handler := `
+import numpy
+import tensorflow
+
+def handler(event, context):
+    data = event.get("data", [1.0, 2.0, 3.0])
+    t = tensorflow.constant(data)
+    total = tensorflow.reduce_sum(t)
+    sm = tensorflow.nn_softmax(t)
+    arr = numpy.array(sm.data)
+    compute(30)
+    print("sum:", total)
+    return {"sum": total, "mean": numpy.mean(arr)}
+`
+		return assemble(d, handler, []LibSpec{numpy, tf}, []appspec.TestCase{
+			{Name: "vec", Event: map[string]any{"data": []any{1.0, 2.0, 3.0}}},
+			{Name: "vec2", Event: map[string]any{"data": []any{4.0, 5.0}}},
+		})
+	}
+	return d
+}
+
+func appWine() *AppDef {
+	d := &AppDef{
+		Name: "wine", Source: "FaaSLight",
+		SizeMB: 271.01, ImportS: 1.96, ExecS: 0.29, E2ES: 2.81,
+		MemoryMB: 185, RepModule: "numpy", RepAttrs: 537,
+	}
+	d.build = func() *appspec.App {
+		numpy := numpyLib(330, 35, 33, 2, 470)
+		pandas := pandasLib(660, 45, 100, 9, 10)
+		joblib := joblibLib(80, 10, 6, 0.5)
+		sklearn := sklearnLib(450, 35, 70, 6)
+		boto := boto3Lib(440, 25, 60, 4)
+		handler := `
+import numpy
+import pandas
+import sklearn
+import boto3
+
+s3 = boto3.client("s3")
+
+def handler(event, context):
+    obj = s3.get_object("datasets", event.get("key", "wine.csv"))
+    alcohol = event.get("alcohol", [12.0, 13.0, 14.0])
+    quality = event.get("quality", [5.0, 6.0, 7.0])
+    df = pandas.DataFrame({"alcohol": alcohol, "quality": quality})
+    model = sklearn.LinearRegression()
+    model.fit(df.columns["alcohol"], df.columns["quality"])
+    preds = model.predict([15.0])
+    arr = numpy.array(preds)
+    m = numpy.mean(arr)
+    sd = numpy.std(numpy.array(alcohol))
+    compute(250)
+    print("predicted quality:", m)
+    return {"prediction": m, "std": sd}
+`
+		return assemble(d, handler, []LibSpec{numpy, pandas, joblib, sklearn, boto},
+			[]appspec.TestCase{
+				{Name: "wine", Event: map[string]any{
+					"alcohol": []any{12.0, 13.0, 14.0}, "quality": []any{5.0, 6.0, 7.0}}},
+			})
+	}
+	return d
+}
+
+// ---- RainbowCake suite -----------------------------------------------------
+
+func appDNAVisualization() *AppDef {
+	d := &AppDef{
+		Name: "dna-visualization", Source: "RainbowCake",
+		SizeMB: 57.01, ImportS: 0.18, ExecS: 0.02, E2ES: 0.72,
+		MemoryMB: 95, RepModule: "numpy", RepAttrs: 537,
+	}
+	d.build = func() *appspec.App {
+		numpy := numpyLib(120, 45, 50, 20, 25)
+		squiggle := makeLib("squiggle", []string{"numpy"},
+			[]string{"transform", "gc_content"}, squiggleCore, 30, 4, 60, 15, 15, 5)
+		handler := `
+import squiggle
+
+def handler(event, context):
+    dna = event.get("dna", "ATGCATGC")
+    if event.get("mode", "basic") == "advanced":
+        attr_name = "pad_" + "0000"
+        rare = getattr(squiggle, attr_name)
+        compute(15)
+        return {"advanced": rare(dna)}
+    xs, ys = squiggle.transform(dna)
+    gc = squiggle.gc_content(dna)
+    print("points:", len(xs.data))
+    return {"gc": gc, "n": len(xs.data)}
+`
+		return assemble(d, handler, []LibSpec{numpy, squiggle}, []appspec.TestCase{
+			{Name: "short", Event: map[string]any{"dna": "ATGCATGC"}},
+			{Name: "long", Event: map[string]any{"dna": "GGGCCCAAATTTGGGCCC"}},
+		})
+	}
+	return d
+}
+
+func appFFmpeg() *AppDef {
+	d := &AppDef{
+		Name: "ffmpeg", Source: "RainbowCake",
+		SizeMB: 297.00, ImportS: 0.06, ExecS: 2.50, E2ES: 3.07,
+		MemoryMB: 68, RepModule: "ffmpeg", RepAttrs: 46,
+	}
+	d.build = func() *appspec.App {
+		ff := makeLib("ffmpeg", nil, []string{"probe", "run", "input_file"},
+			ffmpegCore, 46, 6, 60, 33, 2, 0.7)
+		handler := `
+import ffmpeg
+
+def handler(event, context):
+    path = event.get("path", "video.mp4")
+    meta = ffmpeg.probe(path)
+    result = ffmpeg.run(["-i", path, "-vcodec", "h264", "out.mp4"])
+    compute(50)
+    print("transcoded:", meta["format"])
+    return {"ok": result["ok"], "duration": meta["duration"]}
+`
+		return assemble(d, handler, []LibSpec{ff}, []appspec.TestCase{
+			{Name: "mp4", Event: map[string]any{"path": "video.mp4"}},
+		})
+	}
+	return d
+}
+
+func appIgraph() *AppDef {
+	d := &AppDef{
+		Name: "igraph", Source: "RainbowCake",
+		SizeMB: 40.00, ImportS: 0.09, ExecS: 0.01, E2ES: 0.59,
+		MemoryMB: 60, RepModule: "igraph", RepAttrs: 185,
+	}
+	d.build = func() *appspec.App {
+		ig := makeLib("igraph", nil, []string{"Graph"}, igraphCore, 185, 14, 90, 25, 20, 4.8)
+		handler := `
+import igraph
+
+def handler(event, context):
+    n = event.get("nodes", 5)
+    g = igraph.Graph()
+    g.add_vertices(n)
+    edges = []
+    for i in range(n - 1):
+        edges.append((i, i + 1))
+    g.add_edges(edges)
+    degrees = g.degree()
+    print("degrees:", degrees)
+    return {"max_degree": max(degrees)}
+`
+		return assemble(d, handler, []LibSpec{ig}, []appspec.TestCase{
+			{Name: "path5", Event: map[string]any{"nodes": 5}},
+			{Name: "path3", Event: map[string]any{"nodes": 3}},
+		})
+	}
+	return d
+}
+
+func appMarkdown() *AppDef {
+	d := &AppDef{
+		Name: "markdown", Source: "RainbowCake",
+		SizeMB: 32.21, ImportS: 0.04, ExecS: 0.03, E2ES: 0.54,
+		MemoryMB: 48, RepModule: "markdown", RepAttrs: 28,
+	}
+	d.build = func() *appspec.App {
+		md := makeLib("markdown", nil, []string{"markdown"}, markdownCore, 28, 4, 40, 13, 6.5, 2.4)
+		handler := `
+import markdown
+
+def handler(event, context):
+    text = event.get("text", "# Title\nhello world\n- item")
+    html = markdown.markdown(text)
+    compute(25)
+    print(html)
+    return {"html": html}
+`
+		return assemble(d, handler, []LibSpec{md}, []appspec.TestCase{
+			{Name: "doc", Event: map[string]any{"text": "# Report\nbody text\n- first\n- second"}},
+		})
+	}
+	return d
+}
+
+func appResnet() *AppDef {
+	d := &AppDef{
+		Name: "resnet", Source: "RainbowCake",
+		SizeMB: 742.56, ImportS: 6.30, ExecS: 5.30, E2ES: 11.71,
+		MemoryMB: 340, RepModule: "torch", RepAttrs: 1414,
+	}
+	d.build = func() *appspec.App {
+		numpy := numpyLib(130, 25, 66, 6, 20)
+		torch := torchLib(6000, 260, 5700, 75, 60)
+		pil := makeLib("PIL", nil, []string{"Img", "image_open"}, pilCore, 68, 8, 170, 20, 30, 4)
+		handler := `
+import numpy
+import torch
+from PIL import image_open
+
+model = torch.nn.Sequential([torch.nn.Linear(8, 1), torch.nn.ReLU()])
+
+def handler(event, context):
+    path = event.get("path", "cat.jpg")
+    img = image_open(path)
+    pixels = []
+    for p in img.to_list():
+        pixels.append(p / 255.0)
+    t = torch.tensor(pixels)
+    model.layers[0].weights = torch.tensor([0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8])
+    model.layers[0].bias = torch.tensor([0.5])
+    out = model(t)
+    arr = numpy.array(out.data)
+    compute(5250)
+    print("score:", out.data[0])
+    return {"score": numpy.mean(arr)}
+`
+		return assemble(d, handler, []LibSpec{numpy, torch, pil}, []appspec.TestCase{
+			{Name: "cat", Event: map[string]any{"path": "cat.jpg"}},
+		})
+	}
+	return d
+}
+
+func appTextblob() *AppDef {
+	d := &AppDef{
+		Name: "textblob", Source: "RainbowCake",
+		SizeMB: 104.00, ImportS: 0.42, ExecS: 0.38, E2ES: 1.28,
+		MemoryMB: 105, RepModule: "nltk", RepAttrs: 560,
+	}
+	d.build = func() *appspec.App {
+		nltk := makeLib("nltk", nil, []string{"word_tokenize", "pos_tag"},
+			nltkCore, 560, 4, 300, 45, 110, 10)
+		tb := makeLib("textblob", []string{"nltk"}, []string{"TextBlob"},
+			textblobCore, 42, 6, 120, 25, 16, 2.6)
+		handler := `
+from textblob import TextBlob
+
+def handler(event, context):
+    text = event.get("text", "what a great happy day")
+    blob = TextBlob(text)
+    s = blob.sentiment()
+    tags = blob.tags()
+    compute(350)
+    print("sentiment:", s)
+    return {"sentiment": s, "tags": len(tags)}
+`
+		return assemble(d, handler, []LibSpec{nltk, tb}, []appspec.TestCase{
+			{Name: "pos", Event: map[string]any{"text": "what a great happy day"}},
+			{Name: "neg", Event: map[string]any{"text": "a sad and terrible outcome"}},
+		})
+	}
+	return d
+}
+
+// ---- New applications (PyPI) -----------------------------------------------
+
+func appChdbOlap() *AppDef {
+	d := &AppDef{
+		Name: "chdb-olap", Source: "PyPI",
+		SizeMB: 293.64, ImportS: 1.01, ExecS: 0.08, E2ES: 1.77,
+		MemoryMB: 160, RepModule: "chdb", RepAttrs: 32,
+	}
+	d.build = func() *appspec.App {
+		ch := makeLib("chdb", nil, []string{"query"}, chdbCore, 32, 14, 1010, 125, 354, 24)
+		handler := `
+import chdb
+
+def handler(event, context):
+    sql = event.get("sql", "select id, sq from t limit 4")
+    rows = chdb.query(sql)
+    total = 0
+    for row in rows:
+        total += row[1]
+    print("rows:", len(rows), "sum:", total)
+    return {"rows": len(rows), "sum": total}
+`
+		return assemble(d, handler, []LibSpec{ch}, []appspec.TestCase{
+			{Name: "limit4", Event: map[string]any{"sql": "select id, sq from t limit 4"}},
+			{Name: "limit2", Event: map[string]any{"sql": "select id, sq from t limit 2"}},
+		})
+	}
+	return d
+}
+
+func appEpubPdf() *AppDef {
+	d := &AppDef{
+		Name: "epub-pdf", Source: "PyPI",
+		SizeMB: 143.68, ImportS: 0.62, ExecS: 1.43, E2ES: 2.54,
+		MemoryMB: 120, RepModule: "pptx", RepAttrs: 38,
+	}
+	d.build = func() *appspec.App {
+		rl := makeLib("reportlab", nil, []string{"Canvas"}, reportlabCore, 72, 8, 150, 22, 40, 3)
+		px := makeLib("pptx", nil, []string{"Presentation"}, pptxCore, 38, 14, 130, 20, 38, 3)
+		dx := makeLib("docx", nil, []string{"Document"}, docxCore, 44, 8, 110, 18, 35, 3)
+		boto := boto3Lib(230, 25, 42, 3)
+		handler := `
+import boto3
+from reportlab import Canvas
+from pptx import Presentation
+from docx import Document
+
+s3 = boto3.client("s3")
+
+def handler(event, context):
+    title = event.get("title", "Quarterly Report")
+    doc = Document()
+    doc.add_paragraph(title)
+    doc.add_paragraph("summary")
+    pres = Presentation()
+    pres.add_slide(title)
+    canvas = Canvas("out.pdf")
+    canvas.draw_string(10, 10, title)
+    pdf = canvas.save()
+    saved_pptx = pres.save("out.pptx")
+    saved_docx = doc.save("out.docx")
+    s3.put_object("documents", "out.pdf", pdf)
+    compute(1100)
+    print("generated:", pdf)
+    return {"pdf": pdf, "pptx": saved_pptx, "docx": saved_docx}
+`
+		return assemble(d, handler, []LibSpec{rl, px, dx, boto}, []appspec.TestCase{
+			{Name: "report", Event: map[string]any{"title": "Quarterly Report"}},
+		})
+	}
+	return d
+}
+
+func appJsym() *AppDef {
+	d := &AppDef{
+		Name: "jsym", Source: "PyPI",
+		SizeMB: 83.01, ImportS: 0.56, ExecS: 0.31, E2ES: 1.36,
+		MemoryMB: 90, RepModule: "sympy", RepAttrs: 938,
+	}
+	d.build = func() *appspec.App {
+		sym := makeLib("sympy", nil,
+			[]string{"Symbol", "expand_square", "diff_poly", "solve_linear"},
+			sympyCore, 938, 16, 560, 55, 112, 7.2)
+		handler := `
+import sympy
+
+def handler(event, context):
+    name = event.get("symbol", "x")
+    x = sympy.Symbol(name)
+    expanded = sympy.expand_square(x)
+    deriv = sympy.diff_poly(event.get("coeffs", [1.0, 2.0, 3.0]))
+    root = sympy.solve_linear(2.0, -8.0)
+    compute(290)
+    print("expanded:", expanded)
+    return {"expanded": expanded, "derivative": deriv, "root": root}
+`
+		return assemble(d, handler, []LibSpec{sym}, []appspec.TestCase{
+			{Name: "x", Event: map[string]any{"symbol": "x", "coeffs": []any{1.0, 2.0, 3.0}}},
+			{Name: "y", Event: map[string]any{"symbol": "y", "coeffs": []any{2.0, 0.0, 4.0}}},
+		})
+	}
+	return d
+}
+
+func appPandas() *AppDef {
+	d := &AppDef{
+		Name: "pandas", Source: "PyPI",
+		SizeMB: 114.27, ImportS: 0.67, ExecS: 0.01, E2ES: 1.19,
+		MemoryMB: 115, RepModule: "pandas", RepAttrs: 141,
+	}
+	d.build = func() *appspec.App {
+		numpy := numpyLib(140, 25, 15, 2, 60)
+		pandas := pandasLib(530, 55, 85, 7, 10)
+		handler := `
+import numpy
+import pandas
+
+def handler(event, context):
+    prices = event.get("prices", [10.0, 11.0, 12.0])
+    volumes = event.get("volumes", [100.0, 90.0, 110.0])
+    df = pandas.DataFrame({"price": prices, "volume": volumes})
+    summary = df.describe()
+    arr = numpy.array(prices)
+    print("mean price:", summary["price"])
+    return {"summary": summary, "std": numpy.std(arr)}
+`
+		return assemble(d, handler, []LibSpec{numpy, pandas}, []appspec.TestCase{
+			{Name: "prices", Event: map[string]any{
+				"prices": []any{10.0, 11.0, 12.0}, "volumes": []any{100.0, 90.0, 110.0}}},
+		})
+	}
+	return d
+}
+
+func appQiskitNature() *AppDef {
+	d := &AppDef{
+		Name: "qiskit-nature", Source: "PyPI",
+		SizeMB: 281.15, ImportS: 1.96, ExecS: 0.49, E2ES: 3.05,
+		MemoryMB: 170, RepModule: "qiskit", RepAttrs: 49,
+	}
+	d.build = func() *appspec.App {
+		qk := makeLib("qiskit", nil, []string{"QuantumCircuit", "simulate"},
+			qiskitCore, 49, 12, 1200, 85, 450, 14)
+		qn := makeLib("qiskit_nature", []string{"qiskit"}, []string{"ground_state_energy"},
+			qiskitNatureCore, 55, 8, 760, 50, 138, 6)
+		handler := `
+import qiskit_nature
+
+def handler(event, context):
+    molecule = event.get("molecule", "H2")
+    energy = qiskit_nature.ground_state_energy(molecule)
+    compute(330)
+    print("energy:", energy)
+    return {"molecule": molecule, "energy": energy}
+`
+		return assemble(d, handler, []LibSpec{qk, qn}, []appspec.TestCase{
+			{Name: "h2", Event: map[string]any{"molecule": "H2"}},
+			{Name: "lih", Event: map[string]any{"molecule": "LiH"}},
+		})
+	}
+	return d
+}
+
+func appShapelyNumpy() *AppDef {
+	d := &AppDef{
+		Name: "shapely-numpy", Source: "PyPI",
+		SizeMB: 58.42, ImportS: 0.20, ExecS: 0.01, E2ES: 0.71,
+		MemoryMB: 72, RepModule: "shapely", RepAttrs: 176,
+	}
+	d.build = func() *appspec.App {
+		numpy := numpyLib(90, 17, 12, 2, 30)
+		shp := makeLib("shapely", []string{"numpy"}, []string{"Point", "Polygon"},
+			shapelyCore, 176, 8, 110, 20, 28, 3.8)
+		handler := `
+import numpy
+import shapely
+
+def handler(event, context):
+    coords = event.get("coords", [[0.0, 0.0], [4.0, 0.0], [4.0, 3.0], [0.0, 3.0]])
+    poly = shapely.Polygon(coords)
+    area = poly.area()
+    a = shapely.Point(0.0, 0.0)
+    b = shapely.Point(3.0, 4.0)
+    dist = a.distance(b)
+    arr = numpy.array([area, dist])
+    print("area:", area, "distance:", dist)
+    return {"area": area, "distance": dist, "mean": numpy.mean(arr)}
+`
+		return assemble(d, handler, []LibSpec{numpy, shp}, []appspec.TestCase{
+			{Name: "rect", Event: map[string]any{}},
+		})
+	}
+	return d
+}
+
+func appSpacy() *AppDef {
+	d := &AppDef{
+		Name: "spacy", Source: "PyPI",
+		SizeMB: 202.00, ImportS: 2.06, ExecS: 0.02, E2ES: 2.60,
+		MemoryMB: 210, RepModule: "spacy", RepAttrs: 60,
+	}
+	d.build = func() *appspec.App {
+		sp := makeLib("spacy", nil, []string{"Doc", "Language", "load"},
+			spacyCore, 60, 10, 1250, 90, 850, 45)
+		boto := boto3Lib(210, 25, 77, 7)
+		handler := `
+import boto3
+import spacy
+
+nlp = spacy.load("en_core_web_sm")
+s3 = boto3.client("s3")
+
+def handler(event, context):
+    text = event.get("text", "Apple opened an office in Paris")
+    if event.get("mode", "basic") == "advanced":
+        attr_name = "pad_" + "0000"
+        rare = getattr(spacy, attr_name)
+        compute(10)
+        return {"advanced": rare(text)}
+    doc = nlp(text)
+    ents = doc.ents()
+    s3.put_object("nlp-results", "ents.json", str(ents))
+    print("entities:", ents)
+    return {"entities": ents, "tokens": len(doc.tokens)}
+`
+		return assemble(d, handler, []LibSpec{sp, boto}, []appspec.TestCase{
+			{Name: "apple", Event: map[string]any{"text": "Apple opened an office in Paris"}},
+			{Name: "acme", Event: map[string]any{"text": "Acme hired Bob in Berlin yesterday"}},
+		})
+	}
+	return d
+}
+
+// ---- Shared library builders ------------------------------------------------
+
+func numpyLib(totalMS, totalMB, removableMS, removableMB float64, kept int) LibSpec {
+	return makeLib("numpy", nil,
+		[]string{"ndarray", "array", "zeros", "dot", "mean", "std", "argmax"},
+		numpyCore, 537, kept, totalMS, totalMB, removableMS, removableMB)
+}
+
+func torchLib(totalMS, totalMB, removableMS, removableMB float64, kept int) LibSpec {
+	l := makeLib("torch", nil,
+		[]string{"Tensor", "tensor", "add", "matmul", "relu", "softmax"},
+		torchCore, 1413, kept, totalMS, totalMB, removableMS, removableMB)
+	l.ExtraSubmodules = map[string]string{"nn": torchNNSource}
+	l.ExtraInitLines = []string{"from torch import nn"}
+	return l
+}
+
+func boto3Lib(totalMS, totalMB, removableMS, removableMB float64) LibSpec {
+	return makeLib("boto3", nil, []string{"client", "Client", "Session"},
+		boto3Core, 120, 10, totalMS, totalMB, removableMS, removableMB)
+}
+
+func pandasLib(totalMS, totalMB, removableMS, removableMB float64, kept int) LibSpec {
+	return makeLib("pandas", []string{"numpy"}, []string{"DataFrame", "merge_frames"},
+		pandasCore, 141, kept, totalMS, totalMB, removableMS, removableMB)
+}
+
+func sklearnLib(totalMS, totalMB, removableMS, removableMB float64) LibSpec {
+	return makeLib("sklearn", []string{"joblib"},
+		[]string{"LinearRegression", "scale", "train_test_split"},
+		sklearnCore, 150, 18, totalMS, totalMB, removableMS, removableMB)
+}
+
+func joblibLib(totalMS, totalMB, removableMS, removableMB float64) LibSpec {
+	return makeLib("joblib", nil, []string{"dump", "load_obj", "hash_obj"},
+		joblibCore, 50, 8, totalMS, totalMB, removableMS, removableMB)
+}

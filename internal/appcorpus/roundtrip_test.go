@@ -1,0 +1,70 @@
+package appcorpus
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/pylang"
+	"repro/internal/pyparser"
+)
+
+// TestCorpusPrintParseRoundTrip parses every generated source file in every
+// corpus image, prints it, and re-parses — the exact path the debloater's
+// write-back depends on. The printed form must be a fixed point and
+// execute identically.
+func TestCorpusPrintParseRoundTrip(t *testing.T) {
+	for _, d := range Catalog() {
+		d := d
+		t.Run(d.Name, func(t *testing.T) {
+			app := d.Build()
+			for _, path := range app.Image.List() {
+				if !strings.HasSuffix(path, ".py") {
+					continue
+				}
+				src, err := app.Image.Read(path)
+				if err != nil {
+					t.Fatalf("%s: %v", path, err)
+				}
+				m1, perr := pyparser.Parse(path, src)
+				if perr != nil {
+					t.Fatalf("%s does not parse: %v", path, perr)
+				}
+				p1 := pylang.Print(m1)
+				m2, perr := pyparser.Parse(path, p1)
+				if perr != nil {
+					t.Fatalf("%s: printed form does not re-parse: %v\n%s", path, perr, p1)
+				}
+				p2 := pylang.Print(m2)
+				if p1 != p2 {
+					t.Errorf("%s: print∘parse is not a fixed point", path)
+				}
+				if len(m1.Body) != len(m2.Body) {
+					t.Errorf("%s: statement count changed %d -> %d", path, len(m1.Body), len(m2.Body))
+				}
+			}
+		})
+	}
+}
+
+// TestCorpusExecutesAfterReprint rewrites one app's entire image through
+// the printer and checks behaviour is bit-identical.
+func TestCorpusExecutesAfterReprint(t *testing.T) {
+	app := MustBuild("lightgbm")
+	reprinted := app.Clone()
+	for _, path := range reprinted.Image.List() {
+		if !strings.HasSuffix(path, ".py") {
+			continue
+		}
+		src, _ := reprinted.Image.Read(path)
+		m, perr := pyparser.Parse(path, src)
+		if perr != nil {
+			t.Fatalf("%s: %v", path, perr)
+		}
+		reprinted.Image.Write(path, pylang.Print(m))
+	}
+	_, _, _, out1 := runOnce(t, app, app.Oracle[0])
+	_, _, _, out2 := runOnce(t, reprinted, reprinted.Oracle[0])
+	if out1 != out2 {
+		t.Errorf("reprinted image behaves differently:\n a %q\n b %q", out1, out2)
+	}
+}

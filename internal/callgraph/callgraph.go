@@ -1,0 +1,434 @@
+// Package callgraph builds a static call graph and module-attribute access
+// sets for applications written in the Python subset. It plays the role
+// PyCG plays in the paper (§5.1): its output is the set of module
+// attributes that are *definitely accessed* by the application, which the
+// debloater marks as protected and excludes from Delta Debugging.
+//
+// The analysis is assignment-tracking and scope-aware: module objects and
+// module attributes flowing through local variables, aliases and from-
+// imports are followed; accesses inside functions only count when the
+// function is reachable from the module's top level or the designated
+// handler entry point.
+package callgraph
+
+import (
+	"sort"
+	"strings"
+
+	"repro/internal/pylang"
+)
+
+// Result is the output of the analysis.
+type Result struct {
+	// Imports lists every module name imported by the entry module, in
+	// first-occurrence order (deduplicated).
+	Imports []string
+	// Accessed maps module name -> attribute names definitely accessed.
+	Accessed map[string]map[string]bool
+	// Functions lists the functions defined in the entry module.
+	Functions []string
+	// Calls maps caller -> callee set, both named as "<toplevel>" or the
+	// function name, for functions defined in the entry module.
+	Calls map[string]map[string]bool
+	// Reachable is the set of entry-module functions reachable from the
+	// top level plus the handler.
+	Reachable map[string]bool
+}
+
+// AccessedList returns the accessed attributes of a module, sorted.
+func (r *Result) AccessedList(module string) []string {
+	set := r.Accessed[module]
+	out := make([]string, 0, len(set))
+	for a := range set {
+		out = append(out, a)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// abstract value kinds tracked by the analysis.
+type avKind int
+
+const (
+	avUnknown avKind = iota
+	avModule         // a module object; payload = dotted module name
+	avAttr           // an attribute of a module; payload = module, attr name
+	avFunc           // a function defined in the entry module; payload = name
+)
+
+type abstract struct {
+	kind   avKind
+	module string
+	attr   string
+	fn     string
+}
+
+// Analyze runs the analysis over the entry module's AST. handler names the
+// serverless entry point function ("handler" by convention); an empty
+// handler analyzes only top-level reachability.
+func Analyze(mod *pylang.Module, handler string) *Result {
+	a := &analyzer{
+		res: &Result{
+			Accessed:  make(map[string]map[string]bool),
+			Calls:     map[string]map[string]bool{"<toplevel>": {}},
+			Reachable: make(map[string]bool),
+		},
+		funcs: make(map[string]*pylang.DefStmt),
+	}
+
+	// Pass 1: collect function definitions (top-level only; nested functions
+	// belong to their parent's body and are analyzed with it).
+	for _, s := range mod.Body {
+		if def, ok := s.(*pylang.DefStmt); ok {
+			a.funcs[def.Name] = def
+			a.res.Functions = append(a.res.Functions, def.Name)
+		}
+	}
+
+	// Pass 2: abstract interpretation of the top level.
+	topScope := newScope(nil)
+	a.execBlock(mod.Body, topScope, "<toplevel>", true)
+
+	// Pass 3: reachability from top-level calls plus the handler.
+	work := []string{"<toplevel>"}
+	if handler != "" {
+		if _, ok := a.funcs[handler]; ok {
+			a.res.Reachable[handler] = true
+			work = append(work, handler)
+		}
+	}
+	seen := map[string]bool{"<toplevel>": true}
+	for len(work) > 0 {
+		cur := work[0]
+		work = work[1:]
+		for callee := range a.res.Calls[cur] {
+			if seen[callee] {
+				continue
+			}
+			seen[callee] = true
+			a.res.Reachable[callee] = true
+			work = append(work, callee)
+		}
+	}
+
+	// Pass 4: analyze reachable function bodies. Their local scopes see the
+	// top-level bindings (globals).
+	analyzed := map[string]bool{}
+	for {
+		progress := false
+		for name := range a.res.Reachable {
+			if analyzed[name] {
+				continue
+			}
+			def, ok := a.funcs[name]
+			if !ok {
+				analyzed[name] = true
+				continue
+			}
+			analyzed[name] = true
+			progress = true
+			fnScope := newScope(topScope)
+			for _, p := range def.Params {
+				fnScope.set(p.Name, abstract{kind: avUnknown})
+			}
+			a.execBlock(def.Body, fnScope, name, true)
+			// New edges may make more functions reachable.
+			for callee := range a.res.Calls[name] {
+				if !a.res.Reachable[callee] {
+					if _, isFn := a.funcs[callee]; isFn {
+						a.res.Reachable[callee] = true
+					}
+				}
+			}
+		}
+		if !progress {
+			break
+		}
+	}
+	return a.res
+}
+
+type scope struct {
+	vars   map[string]abstract
+	parent *scope
+}
+
+func newScope(parent *scope) *scope {
+	return &scope{vars: make(map[string]abstract), parent: parent}
+}
+
+func (s *scope) get(name string) abstract {
+	for sc := s; sc != nil; sc = sc.parent {
+		if v, ok := sc.vars[name]; ok {
+			return v
+		}
+	}
+	return abstract{kind: avUnknown}
+}
+
+func (s *scope) set(name string, v abstract) { s.vars[name] = v }
+
+type analyzer struct {
+	res   *Result
+	funcs map[string]*pylang.DefStmt
+}
+
+func (a *analyzer) recordImport(name string) {
+	for _, existing := range a.res.Imports {
+		if existing == name {
+			return
+		}
+	}
+	a.res.Imports = append(a.res.Imports, name)
+}
+
+func (a *analyzer) recordAccess(module, attr string) {
+	set, ok := a.res.Accessed[module]
+	if !ok {
+		set = make(map[string]bool)
+		a.res.Accessed[module] = set
+	}
+	set[attr] = true
+}
+
+func (a *analyzer) recordCall(caller, callee string) {
+	set, ok := a.res.Calls[caller]
+	if !ok {
+		set = make(map[string]bool)
+		a.res.Calls[caller] = set
+	}
+	set[callee] = true
+}
+
+// execBlock abstractly interprets a statement list. collectCalls controls
+// whether call edges are recorded for the current context.
+func (a *analyzer) execBlock(body []pylang.Stmt, sc *scope, ctx string, collectCalls bool) {
+	for _, s := range body {
+		a.execStmt(s, sc, ctx, collectCalls)
+	}
+}
+
+func (a *analyzer) execStmt(s pylang.Stmt, sc *scope, ctx string, collectCalls bool) {
+	switch v := s.(type) {
+	case *pylang.ImportStmt:
+		for _, alias := range v.Names {
+			a.recordImport(alias.Name)
+			if alias.AsName != "" {
+				sc.set(alias.AsName, abstract{kind: avModule, module: alias.Name})
+			} else {
+				root := alias.Name
+				if i := strings.IndexByte(root, '.'); i >= 0 {
+					root = root[:i]
+				}
+				sc.set(root, abstract{kind: avModule, module: root})
+			}
+			// "import a.b" accesses attribute b of a.
+			parts := strings.Split(alias.Name, ".")
+			for i := 1; i < len(parts); i++ {
+				a.recordAccess(strings.Join(parts[:i], "."), parts[i])
+			}
+		}
+	case *pylang.FromImportStmt:
+		if v.Level > 0 {
+			return // relative imports occur in libraries, not app entry files
+		}
+		a.recordImport(v.Module)
+		if v.Star {
+			return // star imports defeat precise tracking; conservatively none
+		}
+		for _, alias := range v.Names {
+			a.recordAccess(v.Module, alias.Name)
+			bound := alias.Name
+			if alias.AsName != "" {
+				bound = alias.AsName
+			}
+			sc.set(bound, abstract{kind: avAttr, module: v.Module, attr: alias.Name})
+		}
+	case *pylang.AssignStmt:
+		val := a.evalExpr(v.Value, sc, ctx, collectCalls)
+		for _, t := range v.Targets {
+			if name, ok := t.(*pylang.NameExpr); ok {
+				sc.set(name.Name, val)
+			} else {
+				a.evalExpr(t, sc, ctx, false)
+			}
+		}
+	case *pylang.AugAssignStmt:
+		a.evalExpr(v.Target, sc, ctx, collectCalls)
+		a.evalExpr(v.Value, sc, ctx, collectCalls)
+	case *pylang.ExprStmt:
+		a.evalExpr(v.Value, sc, ctx, collectCalls)
+	case *pylang.DefStmt:
+		// Record a binding so calls through the name are tracked; top-level
+		// functions were pre-collected, nested ones are analyzed inline
+		// (conservatively, as if they always run).
+		sc.set(v.Name, abstract{kind: avFunc, fn: v.Name})
+		if _, isTop := a.funcs[v.Name]; !isTop {
+			inner := newScope(sc)
+			for _, p := range v.Params {
+				inner.set(p.Name, abstract{kind: avUnknown})
+			}
+			a.execBlock(v.Body, inner, ctx, collectCalls)
+		}
+		for _, d := range v.Decorators {
+			a.evalExpr(d, sc, ctx, collectCalls)
+		}
+		for _, p := range v.Params {
+			if p.Default != nil {
+				a.evalExpr(p.Default, sc, ctx, collectCalls)
+			}
+		}
+	case *pylang.ClassStmt:
+		for _, b := range v.Bases {
+			a.evalExpr(b, sc, ctx, collectCalls)
+		}
+		inner := newScope(sc)
+		a.execBlock(v.Body, inner, ctx, collectCalls)
+		sc.set(v.Name, abstract{kind: avUnknown})
+	case *pylang.ReturnStmt:
+		if v.Value != nil {
+			a.evalExpr(v.Value, sc, ctx, collectCalls)
+		}
+	case *pylang.IfStmt:
+		a.evalExpr(v.Cond, sc, ctx, collectCalls)
+		a.execBlock(v.Body, sc, ctx, collectCalls)
+		a.execBlock(v.Else, sc, ctx, collectCalls)
+	case *pylang.WhileStmt:
+		a.evalExpr(v.Cond, sc, ctx, collectCalls)
+		a.execBlock(v.Body, sc, ctx, collectCalls)
+		a.execBlock(v.Else, sc, ctx, collectCalls)
+	case *pylang.ForStmt:
+		a.evalExpr(v.Iter, sc, ctx, collectCalls)
+		if name, ok := v.Target.(*pylang.NameExpr); ok {
+			sc.set(name.Name, abstract{kind: avUnknown})
+		}
+		a.execBlock(v.Body, sc, ctx, collectCalls)
+		a.execBlock(v.Else, sc, ctx, collectCalls)
+	case *pylang.TryStmt:
+		a.execBlock(v.Body, sc, ctx, collectCalls)
+		for _, ex := range v.Excepts {
+			if ex.Type != nil {
+				a.evalExpr(ex.Type, sc, ctx, collectCalls)
+			}
+			if ex.Name != "" {
+				sc.set(ex.Name, abstract{kind: avUnknown})
+			}
+			a.execBlock(ex.Body, sc, ctx, collectCalls)
+		}
+		a.execBlock(v.Else, sc, ctx, collectCalls)
+		a.execBlock(v.Finally, sc, ctx, collectCalls)
+	case *pylang.RaiseStmt:
+		if v.Value != nil {
+			a.evalExpr(v.Value, sc, ctx, collectCalls)
+		}
+	case *pylang.AssertStmt:
+		a.evalExpr(v.Cond, sc, ctx, collectCalls)
+		if v.Msg != nil {
+			a.evalExpr(v.Msg, sc, ctx, collectCalls)
+		}
+	case *pylang.DelStmt:
+		for _, t := range v.Targets {
+			a.evalExpr(t, sc, ctx, false)
+		}
+	}
+}
+
+// evalExpr abstractly evaluates an expression, recording module-attribute
+// accesses and call edges, and returns the abstract value.
+func (a *analyzer) evalExpr(e pylang.Expr, sc *scope, ctx string, collectCalls bool) abstract {
+	switch v := e.(type) {
+	case *pylang.NameExpr:
+		return sc.get(v.Name)
+	case *pylang.AttrExpr:
+		base := a.evalExpr(v.Value, sc, ctx, collectCalls)
+		switch base.kind {
+		case avModule:
+			a.recordAccess(base.module, v.Attr)
+			// Accessing "torch.nn" may denote the submodule torch.nn;
+			// track it as a module so "torch.nn.Linear" is recorded too.
+			return abstract{kind: avModule, module: base.module + "." + v.Attr}
+		case avAttr:
+			// attribute of an attribute — beyond the tracked depth
+			return abstract{kind: avUnknown}
+		}
+		return abstract{kind: avUnknown}
+	case *pylang.CallExpr:
+		fn := a.evalExpr(v.Func, sc, ctx, collectCalls)
+		if collectCalls && fn.kind == avFunc {
+			a.recordCall(ctx, fn.fn)
+		}
+		// getattr(module, "literal") is a definite access.
+		if name, ok := v.Func.(*pylang.NameExpr); ok && name.Name == "getattr" && len(v.Args) >= 2 {
+			obj := a.evalExpr(v.Args[0], sc, ctx, collectCalls)
+			if lit, ok := v.Args[1].(*pylang.StringLit); ok && obj.kind == avModule {
+				a.recordAccess(obj.module, lit.Value)
+			}
+		}
+		for _, arg := range v.Args {
+			a.evalExpr(arg, sc, ctx, collectCalls)
+		}
+		for _, kw := range v.Keywords {
+			a.evalExpr(kw.Value, sc, ctx, collectCalls)
+		}
+		return abstract{kind: avUnknown}
+	case *pylang.IndexExpr:
+		a.evalExpr(v.Value, sc, ctx, collectCalls)
+		if v.Index != nil {
+			a.evalExpr(v.Index, sc, ctx, collectCalls)
+		}
+		if v.Low != nil {
+			a.evalExpr(v.Low, sc, ctx, collectCalls)
+		}
+		if v.High != nil {
+			a.evalExpr(v.High, sc, ctx, collectCalls)
+		}
+		return abstract{kind: avUnknown}
+	case *pylang.BinOp:
+		a.evalExpr(v.Left, sc, ctx, collectCalls)
+		a.evalExpr(v.Right, sc, ctx, collectCalls)
+		return abstract{kind: avUnknown}
+	case *pylang.BoolOp:
+		for _, operand := range v.Values {
+			a.evalExpr(operand, sc, ctx, collectCalls)
+		}
+		return abstract{kind: avUnknown}
+	case *pylang.UnaryOp:
+		a.evalExpr(v.Operand, sc, ctx, collectCalls)
+		return abstract{kind: avUnknown}
+	case *pylang.Compare:
+		a.evalExpr(v.Left, sc, ctx, collectCalls)
+		for _, c := range v.Comparators {
+			a.evalExpr(c, sc, ctx, collectCalls)
+		}
+		return abstract{kind: avUnknown}
+	case *pylang.ListExpr:
+		for _, el := range v.Elems {
+			a.evalExpr(el, sc, ctx, collectCalls)
+		}
+		return abstract{kind: avUnknown}
+	case *pylang.TupleExpr:
+		for _, el := range v.Elems {
+			a.evalExpr(el, sc, ctx, collectCalls)
+		}
+		return abstract{kind: avUnknown}
+	case *pylang.DictExpr:
+		for _, it := range v.Items {
+			a.evalExpr(it.Key, sc, ctx, collectCalls)
+			a.evalExpr(it.Value, sc, ctx, collectCalls)
+		}
+		return abstract{kind: avUnknown}
+	case *pylang.CondExpr:
+		a.evalExpr(v.Cond, sc, ctx, collectCalls)
+		a.evalExpr(v.Body, sc, ctx, collectCalls)
+		a.evalExpr(v.OrElse, sc, ctx, collectCalls)
+		return abstract{kind: avUnknown}
+	case *pylang.LambdaExpr:
+		inner := newScope(sc)
+		for _, p := range v.Params {
+			inner.set(p.Name, abstract{kind: avUnknown})
+		}
+		a.evalExpr(v.Body, inner, ctx, collectCalls)
+		return abstract{kind: avUnknown}
+	}
+	return abstract{kind: avUnknown}
+}

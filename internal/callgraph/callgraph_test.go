@@ -1,0 +1,320 @@
+package callgraph
+
+import (
+	"testing"
+
+	"repro/internal/pyparser"
+)
+
+func analyze(t *testing.T, src, handler string) *Result {
+	t.Helper()
+	mod, err := pyparser.Parse("app", src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return Analyze(mod, handler)
+}
+
+func TestImportsCollected(t *testing.T) {
+	r := analyze(t, `
+import numpy
+import torch.nn as nn
+from pandas import DataFrame
+`, "")
+	want := []string{"numpy", "torch.nn", "pandas"}
+	if len(r.Imports) != len(want) {
+		t.Fatalf("imports = %v", r.Imports)
+	}
+	for i := range want {
+		if r.Imports[i] != want[i] {
+			t.Fatalf("imports = %v, want %v", r.Imports, want)
+		}
+	}
+}
+
+func TestDirectAttributeAccess(t *testing.T) {
+	r := analyze(t, `
+import numpy
+x = numpy.array([1])
+numpy.mean(x)
+`, "")
+	attrs := r.Accessed["numpy"]
+	if !attrs["array"] || !attrs["mean"] {
+		t.Errorf("numpy accessed = %v", r.AccessedList("numpy"))
+	}
+}
+
+func TestFromImportAccess(t *testing.T) {
+	r := analyze(t, `from torch.nn import Linear, MSELoss as Loss`, "")
+	attrs := r.Accessed["torch.nn"]
+	if !attrs["Linear"] || !attrs["MSELoss"] {
+		t.Errorf("torch.nn accessed = %v", r.AccessedList("torch.nn"))
+	}
+}
+
+func TestDottedImportAccessesSubmoduleChain(t *testing.T) {
+	r := analyze(t, `import a.b.c`, "")
+	if !r.Accessed["a"]["b"] || !r.Accessed["a.b"]["c"] {
+		t.Errorf("accessed = %v", r.Accessed)
+	}
+}
+
+func TestSubmoduleAttributeChain(t *testing.T) {
+	// torch.nn.Linear must record both nn (on torch) and Linear (on
+	// torch.nn) — the case the paper's running example relies on.
+	r := analyze(t, `
+import torch
+model = torch.nn.Linear(2, 1)
+`, "")
+	if !r.Accessed["torch"]["nn"] {
+		t.Error("nn not recorded on torch")
+	}
+	if !r.Accessed["torch.nn"]["Linear"] {
+		t.Error("Linear not recorded on torch.nn")
+	}
+}
+
+func TestAliasTracking(t *testing.T) {
+	r := analyze(t, `
+import numpy as np
+alias = np
+alias.zeros(3)
+`, "")
+	if !r.Accessed["numpy"]["zeros"] {
+		t.Errorf("alias flow lost: %v", r.AccessedList("numpy"))
+	}
+}
+
+func TestGetattrLiteral(t *testing.T) {
+	r := analyze(t, `
+import numpy
+fn = getattr(numpy, "argmax")
+`, "")
+	if !r.Accessed["numpy"]["argmax"] {
+		t.Error("getattr with literal should record access")
+	}
+}
+
+func TestGetattrDynamicNotRecorded(t *testing.T) {
+	r := analyze(t, `
+import numpy
+name = "arg" + "max"
+fn = getattr(numpy, name)
+`, "")
+	if r.Accessed["numpy"]["argmax"] {
+		t.Error("dynamic getattr must not be statically protected")
+	}
+}
+
+func TestReachabilityFromHandler(t *testing.T) {
+	r := analyze(t, `
+import numpy
+
+def used():
+    return numpy.mean(numpy.array([1]))
+
+def unused():
+    return numpy.std(numpy.array([1]))
+
+def handler(event, context):
+    return used()
+`, "handler")
+	if !r.Reachable["handler"] || !r.Reachable["used"] {
+		t.Errorf("reachable = %v", r.Reachable)
+	}
+	attrs := r.Accessed["numpy"]
+	if !attrs["mean"] {
+		t.Error("access in reachable function lost")
+	}
+	// Note: "unused" is never called, but its accesses must not poison
+	// the protected set... unless conservatively included. Our analysis is
+	// reachability-based, so std stays unprotected.
+	if attrs["std"] {
+		t.Error("access in unreachable function should not be recorded")
+	}
+}
+
+func TestTransitiveReachability(t *testing.T) {
+	r := analyze(t, `
+import lib
+
+def a():
+    return b()
+
+def b():
+    return lib.deep()
+
+def handler(event, context):
+    return a()
+`, "handler")
+	if !r.Reachable["b"] {
+		t.Errorf("transitive reachability failed: %v", r.Reachable)
+	}
+	if !r.Accessed["lib"]["deep"] {
+		t.Error("access through call chain lost")
+	}
+}
+
+func TestTopLevelCallsAreReachable(t *testing.T) {
+	r := analyze(t, `
+import lib
+
+def setup():
+    return lib.connect()
+
+conn = setup()
+
+def handler(event, context):
+    return conn
+`, "handler")
+	if !r.Accessed["lib"]["connect"] {
+		t.Error("initialization-time call not analyzed")
+	}
+}
+
+func TestStarImportConservative(t *testing.T) {
+	r := analyze(t, `from lib import *`, "")
+	// Star imports record the import but cannot protect attributes.
+	found := false
+	for _, imp := range r.Imports {
+		if imp == "lib" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("star import module not recorded")
+	}
+	if len(r.Accessed["lib"]) != 0 {
+		t.Errorf("star import should protect nothing, got %v", r.AccessedList("lib"))
+	}
+}
+
+func TestFunctionsListed(t *testing.T) {
+	r := analyze(t, `
+def f():
+    pass
+def g():
+    pass
+`, "")
+	if len(r.Functions) != 2 {
+		t.Errorf("functions = %v", r.Functions)
+	}
+}
+
+func TestAccessedListSorted(t *testing.T) {
+	r := analyze(t, `
+import m
+m.zz()
+m.aa()
+m.mm()
+`, "")
+	list := r.AccessedList("m")
+	if len(list) != 3 || list[0] != "aa" || list[2] != "zz" {
+		t.Errorf("AccessedList = %v", list)
+	}
+}
+
+func TestAccessInsideControlFlow(t *testing.T) {
+	r := analyze(t, `
+import lib
+
+def handler(event, context):
+    if event:
+        lib.when_true()
+    else:
+        lib.when_false()
+    for x in lib.items():
+        lib.each(x)
+    try:
+        lib.risky()
+    except ValueError:
+        lib.recover()
+    return None
+`, "handler")
+	for _, attr := range []string{"when_true", "when_false", "items", "each", "risky", "recover"} {
+		if !r.Accessed["lib"][attr] {
+			t.Errorf("missed access %s", attr)
+		}
+	}
+}
+
+func TestExpressionFormsCovered(t *testing.T) {
+	// Accesses buried in every expression/statement form must be found.
+	r := analyze(t, `
+import lib
+
+x = 0
+while lib.cond(x):
+    x += lib.step()
+
+total = lib.base() + lib.extra() * 2
+flag = not lib.neg()
+choice = lib.yes() if lib.check() else lib.no()
+pairs = {lib.key(): lib.val()}
+items = [lib.item(), (lib.t1(), lib.t2())]
+fn = lambda v: lib.inner(v)
+sliced = lib.data()[1:lib.high()]
+del pairs[lib.k2()]
+assert lib.ok(), lib.msg()
+chain = lib.a() < lib.b() < lib.c()
+`, "")
+	for _, attr := range []string{"cond", "step", "base", "extra", "neg",
+		"yes", "check", "no", "key", "val", "item", "t1", "t2", "inner",
+		"data", "high", "k2", "ok", "msg", "a", "b", "c"} {
+		if !r.Accessed["lib"][attr] {
+			t.Errorf("missed access %q", attr)
+		}
+	}
+}
+
+func TestClassBodiesAnalyzed(t *testing.T) {
+	r := analyze(t, `
+import lib
+
+class Service(lib.BaseService):
+    default = lib.make_default()
+    def run(self):
+        return lib.execute()
+`, "")
+	for _, attr := range []string{"BaseService", "make_default", "execute"} {
+		if !r.Accessed["lib"][attr] {
+			t.Errorf("missed access %q in class body", attr)
+		}
+	}
+}
+
+func TestRaiseAndDecoratorsAnalyzed(t *testing.T) {
+	r := analyze(t, `
+import lib
+
+@lib.register
+def f():
+    raise lib.CustomError("x")
+
+f()
+`, "")
+	if !r.Accessed["lib"]["register"] {
+		t.Error("decorator access missed")
+	}
+	if !r.Accessed["lib"]["CustomError"] {
+		t.Error("raise access missed")
+	}
+}
+
+func TestCallsMapAndFunctions(t *testing.T) {
+	r := analyze(t, `
+def a():
+    return b()
+
+def b():
+    return 1
+
+a()
+`, "")
+	if !r.Calls["<toplevel>"]["a"] {
+		t.Errorf("top-level call edge missing: %v", r.Calls)
+	}
+	if !r.Calls["a"]["b"] {
+		t.Errorf("a->b edge missing: %v", r.Calls)
+	}
+}

@@ -1,0 +1,145 @@
+// Package checkpoint simulates checkpoint/restore (C/R) for serverless
+// functions, standing in for the paper's CRIU prototype (§8.6) and AWS
+// SnapStart cost model (Figures 13 and 14).
+//
+// A checkpoint freezes a function's post-initialization state; a cold start
+// can then restore it instead of re-running Function Initialization. The
+// tradeoffs reproduced here:
+//
+//   - restore pays a fixed process-reconstruction overhead (~0.1 s for CRIU:
+//     forking the process tree and replaying /proc state) plus a
+//     size-proportional page-load term, so C/R loses on small apps and wins
+//     on large ones;
+//   - checkpoints must be stored and restored, which SnapStart bills —
+//     often exceeding the invocation cost itself;
+//   - λ-trim shrinks initialization state, so it shrinks checkpoints (avg
+//     ~11% in Table 3) and compounds with C/R rather than competing.
+package checkpoint
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/appspec"
+	"repro/internal/pyruntime"
+	"repro/internal/simtime"
+)
+
+// CRIU-like restore cost model.
+const (
+	// RestoreBase is the fixed overhead of recreating the process tree and
+	// restoring /proc state (≈0.1 s observed in the paper).
+	RestoreBase = 100 * time.Millisecond
+	// RestoreRateMBps is the page-load throughput from a local checkpoint
+	// image (memory pages load much faster than the interpreter re-executes
+	// imports).
+	RestoreRateMBps = 1200.0
+	// DumpRateMBps is the checkpoint write throughput.
+	DumpRateMBps = 700.0
+	// ProcessBaseMB is the baseline process state (interpreter text/heap)
+	// present in every checkpoint regardless of the app.
+	ProcessBaseMB = 8.0
+)
+
+// SnapStart pricing (AWS publishes per-GB cache-storage and per-GB restore
+// prices; Figure 13/14 use these).
+const (
+	// CacheUSDPerGBSecond is the checkpoint storage price.
+	CacheUSDPerGBSecond = 0.0000015046
+	// RestoreUSDPerGB is the price charged per GB restored on each cold
+	// start.
+	RestoreUSDPerGB = 0.0001397998
+)
+
+// Checkpoint is a frozen post-initialization image of a function.
+type Checkpoint struct {
+	AppName string
+	// SizeMB is the checkpoint image size: process base plus the memory
+	// allocated during Function Initialization.
+	SizeMB float64
+	// InitTime is the Function Initialization time the checkpoint saves.
+	InitTime time.Duration
+	// InitMemMB is the initialization footprint captured.
+	InitMemMB float64
+	// DumpTime is how long taking the checkpoint took (off the critical
+	// path; paid once at deploy).
+	DumpTime time.Duration
+}
+
+// Take initializes the app in a fresh interpreter and checkpoints the
+// resulting state (the paper takes the CRIU dump right after
+// initialization, before the handler).
+func Take(app *appspec.App) (*Checkpoint, error) {
+	in := pyruntime.New(app.Image)
+	t0 := in.Clock.Now()
+	m0 := in.Alloc.Used()
+	if _, perr := in.Import(app.Entry); perr != nil {
+		return nil, fmt.Errorf("checkpoint: init failed for %s: %v", app.Name, perr)
+	}
+	initTime := in.Clock.Now() - t0
+	initMem := simtime.MBf(in.Alloc.Used() - m0)
+	size := ProcessBaseMB + initMem
+	return &Checkpoint{
+		AppName:   app.Name,
+		SizeMB:    size,
+		InitTime:  initTime,
+		InitMemMB: initMem,
+		DumpTime:  time.Duration(size / DumpRateMBps * float64(time.Second)),
+	}, nil
+}
+
+// RestoreTime is the cold-start initialization latency when restoring from
+// the checkpoint instead of re-importing.
+func (c *Checkpoint) RestoreTime() time.Duration {
+	return RestoreBase + time.Duration(c.SizeMB/RestoreRateMBps*float64(time.Second))
+}
+
+// RestoreCostUSD is the SnapStart charge for one restore.
+func (c *Checkpoint) RestoreCostUSD() float64 {
+	return c.SizeMB / 1024.0 * RestoreUSDPerGB
+}
+
+// CacheCostUSD is the SnapStart storage charge for keeping the checkpoint
+// cached for d.
+func (c *Checkpoint) CacheCostUSD(d time.Duration) float64 {
+	return c.SizeMB / 1024.0 * CacheUSDPerGBSecond * d.Seconds()
+}
+
+// InitComparison contrasts the four variants of Figure 12 for one app:
+// original, original+C/R, debloated, debloated+C/R.
+type InitComparison struct {
+	App             string
+	Original        time.Duration // plain re-import
+	OriginalCR      time.Duration // restore from original's checkpoint
+	Debloated       time.Duration // re-import after λ-trim
+	DebloatedCR     time.Duration // restore from debloated checkpoint
+	OriginalCkptMB  float64
+	DebloatedCkptMB float64
+	CkptSizeSavings float64 // fraction
+}
+
+// CompareInit builds the Figure 12 comparison from the original and
+// debloated variants of an app.
+func CompareInit(original, debloated *appspec.App) (*InitComparison, error) {
+	origCkpt, err := Take(original)
+	if err != nil {
+		return nil, err
+	}
+	debCkpt, err := Take(debloated)
+	if err != nil {
+		return nil, err
+	}
+	cmp := &InitComparison{
+		App:             original.Name,
+		Original:        origCkpt.InitTime,
+		OriginalCR:      origCkpt.RestoreTime(),
+		Debloated:       debCkpt.InitTime,
+		DebloatedCR:     debCkpt.RestoreTime(),
+		OriginalCkptMB:  origCkpt.SizeMB,
+		DebloatedCkptMB: debCkpt.SizeMB,
+	}
+	if origCkpt.SizeMB > 0 {
+		cmp.CkptSizeSavings = (origCkpt.SizeMB - debCkpt.SizeMB) / origCkpt.SizeMB
+	}
+	return cmp, nil
+}

@@ -1,0 +1,142 @@
+package checkpoint
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/appspec"
+	"repro/internal/vfs"
+)
+
+// appWithInit builds an app whose initialization costs ms/mb.
+func appWithInit(name string, ms, mb float64) *appspec.App {
+	fs := vfs.New()
+	fs.Write("handler.py", `
+import lib
+
+def handler(event, context):
+    return lib.ready()
+`)
+	fs.Write("site-packages/lib/__init__.py",
+		"load_native("+itoa(int(ms))+", "+itoa(int(mb))+")\n\ndef ready():\n    return True\n")
+	return &appspec.App{Name: name, Image: fs, Entry: "handler", Handler: "handler"}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var digits []byte
+	for n > 0 {
+		digits = append([]byte{byte('0' + n%10)}, digits...)
+		n /= 10
+	}
+	return string(digits)
+}
+
+func TestTakeCapturesInitState(t *testing.T) {
+	ckpt, err := Take(appWithInit("a", 300, 60))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ckpt.InitTime < 300*time.Millisecond {
+		t.Errorf("init time = %v", ckpt.InitTime)
+	}
+	if ckpt.InitMemMB < 59 || ckpt.InitMemMB > 70 {
+		t.Errorf("init mem = %.1f, want ≈60", ckpt.InitMemMB)
+	}
+	if ckpt.SizeMB < ProcessBaseMB+59 {
+		t.Errorf("ckpt size = %.1f", ckpt.SizeMB)
+	}
+	if ckpt.DumpTime <= 0 {
+		t.Error("dump time should be positive")
+	}
+}
+
+func TestTakeFailsOnBrokenApp(t *testing.T) {
+	fs := vfs.New()
+	fs.Write("handler.py", "import missing\n")
+	app := &appspec.App{Name: "b", Image: fs, Entry: "handler", Handler: "handler"}
+	if _, err := Take(app); err == nil {
+		t.Error("expected error")
+	}
+}
+
+func TestRestoreTimeModel(t *testing.T) {
+	small := &Checkpoint{SizeMB: 10}
+	big := &Checkpoint{SizeMB: 1000}
+	if small.RestoreTime() < RestoreBase {
+		t.Error("restore must include the fixed CRIU overhead")
+	}
+	if big.RestoreTime() <= small.RestoreTime() {
+		t.Error("bigger checkpoints must restore slower")
+	}
+	// The size-proportional term: 990MB at 1200MB/s ≈ 825ms difference.
+	diff := big.RestoreTime() - small.RestoreTime()
+	if diff < 700*time.Millisecond || diff > 950*time.Millisecond {
+		t.Errorf("size term = %v, want ≈825ms", diff)
+	}
+}
+
+func TestCrossover(t *testing.T) {
+	// Small app: re-import beats restore (fixed 100ms overhead dominates).
+	smallCkpt, err := Take(appWithInit("small", 20, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if smallCkpt.RestoreTime() <= smallCkpt.InitTime {
+		t.Errorf("small app: restore %v should lose to re-import %v",
+			smallCkpt.RestoreTime(), smallCkpt.InitTime)
+	}
+	// Large app: restore wins.
+	bigCkpt, err := Take(appWithInit("big", 4000, 250))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bigCkpt.RestoreTime() >= bigCkpt.InitTime {
+		t.Errorf("large app: restore %v should beat re-import %v",
+			bigCkpt.RestoreTime(), bigCkpt.InitTime)
+	}
+}
+
+func TestSnapStartCosts(t *testing.T) {
+	ckpt := &Checkpoint{SizeMB: 1024} // 1 GB
+	if got := ckpt.RestoreCostUSD(); !close(got, RestoreUSDPerGB) {
+		t.Errorf("restore cost = %g", got)
+	}
+	day := 24 * time.Hour
+	if got := ckpt.CacheCostUSD(day); !close(got, CacheUSDPerGBSecond*86400) {
+		t.Errorf("cache cost = %g", got)
+	}
+	// Caching dominates restores for typical cold-start counts — the
+	// effect behind Figure 13.
+	if 100*ckpt.RestoreCostUSD() > ckpt.CacheCostUSD(day) {
+		t.Error("cache cost should dominate 100 restores over a day")
+	}
+}
+
+func TestCompareInit(t *testing.T) {
+	orig := appWithInit("x", 1000, 100)
+	trim := appWithInit("x", 400, 40)
+	cmp, err := CompareInit(orig, trim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmp.Debloated >= cmp.Original {
+		t.Error("debloated init should be faster")
+	}
+	if cmp.DebloatedCR >= cmp.OriginalCR {
+		t.Error("debloated checkpoint should restore faster")
+	}
+	if cmp.CkptSizeSavings < 0.3 {
+		t.Errorf("ckpt savings = %.2f, want >0.3 for a 60%% memory cut", cmp.CkptSizeSavings)
+	}
+}
+
+func close(a, b float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d < 1e-12
+}

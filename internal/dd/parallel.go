@@ -1,0 +1,144 @@
+package dd
+
+import "sync"
+
+// MinimizeParallel is Minimize with concurrent oracle evaluation — the
+// intra-module parallelization the paper's §9 proposes as future work
+// ("multiple sets of attributes of the same module in parallel").
+//
+// At each DD round, the candidate partitions (and, if none passes, the
+// complements) are tested concurrently with up to `workers` goroutines.
+// To keep results identical to the sequential algorithm, the round accepts
+// the *lowest-indexed* passing subset, regardless of goroutine completion
+// order; the extra oracle calls for higher-indexed subsets are the price
+// of the speedup (they are counted in Stats.Tests).
+//
+// The oracle must be safe for concurrent invocation.
+func MinimizeParallel[T any](items []T, oracle Oracle[T], workers int) ([]T, Stats) {
+	if workers <= 1 {
+		return Minimize(items, oracle)
+	}
+	var stats Stats
+	var mu sync.Mutex
+	memo := make(map[string]bool)
+
+	// test evaluates one subset, consulting/updating the memo table.
+	test := func(keep []int) bool {
+		key := indexKey(keep)
+		mu.Lock()
+		if v, ok := memo[key]; ok {
+			stats.CacheHits++
+			mu.Unlock()
+			return v
+		}
+		mu.Unlock()
+
+		subset := make([]T, len(keep))
+		for i, idx := range keep {
+			subset[i] = items[idx]
+		}
+		v := oracle(subset)
+
+		mu.Lock()
+		stats.Tests++
+		memo[key] = v
+		mu.Unlock()
+		return v
+	}
+
+	// firstPassing tests candidates concurrently and returns the index of
+	// the lowest-indexed one that passes, or -1.
+	firstPassing := func(candidates [][]int) int {
+		results := make([]bool, len(candidates))
+		sem := make(chan struct{}, workers)
+		var wg sync.WaitGroup
+		for i := range candidates {
+			wg.Add(1)
+			sem <- struct{}{}
+			go func(i int) {
+				defer wg.Done()
+				defer func() { <-sem }()
+				results[i] = test(candidates[i])
+			}(i)
+		}
+		wg.Wait()
+		for i, ok := range results {
+			if ok {
+				return i
+			}
+		}
+		return -1
+	}
+
+	all := make([]int, len(items))
+	for i := range all {
+		all[i] = i
+	}
+	if len(items) == 0 {
+		return nil, stats
+	}
+	if !test(all) {
+		return items, stats
+	}
+	if test(nil) {
+		stats.Reductions++
+		return nil, stats
+	}
+
+	current := all
+	n := 2
+	for {
+		if n > len(current) {
+			n = len(current)
+		}
+		if stats.MaxGranularity < n {
+			stats.MaxGranularity = n
+		}
+		parts := split(current, n)
+
+		reduced := false
+		if idx := firstPassing(parts); idx >= 0 {
+			current = parts[idx]
+			n = 2
+			reduced = true
+			stats.Reductions++
+		}
+		if !reduced && n > 1 {
+			comps := make([][]int, len(parts))
+			for i := range parts {
+				comps[i] = complement(current, parts[i])
+			}
+			if idx := firstPassing(comps); idx >= 0 {
+				current = comps[idx]
+				n = n - 1
+				if n < 2 {
+					n = 2
+				}
+				reduced = true
+				stats.Reductions++
+			}
+		}
+		if !reduced {
+			if n >= len(current) {
+				break
+			}
+			n = 2 * n
+			if n > len(current) {
+				n = len(current)
+			}
+		}
+		if len(current) <= 1 {
+			if len(current) == 1 && test(nil) {
+				current = nil
+				stats.Reductions++
+			}
+			break
+		}
+	}
+
+	out := make([]T, len(current))
+	for i, idx := range current {
+		out[i] = items[idx]
+	}
+	return out, stats
+}

@@ -1,0 +1,113 @@
+package dd
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestParallelMatchesSequential(t *testing.T) {
+	cases := [][]int{
+		{},
+		{0},
+		{9},
+		{3, 4, 5},
+		{0, 5, 9},
+		seq(10),
+		{2, 3, 7, 8},
+	}
+	for _, needed := range cases {
+		items := seq(10)
+		seqMin, _ := Minimize(items, subsetOracle(needed))
+		parMin, _ := MinimizeParallel(items, subsetOracle(needed), 4)
+		if len(seqMin) != len(parMin) {
+			t.Errorf("needed %v: sequential %v vs parallel %v", needed, seqMin, parMin)
+			continue
+		}
+		for i := range seqMin {
+			if seqMin[i] != parMin[i] {
+				t.Errorf("needed %v: sequential %v vs parallel %v", needed, seqMin, parMin)
+				break
+			}
+		}
+	}
+}
+
+func TestParallelLargerSet(t *testing.T) {
+	items := seq(120)
+	needed := []int{7, 33, 34, 35, 90}
+	seqMin, _ := Minimize(items, subsetOracle(needed))
+	parMin, parStats := MinimizeParallel(items, subsetOracle(needed), 8)
+	if len(parMin) != len(needed) || len(seqMin) != len(needed) {
+		t.Fatalf("seq=%v par=%v", seqMin, parMin)
+	}
+	for i := range seqMin {
+		if seqMin[i] != parMin[i] {
+			t.Fatalf("results differ: seq=%v par=%v", seqMin, parMin)
+		}
+	}
+	if parStats.Tests == 0 || parStats.Reductions == 0 {
+		t.Errorf("stats = %+v", parStats)
+	}
+}
+
+func TestParallelWorkerCap(t *testing.T) {
+	var inFlight, maxInFlight int64
+	oracle := func(keep []int) bool {
+		cur := atomic.AddInt64(&inFlight, 1)
+		for {
+			prev := atomic.LoadInt64(&maxInFlight)
+			if cur <= prev || atomic.CompareAndSwapInt64(&maxInFlight, prev, cur) {
+				break
+			}
+		}
+		defer atomic.AddInt64(&inFlight, -1)
+		return subsetOracle([]int{1, 14})(keep)
+	}
+	MinimizeParallel(seq(30), oracle, 3)
+	if atomic.LoadInt64(&maxInFlight) > 3 {
+		t.Errorf("concurrency %d exceeded worker cap 3", maxInFlight)
+	}
+}
+
+func TestParallelSingleWorkerFallsBack(t *testing.T) {
+	calls := 0
+	oracle := func(keep []int) bool {
+		calls++ // safe: workers<=1 must be fully sequential
+		return subsetOracle([]int{2})(keep)
+	}
+	min, stats := MinimizeParallel(seq(8), oracle, 1)
+	if len(min) != 1 || min[0] != 2 {
+		t.Errorf("min = %v", min)
+	}
+	if stats.Tests != calls {
+		t.Errorf("tests=%d calls=%d", stats.Tests, calls)
+	}
+}
+
+func TestParallelEmptyAndBroken(t *testing.T) {
+	min, _ := MinimizeParallel(nil, func(keep []string) bool { return true }, 4)
+	if len(min) != 0 {
+		t.Error("empty input should minimize to nothing")
+	}
+	items := seq(5)
+	min2, _ := MinimizeParallel(items, func(keep []int) bool { return false }, 4)
+	if len(min2) != 5 {
+		t.Error("broken baseline should return the full set")
+	}
+}
+
+func BenchmarkMinimizeSequential(b *testing.B) {
+	items := seq(150)
+	needed := []int{10, 70, 71, 140}
+	for i := 0; i < b.N; i++ {
+		Minimize(items, subsetOracle(needed))
+	}
+}
+
+func BenchmarkMinimizeParallel4(b *testing.B) {
+	items := seq(150)
+	needed := []int{10, 70, 71, 140}
+	for i := 0; i < b.N; i++ {
+		MinimizeParallel(items, subsetOracle(needed), 4)
+	}
+}

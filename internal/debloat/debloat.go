@@ -1,0 +1,327 @@
+package debloat
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/analyzer"
+	"repro/internal/appspec"
+	"repro/internal/dd"
+	"repro/internal/profiler"
+	"repro/internal/pylang"
+	"repro/internal/pyparser"
+	"repro/internal/pyruntime"
+)
+
+// Config parameterizes a debloating run. The zero value is not useful; use
+// DefaultConfig.
+type Config struct {
+	// K is the number of top-ranked modules to debloat (paper default 20).
+	K int
+	// Scoring is the profiler ranking method (paper default Combined).
+	Scoring profiler.Scoring
+	// Seed drives the Random scoring ablation.
+	Seed int64
+	// Granularity selects attribute (default) or statement DD.
+	Granularity Granularity
+	// DisableCallGraph skips PyCG protection (ablation): every non-magic
+	// attribute becomes a DD candidate.
+	DisableCallGraph bool
+	// Workers enables intra-module parallel DD (the paper's §9 future
+	// work): each DD round evaluates its candidate subsets with up to
+	// Workers concurrent oracle runs. 0 or 1 is sequential. Results are
+	// identical to sequential DD (the round accepts the lowest-indexed
+	// passing subset).
+	Workers int
+}
+
+// DefaultConfig mirrors the paper's evaluation settings (§8: "we use K = 20
+// and rank modules using their approximate marginal monetary cost").
+func DefaultConfig() Config {
+	return Config{K: 20, Scoring: profiler.Combined}
+}
+
+// ModuleResult reports the outcome of debloating one module.
+type ModuleResult struct {
+	Module      string
+	File        string
+	AttrsBefore int // namespace size before debloating
+	AttrsAfter  int // namespace size after debloating
+	Removed     []string
+	DD          dd.Stats
+	Skipped     string // non-empty reason when the module was not debloated
+}
+
+// Result is the outcome of a full debloating run.
+type Result struct {
+	// App is the optimized application (fresh image with rewritten
+	// site-packages), deployable as-is.
+	App *appspec.App
+	// Original points back to the input application.
+	Original *appspec.App
+	// Modules holds per-module outcomes in debloating order.
+	Modules []ModuleResult
+	// DebloatTime is the simulated wall time of the debloating process
+	// itself (dominated by repeated oracle executions, as in Table 3).
+	DebloatTime time.Duration
+	// OracleRuns counts isolated oracle executions.
+	OracleRuns int
+	// Report and Profile expose the upstream pipeline outputs.
+	Report  *analyzer.Report
+	Profile *profiler.Profile
+}
+
+// TotalRemoved sums removed attributes across modules.
+func (r *Result) TotalRemoved() int {
+	n := 0
+	for _, m := range r.Modules {
+		n += len(m.Removed)
+	}
+	return n
+}
+
+// VerifyApp checks that an app passes its own oracle set (every test case
+// runs without raising). Used as a behaviour check for optimized images.
+func VerifyApp(app *appspec.App) error {
+	_, err := newRunner(app)
+	return err
+}
+
+// Run executes the full λ-trim pipeline on app: static analysis, cost
+// profiling, and per-module Delta Debugging, returning the optimized app.
+func Run(app *appspec.App, cfg Config) (*Result, error) {
+	if cfg.K <= 0 {
+		cfg.K = 20
+	}
+
+	report, err := analyzer.Analyze(app.Image, app.Entry, app.Handler)
+	if err != nil {
+		return nil, err
+	}
+	prof, err := profiler.Run(app.Image, app.Entry, profiler.Options{
+		Scoring: cfg.Scoring, Seed: cfg.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	run, err := newRunner(app)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Result{
+		App:      nil,
+		Original: app,
+		Report:   report,
+		Profile:  prof,
+	}
+
+	for _, mp := range prof.TopK(cfg.K) {
+		mr := debloatModule(run, report, mp.Name, cfg)
+		res.Modules = append(res.Modules, mr)
+	}
+
+	// Materialize the optimized image: print each accepted reduction back
+	// to its file (the paper copies the rewritten __init__.py back into
+	// site-packages before building the deployment container).
+	optimized := app.Clone()
+	for name, ast := range run.overrides {
+		path, ok := moduleFile(app, name)
+		if !ok {
+			continue
+		}
+		optimized.Image.Write(path, pylang.Print(ast))
+	}
+	optimized.Name = app.Name
+	res.App = optimized
+	res.DebloatTime = run.virtual
+	res.OracleRuns = run.runs
+
+	// Final safety check: the optimized image (parsed from the printed
+	// source, not the in-memory ASTs) must still pass the oracle.
+	final, err := newRunner(optimized)
+	if err != nil {
+		return nil, fmt.Errorf("debloat: optimized app fails verification: %w", err)
+	}
+	for i := range final.golden {
+		if final.golden[i].stdout != run.golden[i].stdout ||
+			final.golden[i].result != run.golden[i].result {
+			return nil, fmt.Errorf("debloat: optimized app diverges on oracle case %d", i)
+		}
+	}
+	return res, nil
+}
+
+// debloatModule runs attribute-granularity DD over one module.
+func debloatModule(run *runner, report *analyzer.Report, name string, cfg Config) ModuleResult {
+	mr := ModuleResult{Module: name}
+
+	path, ok := moduleFile(run.app, name)
+	if !ok {
+		mr.Skipped = "not a site-packages module"
+		return mr
+	}
+	mr.File = path
+
+	src, err := run.app.Image.Read(path)
+	if err != nil {
+		mr.Skipped = "source unavailable"
+		return mr
+	}
+	ast, perr := pyparser.Parse(name, src)
+	if perr != nil {
+		mr.Skipped = "unparseable: " + perr.Error()
+		return mr
+	}
+	// If a previous module's debloating already rewrote this module (it
+	// can appear once per granularity arm), start from that.
+	if prior, ok := run.overrides[name]; ok {
+		ast = prior
+	}
+
+	// Step 1 (paper §6.3): load the module to access its attributes.
+	attrs, ok := loadAttrs(run, name)
+	if !ok {
+		mr.Skipped = "module does not import standalone"
+		return mr
+	}
+	mr.AttrsBefore = len(attrs)
+
+	// Step 3: candidate set = attributes minus PyCG-protected minus magic,
+	// and only those actually bound by a top-level statement (others are
+	// not expressible as source removals).
+	protected := report.Protected[name]
+	if cfg.DisableCallGraph {
+		protected = nil
+	}
+	prov := providers(ast.Body)
+	var candidates []string
+	for _, a := range attrs {
+		if pyruntime.MagicAttrs[a] || protected[a] {
+			continue
+		}
+		if _, bound := prov[a]; !bound {
+			continue
+		}
+		candidates = append(candidates, a)
+	}
+	if len(candidates) == 0 {
+		mr.Skipped = "no removable candidates"
+		mr.AttrsAfter = mr.AttrsBefore
+		return mr
+	}
+
+	if cfg.Granularity == StmtGranularity {
+		return debloatModuleStmts(run, name, ast, candidates, mr, cfg)
+	}
+
+	// Step 4: DD over the candidate attributes.
+	oracle := func(keepAttrs []string) bool {
+		removed := make(map[string]bool, len(candidates))
+		for _, c := range candidates {
+			removed[c] = true
+		}
+		for _, k := range keepAttrs {
+			delete(removed, k)
+		}
+		candidate := &pylang.Module{Name: name, Body: rewriteWithoutAttrs(ast.Body, removed)}
+		return run.test(name, candidate)
+	}
+	keep, stats := minimize(candidates, oracle, cfg)
+	mr.DD = stats
+
+	removed := make(map[string]bool, len(candidates))
+	for _, c := range candidates {
+		removed[c] = true
+	}
+	for _, k := range keep {
+		delete(removed, k)
+	}
+	mr.Removed = sortedNames(removed)
+	mr.AttrsAfter = mr.AttrsBefore - len(mr.Removed)
+	if len(mr.Removed) > 0 {
+		run.overrides[name] = &pylang.Module{Name: name, Body: rewriteWithoutAttrs(ast.Body, removed)}
+	}
+	return mr
+}
+
+// minimize dispatches to sequential or parallel DD per the configuration.
+func minimize[T any](items []T, oracle dd.Oracle[T], cfg Config) ([]T, dd.Stats) {
+	if cfg.Workers > 1 {
+		return dd.MinimizeParallel(items, oracle, cfg.Workers)
+	}
+	return dd.Minimize(items, oracle)
+}
+
+// debloatModuleStmts is the statement-granularity ablation arm.
+func debloatModuleStmts(run *runner, name string, ast *pylang.Module, candidates []string, mr ModuleResult, cfg Config) ModuleResult {
+	// Components are the indices of binding, non-magic statements.
+	var idxs []int
+	for i, s := range ast.Body {
+		if stmtIsCandidate(s) {
+			idxs = append(idxs, i)
+		}
+	}
+	keep, stats := minimize(idxs, func(keepIdxs []int) bool {
+		keepSet := make(map[int]bool, len(keepIdxs))
+		for _, i := range keepIdxs {
+			keepSet[i] = true
+		}
+		candidate := &pylang.Module{Name: name, Body: rewriteKeepStmts(ast.Body, keepSet)}
+		return run.test(name, candidate)
+	}, cfg)
+	mr.DD = stats
+
+	keepSet := make(map[int]bool, len(keep))
+	for _, i := range keep {
+		keepSet[i] = true
+	}
+	removedAttrs := make(map[string]bool)
+	for _, i := range idxs {
+		if !keepSet[i] {
+			for _, n := range boundNames(ast.Body[i]) {
+				removedAttrs[n] = true
+			}
+		}
+	}
+	mr.Removed = sortedNames(removedAttrs)
+	mr.AttrsAfter = mr.AttrsBefore - len(mr.Removed)
+	if len(mr.Removed) > 0 {
+		run.overrides[name] = &pylang.Module{Name: name, Body: rewriteKeepStmts(ast.Body, keepSet)}
+	}
+	return mr
+}
+
+// loadAttrs imports the module in an isolated interpreter (with accepted
+// overrides applied) and returns its namespace attribute names.
+func loadAttrs(run *runner, name string) ([]string, bool) {
+	in := pyruntime.New(run.app.Image)
+	in.SetASTCache(run.astCache)
+	for n, ast := range run.overrides {
+		in.SetOverride(n, ast)
+	}
+	mod, perr := in.Import(name)
+	run.account(in.Clock.Now())
+	if perr != nil {
+		return nil, false
+	}
+	return mod.Dict.Names(), true
+}
+
+// moduleFile resolves a module name to its site-packages path inside the
+// app image. Only library code is debloated; application code and modules
+// without source are skipped.
+func moduleFile(app *appspec.App, name string) (string, bool) {
+	rel := strings.ReplaceAll(name, ".", "/")
+	for _, candidate := range []string{
+		pyruntime.SitePackages + rel + ".py",
+		pyruntime.SitePackages + rel + "/__init__.py",
+	} {
+		if app.Image.Exists(candidate) {
+			return candidate, true
+		}
+	}
+	return "", false
+}

@@ -1,0 +1,365 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/checkpoint"
+	"repro/internal/debloat"
+	"repro/internal/faas"
+	"repro/internal/profiler"
+	"repro/internal/stats"
+)
+
+// ---------------------------------------------------------------------------
+// Table 2 — comparison with FaaSLight and Vulture (reported numbers)
+// ---------------------------------------------------------------------------
+
+// reportedBaseline holds the numbers Table 2 transcribes from the
+// FaaSLight paper and the Vulture measurements (improvement percentages;
+// negative means reduction).
+type reportedBaseline struct {
+	MemFaaSLight, ImportFaaSLight, ImportVulture, E2EFaaSLight float64
+}
+
+// reportedTable2 is indexed by FaaSLight app name.
+var reportedTable2 = map[string]reportedBaseline{
+	"huggingface":  {-16.06, -21.07, -2.30, -17.69},
+	"image-resize": {-3.23, -7.77, -1.02, -11.10},
+	"lightgbm":     {-6.92, -20.73, -1.03, -18.66},
+	"lxml":         {-3.23, -10.84, -1.54, -6.63},
+	"scikit":       {-1.41, -13.53, -3.02, -12.83},
+	"skimage":      {-42.98, -69.27, -2.24, -42.05},
+	"tensorflow":   {-3.17, -13.36, -1.40, -11.77},
+	"wine":         {-6.09, -17.94, 0.22, -14.72},
+}
+
+// Table2Row compares λ-trim's measured improvements with the baselines'
+// reported ones for one FaaSLight application.
+type Table2Row struct {
+	App string
+	// Measured by this reproduction (percent change; negative = better).
+	MemTrim, ImportTrim, E2ETrim float64
+	// Reported by the respective papers.
+	MemFaaSLight, ImportFaaSLight, ImportVulture, E2EFaaSLight float64
+}
+
+// Table2Result aggregates the comparison.
+type Table2Result struct {
+	Rows []Table2Row
+}
+
+// Table2 computes λ-trim's improvements on the 8 FaaSLight apps and places
+// them next to the reported baseline numbers (the paper likewise compares
+// against reported values — "we were unable to run the original tools").
+func (s *Suite) Table2() (*Table2Result, error) {
+	out := &Table2Result{}
+	for _, name := range []string{"huggingface", "image-resize", "lightgbm", "lxml",
+		"scikit", "skimage", "tensorflow", "wine"} {
+		res, err := s.Debloat(name)
+		if err != nil {
+			return nil, err
+		}
+		orig, err := faas.MeasureColdStart(res.Original, s.Platform)
+		if err != nil {
+			return nil, err
+		}
+		trim, err := faas.MeasureColdStart(res.App, s.Platform)
+		if err != nil {
+			return nil, err
+		}
+		rep := reportedTable2[name]
+		out.Rows = append(out.Rows, Table2Row{
+			App:             name,
+			MemTrim:         -100 * stats.Improvement(orig.PeakMB, trim.PeakMB),
+			ImportTrim:      -100 * stats.Improvement(orig.Init.Seconds(), trim.Init.Seconds()),
+			E2ETrim:         -100 * stats.Improvement(orig.E2E.Seconds(), trim.E2E.Seconds()),
+			MemFaaSLight:    rep.MemFaaSLight,
+			ImportFaaSLight: rep.ImportFaaSLight,
+			ImportVulture:   rep.ImportVulture,
+			E2EFaaSLight:    rep.E2EFaaSLight,
+		})
+	}
+	return out, nil
+}
+
+// Render prints the comparison.
+func (t *Table2Result) Render() string {
+	var b strings.Builder
+	b.WriteString("Table 2 — λ-trim (measured) vs FaaSLight & Vulture (reported)\n")
+	fmt.Fprintf(&b, "%-14s %22s %32s %20s\n", "", "Memory", "Import Time", "E2E Latency")
+	fmt.Fprintf(&b, "%-14s %10s %11s %10s %10s %10s %10s %9s\n",
+		"Application", "FaaSLight", "λ-trim", "FaaSLight", "λ-trim", "Vulture", "FaaSLight", "λ-trim")
+	for _, r := range t.Rows {
+		fmt.Fprintf(&b, "%-14s %9.2f%% %10.2f%% %9.2f%% %9.2f%% %9.2f%% %9.2f%% %8.2f%%\n",
+			r.App, r.MemFaaSLight, r.MemTrim, r.ImportFaaSLight, r.ImportTrim,
+			r.ImportVulture, r.E2EFaaSLight, r.E2ETrim)
+	}
+	return b.String()
+}
+
+// ---------------------------------------------------------------------------
+// Figure 9 — profiler scoring-method ablation
+// ---------------------------------------------------------------------------
+
+// Figure9Apps are the representative applications the paper ablates.
+var Figure9Apps = []string{"dna-visualization", "lightgbm", "spacy"}
+
+// Figure9Cell is one (app, scoring method) outcome.
+type Figure9Cell struct {
+	App     string
+	Scoring profiler.Scoring
+	// Improvements as fractions (positive = better).
+	Cost, Memory, E2E float64
+}
+
+// Figure9Result holds all cells.
+type Figure9Result struct {
+	Cells []Figure9Cell
+}
+
+// Figure9 runs λ-trim under each scoring method with a reduced K (the
+// ablation's point is ranking quality: with small K, ranking decides what
+// gets debloated at all). The random arm is averaged over several seeds,
+// matching the paper's repeated-trial boxplots.
+func (s *Suite) Figure9() (*Figure9Result, error) {
+	const ablationK = 3
+	randomSeeds := []int64{3, 11, 29, 47, 71}
+	out := &Figure9Result{}
+	for _, name := range Figure9Apps {
+		orig, err := faas.MeasureColdStart(s.App(name), s.Platform)
+		if err != nil {
+			return nil, err
+		}
+		measure := func(sc profiler.Scoring, seed int64) (Figure9Cell, error) {
+			cfg := debloat.DefaultConfig()
+			cfg.K = ablationK
+			cfg.Scoring = sc
+			cfg.Seed = seed
+			res, err := s.DebloatWith(name, cfg)
+			if err != nil {
+				return Figure9Cell{}, fmt.Errorf("figure9 %s %s: %w", name, sc, err)
+			}
+			trim, err := faas.MeasureColdStart(res.App, s.Platform)
+			if err != nil {
+				return Figure9Cell{}, err
+			}
+			return Figure9Cell{
+				App:     name,
+				Scoring: sc,
+				Cost:    stats.Improvement(orig.CostUSD, trim.CostUSD),
+				Memory:  stats.Improvement(orig.PeakMB, trim.PeakMB),
+				E2E:     stats.Improvement(orig.E2E.Seconds(), trim.E2E.Seconds()),
+			}, nil
+		}
+		for _, sc := range []profiler.Scoring{profiler.TimeOnly, profiler.MemoryOnly, profiler.Combined} {
+			cell, err := measure(sc, 0)
+			if err != nil {
+				return nil, err
+			}
+			out.Cells = append(out.Cells, cell)
+		}
+		avg := Figure9Cell{App: name, Scoring: profiler.Random}
+		for _, seed := range randomSeeds {
+			cell, err := measure(profiler.Random, seed)
+			if err != nil {
+				return nil, err
+			}
+			avg.Cost += cell.Cost / float64(len(randomSeeds))
+			avg.Memory += cell.Memory / float64(len(randomSeeds))
+			avg.E2E += cell.E2E / float64(len(randomSeeds))
+		}
+		out.Cells = append(out.Cells, avg)
+	}
+	return out, nil
+}
+
+// CombinedWins reports whether the combined scoring method matches or beats
+// every other method on cost for each app (the paper's conclusion).
+func (f *Figure9Result) CombinedWins() bool {
+	best := map[string]float64{}
+	combined := map[string]float64{}
+	for _, c := range f.Cells {
+		if c.Cost > best[c.App] {
+			best[c.App] = c.Cost
+		}
+		if c.Scoring == profiler.Combined {
+			combined[c.App] = c.Cost
+		}
+	}
+	for app, b := range best {
+		if combined[app] < b-1e-9 {
+			return false
+		}
+	}
+	return true
+}
+
+// Render prints the ablation grid.
+func (f *Figure9Result) Render() string {
+	var b strings.Builder
+	b.WriteString("Figure 9 — scoring-method ablation (improvement over original)\n")
+	fmt.Fprintf(&b, "%-18s %-10s %8s %8s %8s\n", "Application", "Scoring", "Cost", "Memory", "E2E")
+	for _, c := range f.Cells {
+		fmt.Fprintf(&b, "%-18s %-10s %7.1f%% %7.1f%% %7.1f%%\n",
+			c.App, c.Scoring, 100*c.Cost, 100*c.Memory, 100*c.E2E)
+	}
+	return b.String()
+}
+
+// ---------------------------------------------------------------------------
+// Table 3 — debloating time and efficacy
+// ---------------------------------------------------------------------------
+
+// Table3Row is one app's debloating outcome.
+type Table3Row struct {
+	App         string
+	DebloatTime time.Duration // simulated
+	OracleRuns  int
+	RepModule   string
+	AttrsPre    int
+	AttrsPost   int
+	CkptPreMB   float64
+	CkptPostMB  float64
+}
+
+// Table3Result aggregates the rows.
+type Table3Result struct {
+	Rows []Table3Row
+	// AvgCkptSaving is the mean checkpoint-size reduction (paper: ~11%).
+	AvgCkptSaving float64
+}
+
+// Table3 reproduces the debloating-time/efficacy table including the C/R
+// checkpoint-size columns.
+func (s *Suite) Table3() (*Table3Result, error) {
+	out := &Table3Result{}
+	var savings []float64
+	for _, name := range AllNames() {
+		res, err := s.Debloat(name)
+		if err != nil {
+			return nil, err
+		}
+		rep := res.Original.Tags["rep_module"]
+		row := Table3Row{
+			App: name, DebloatTime: res.DebloatTime, OracleRuns: res.OracleRuns,
+			RepModule: rep,
+		}
+		for _, m := range res.Modules {
+			if m.Module == rep {
+				row.AttrsPre = m.AttrsBefore
+				row.AttrsPost = m.AttrsAfter
+				break
+			}
+		}
+		cmp, err := checkpoint.CompareInit(res.Original, res.App)
+		if err != nil {
+			return nil, err
+		}
+		row.CkptPreMB = cmp.OriginalCkptMB
+		row.CkptPostMB = cmp.DebloatedCkptMB
+		savings = append(savings, cmp.CkptSizeSavings)
+		out.Rows = append(out.Rows, row)
+	}
+	out.AvgCkptSaving = stats.Mean(savings)
+	return out, nil
+}
+
+// Render prints the table.
+func (t *Table3Result) Render() string {
+	var b strings.Builder
+	b.WriteString("Table 3 — debloating time (simulated), attribute efficacy, checkpoint size\n")
+	fmt.Fprintf(&b, "%-18s %12s %8s %-14s %13s %15s\n",
+		"Application", "Debloat(s)", "Oracle", "Module", "Attrs(post/pre)", "Ckpt MB(post/pre)")
+	for _, r := range t.Rows {
+		fmt.Fprintf(&b, "%-18s %12.0f %8d %-14s %6d/%-6d %8.0f/%-6.0f\n",
+			r.App, r.DebloatTime.Seconds(), r.OracleRuns, r.RepModule,
+			r.AttrsPost, r.AttrsPre, r.CkptPostMB, r.CkptPreMB)
+	}
+	fmt.Fprintf(&b, "average checkpoint-size reduction: %.1f%% (paper: ~11%%)\n", 100*t.AvgCkptSaving)
+	return b.String()
+}
+
+// ---------------------------------------------------------------------------
+// Figure 10 — varying K
+// ---------------------------------------------------------------------------
+
+// Figure10Ks is the sweep of the paper's Figure 10.
+var Figure10Ks = []int{1, 5, 10, 15, 20, 30, 40, 50}
+
+// Figure10Cell is one (app, K) outcome.
+type Figure10Cell struct {
+	App               string
+	K                 int
+	Cost, Memory, E2E float64 // improvement fractions
+}
+
+// Figure10Result holds the sweep.
+type Figure10Result struct {
+	Cells []Figure10Cell
+}
+
+// Figure10 sweeps the number of modules to debloat for the three
+// representative apps.
+func (s *Suite) Figure10() (*Figure10Result, error) {
+	out := &Figure10Result{}
+	for _, name := range Figure9Apps {
+		orig, err := faas.MeasureColdStart(s.App(name), s.Platform)
+		if err != nil {
+			return nil, err
+		}
+		for _, k := range Figure10Ks {
+			cfg := debloat.DefaultConfig()
+			cfg.K = k
+			res, err := s.DebloatWith(name, cfg)
+			if err != nil {
+				return nil, fmt.Errorf("figure10 %s k=%d: %w", name, k, err)
+			}
+			trim, err := faas.MeasureColdStart(res.App, s.Platform)
+			if err != nil {
+				return nil, err
+			}
+			out.Cells = append(out.Cells, Figure10Cell{
+				App: name, K: k,
+				Cost:   stats.Improvement(orig.CostUSD, trim.CostUSD),
+				Memory: stats.Improvement(orig.PeakMB, trim.PeakMB),
+				E2E:    stats.Improvement(orig.E2E.Seconds(), trim.E2E.Seconds()),
+			})
+		}
+	}
+	return out, nil
+}
+
+// PlateausAt20 reports whether improvements at K=20 are within eps of the
+// best seen at any K (the paper observes a plateau from K=20 onward).
+func (f *Figure10Result) PlateausAt20(eps float64) bool {
+	bestCost := map[string]float64{}
+	at20 := map[string]float64{}
+	for _, c := range f.Cells {
+		if c.Cost > bestCost[c.App] {
+			bestCost[c.App] = c.Cost
+		}
+		if c.K == 20 {
+			at20[c.App] = c.Cost
+		}
+	}
+	for app, best := range bestCost {
+		if at20[app] < best-eps {
+			return false
+		}
+	}
+	return true
+}
+
+// Render prints the sweep.
+func (f *Figure10Result) Render() string {
+	var b strings.Builder
+	b.WriteString("Figure 10 — varying K (number of modules to debloat)\n")
+	fmt.Fprintf(&b, "%-18s %4s %8s %8s %8s\n", "Application", "K", "Cost", "Memory", "E2E")
+	for _, c := range f.Cells {
+		fmt.Fprintf(&b, "%-18s %4d %7.1f%% %7.1f%% %7.1f%%\n",
+			c.App, c.K, 100*c.Cost, 100*c.Memory, 100*c.E2E)
+	}
+	return b.String()
+}

@@ -1,0 +1,135 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/faas"
+)
+
+// Table4Apps are the paper's representative apps for the fallback study:
+// small, medium and two large ones.
+var Table4Apps = []string{"dna-visualization", "lightgbm", "spacy", "huggingface"}
+
+// advancedEvent triggers the rarely-used code path that accesses a
+// debloated attribute dynamically (getattr with a computed name), which
+// λ-trim cannot protect statically — exactly the case the fallback wrapper
+// exists for.
+var advancedEvent = map[string]any{"mode": "advanced"}
+
+// Table4Row is one app's E2E latency matrix (seconds).
+type Table4Row struct {
+	App string
+
+	// Baselines without errors.
+	OrigCold, OrigWarm float64
+	TrimCold, TrimWarm float64
+
+	// Fallback-triggered latencies: primary state x fallback state.
+	ColdPrimaryWarmFallback float64
+	ColdPrimaryColdFallback float64
+	WarmPrimaryWarmFallback float64
+	WarmPrimaryColdFallback float64
+
+	// FallbackTriggered confirms the AttributeError path actually fired.
+	FallbackTriggered bool
+}
+
+// Table4Result aggregates the rows.
+type Table4Result struct {
+	Rows []Table4Row
+}
+
+// Table4 measures fallback overheads in every warm/cold combination.
+func (s *Suite) Table4() (*Table4Result, error) {
+	out := &Table4Result{}
+	for _, name := range Table4Apps {
+		res, err := s.Debloat(name)
+		if err != nil {
+			return nil, err
+		}
+		normalEvent := res.Original.Oracle[0].Event
+
+		orig := res.Original
+		trim := res.App
+
+		origCold, err := faas.MeasureColdStart(orig, s.Platform)
+		if err != nil {
+			return nil, err
+		}
+		origWarm, err := faas.MeasureWarmStart(orig, s.Platform)
+		if err != nil {
+			return nil, err
+		}
+		trimCold, err := faas.MeasureColdStart(trim, s.Platform)
+		if err != nil {
+			return nil, err
+		}
+		trimWarm, err := faas.MeasureWarmStart(trim, s.Platform)
+		if err != nil {
+			return nil, err
+		}
+
+		row := Table4Row{
+			App:      name,
+			OrigCold: origCold.E2E.Seconds(), OrigWarm: origWarm.E2E.Seconds(),
+			TrimCold: trimCold.E2E.Seconds(), TrimWarm: trimWarm.E2E.Seconds(),
+			FallbackTriggered: true,
+		}
+
+		// measureFallback runs the advanced event with the primary and
+		// fallback pools in the requested states.
+		measureFallback := func(primaryWarm, fallbackWarm bool) (float64, error) {
+			p := faas.New(s.Platform)
+			p.DeployWithFallback(trim, orig)
+			if fallbackWarm {
+				if _, err := p.Invoke(orig.Name+"-fallback", normalEvent); err != nil {
+					return 0, err
+				}
+			}
+			if primaryWarm {
+				if _, err := p.Invoke(trim.Name, normalEvent); err != nil {
+					return 0, err
+				}
+			}
+			inv, err := p.Invoke(trim.Name, advancedEvent)
+			if err != nil {
+				return 0, err
+			}
+			if !inv.FallbackUsed {
+				row.FallbackTriggered = false
+			}
+			return inv.E2E.Seconds(), nil
+		}
+
+		if row.ColdPrimaryWarmFallback, err = measureFallback(false, true); err != nil {
+			return nil, fmt.Errorf("table4 %s cold/warm: %w", name, err)
+		}
+		if row.ColdPrimaryColdFallback, err = measureFallback(false, false); err != nil {
+			return nil, fmt.Errorf("table4 %s cold/cold: %w", name, err)
+		}
+		if row.WarmPrimaryWarmFallback, err = measureFallback(true, true); err != nil {
+			return nil, fmt.Errorf("table4 %s warm/warm: %w", name, err)
+		}
+		if row.WarmPrimaryColdFallback, err = measureFallback(true, false); err != nil {
+			return nil, fmt.Errorf("table4 %s warm/cold: %w", name, err)
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	return out, nil
+}
+
+// Render prints the latency matrix in the paper's layout.
+func (t *Table4Result) Render() string {
+	var b strings.Builder
+	b.WriteString("Table 4 — E2E latencies (s) when triggering the fallback\n")
+	fmt.Fprintf(&b, "%-18s %-5s %9s %8s %14s %14s\n",
+		"Application", "", "Original", "λ-trim", "Fallback Warm", "Fallback Cold")
+	for _, r := range t.Rows {
+		fmt.Fprintf(&b, "%-18s %-5s %9.2f %8.2f %14.2f %14.2f\n",
+			r.App, "Cold", r.OrigCold, r.TrimCold, r.ColdPrimaryWarmFallback, r.ColdPrimaryColdFallback)
+		fmt.Fprintf(&b, "%-18s %-5s %9.2f %8.2f %14.2f %14.2f\n",
+			"", "Warm", r.OrigWarm, r.TrimWarm, r.WarmPrimaryWarmFallback, r.WarmPrimaryColdFallback)
+	}
+	return b.String()
+}

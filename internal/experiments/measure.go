@@ -1,0 +1,346 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/faas"
+	"repro/internal/stats"
+)
+
+// ---------------------------------------------------------------------------
+// Figure 1 — cold/warm start phase breakdown for a PyTorch ResNet invocation
+// ---------------------------------------------------------------------------
+
+// Figure1Result is the phase breakdown of one cold and one warm resnet
+// invocation under the large-image cold path.
+type Figure1Result struct {
+	App           string
+	InstanceInit  time.Duration
+	ImageTransfer time.Duration
+	FunctionInit  time.Duration
+	FunctionExec  time.Duration
+	ColdE2E       time.Duration
+	WarmE2E       time.Duration
+	// InitLatencyShare is Function Initialization / cold E2E.
+	InitLatencyShare float64
+	// InitBillShare is Function Initialization / billed duration.
+	InitBillShare float64
+}
+
+// Figure1 reproduces the paper's Figure 1 using the published provider-side
+// constants (instance init 5.64 s; image transmission at the rate implied
+// by 742 MB / 4.44 s).
+func (s *Suite) Figure1() (*Figure1Result, error) {
+	cfg := s.Platform
+	cfg.UseAppSetupDelay = false
+	cfg.InstanceInit = 5640 * time.Millisecond
+	cfg.TransferRateMBps = 742.56 / 4.44
+
+	app := s.App("resnet")
+	cold, err := faas.MeasureColdStart(app, cfg)
+	if err != nil {
+		return nil, err
+	}
+	warm, err := faas.MeasureWarmStart(app, cfg)
+	if err != nil {
+		return nil, err
+	}
+	billed := cold.Init + cold.Exec
+	return &Figure1Result{
+		App:              app.Name,
+		InstanceInit:     cold.InstanceInit,
+		ImageTransfer:    cold.ImageTransfer,
+		FunctionInit:     cold.Init,
+		FunctionExec:     cold.Exec,
+		ColdE2E:          cold.E2E,
+		WarmE2E:          warm.E2E,
+		InitLatencyShare: cold.Init.Seconds() / cold.E2E.Seconds(),
+		InitBillShare:    cold.Init.Seconds() / billed.Seconds(),
+	}, nil
+}
+
+// Render prints the breakdown.
+func (r *Figure1Result) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 1 — %s cold/warm start breakdown\n", r.App)
+	fmt.Fprintf(&b, "  Instance Init      %8.2fs   (not billed)\n", r.InstanceInit.Seconds())
+	fmt.Fprintf(&b, "  Image Transmission %8.2fs   (not billed)\n", r.ImageTransfer.Seconds())
+	fmt.Fprintf(&b, "  Function Init      %8.2fs   (billed)\n", r.FunctionInit.Seconds())
+	fmt.Fprintf(&b, "  Function Exec      %8.2fs   (billed)\n", r.FunctionExec.Seconds())
+	fmt.Fprintf(&b, "  Cold E2E           %8.2fs\n", r.ColdE2E.Seconds())
+	fmt.Fprintf(&b, "  Warm E2E           %8.2fs\n", r.WarmE2E.Seconds())
+	fmt.Fprintf(&b, "  Init share: %.0f%% of cold latency, %.0f%% of the bill\n",
+		100*r.InitLatencyShare, 100*r.InitBillShare)
+	return b.String()
+}
+
+// ---------------------------------------------------------------------------
+// Table 1 — benchmarked applications
+// ---------------------------------------------------------------------------
+
+// Table1Row is one application's measured profile.
+type Table1Row struct {
+	App     string
+	Source  string
+	SizeMB  float64
+	ImportS float64
+	ExecS   float64
+	E2ES    float64
+}
+
+// Table1Result holds all rows.
+type Table1Result struct {
+	Rows []Table1Row
+}
+
+// Table1 measures every corpus app's cold start.
+func (s *Suite) Table1() (*Table1Result, error) {
+	out := &Table1Result{}
+	for _, name := range AllNames() {
+		app := s.App(name)
+		inv, err := faas.MeasureColdStart(app, s.Platform)
+		if err != nil {
+			return nil, fmt.Errorf("table1 %s: %w", name, err)
+		}
+		out.Rows = append(out.Rows, Table1Row{
+			App:     name,
+			Source:  app.Tags["source"],
+			SizeMB:  app.ImageSizeMB,
+			ImportS: inv.Init.Seconds(),
+			ExecS:   inv.Exec.Seconds(),
+			E2ES:    inv.E2E.Seconds(),
+		})
+	}
+	return out, nil
+}
+
+// Render prints the table.
+func (t *Table1Result) Render() string {
+	var b strings.Builder
+	b.WriteString("Table 1 — benchmarked applications (measured)\n")
+	fmt.Fprintf(&b, "%-18s %-12s %9s %8s %8s %8s\n",
+		"Application", "Suite", "Size(MB)", "Import", "Exec", "E2E")
+	for _, r := range t.Rows {
+		fmt.Fprintf(&b, "%-18s %-12s %9.2f %7.2fs %7.2fs %7.2fs\n",
+			r.App, r.Source, r.SizeMB, r.ImportS, r.ExecS, r.E2ES)
+	}
+	return b.String()
+}
+
+// ---------------------------------------------------------------------------
+// Figure 2 — billed duration and monetary cost of cold starts
+// ---------------------------------------------------------------------------
+
+// Figure2Row is the cold-start billing profile of one application.
+type Figure2Row struct {
+	App            string
+	ImportS        float64
+	ExecS          float64
+	BilledS        float64
+	ImportShare    float64 // fraction of billed duration spent importing
+	MemoryMB       int
+	CostPer100KUSD float64
+}
+
+// Figure2Result aggregates the rows plus the headline statistics.
+type Figure2Result struct {
+	Rows        []Figure2Row
+	MedianShare float64
+}
+
+// Figure2 reproduces the cold-start cost breakdown.
+func (s *Suite) Figure2() (*Figure2Result, error) {
+	out := &Figure2Result{}
+	var shares []float64
+	for _, name := range AllNames() {
+		inv, err := faas.MeasureColdStart(s.App(name), s.Platform)
+		if err != nil {
+			return nil, fmt.Errorf("figure2 %s: %w", name, err)
+		}
+		share := inv.Init.Seconds() / inv.BilledDuration.Seconds()
+		shares = append(shares, share)
+		out.Rows = append(out.Rows, Figure2Row{
+			App:            name,
+			ImportS:        inv.Init.Seconds(),
+			ExecS:          inv.Exec.Seconds(),
+			BilledS:        inv.BilledDuration.Seconds(),
+			ImportShare:    share,
+			MemoryMB:       inv.MemoryMB,
+			CostPer100KUSD: inv.CostUSD * Invocations100K,
+		})
+	}
+	out.MedianShare = stats.Median(shares)
+	return out, nil
+}
+
+// Render prints the figure data.
+func (f *Figure2Result) Render() string {
+	var b strings.Builder
+	b.WriteString("Figure 2 — billed duration and cost of cold starts (100K invocations)\n")
+	fmt.Fprintf(&b, "%-18s %8s %8s %8s %7s %8s %12s\n",
+		"Application", "Import", "Exec", "Billed", "Imp%", "Mem(MB)", "Cost($/100K)")
+	for _, r := range f.Rows {
+		fmt.Fprintf(&b, "%-18s %7.2fs %7.2fs %7.2fs %6.1f%% %8d %12.2f\n",
+			r.App, r.ImportS, r.ExecS, r.BilledS, 100*r.ImportShare, r.MemoryMB, r.CostPer100KUSD)
+	}
+	fmt.Fprintf(&b, "median import share of billed duration: %.1f%%\n", 100*f.MedianShare)
+	return b.String()
+}
+
+// ---------------------------------------------------------------------------
+// Figure 8 — λ-trim's E2E latency, memory and cost improvements
+// ---------------------------------------------------------------------------
+
+// Figure8Row compares one app before and after λ-trim.
+type Figure8Row struct {
+	App string
+
+	E2EOrigS, E2ETrimS       float64
+	ImportOrigS, ImportTrimS float64
+	MemOrigMB, MemTrimMB     float64
+	CostOrigUSD, CostTrimUSD float64 // per 100K cold invocations
+
+	Speedup     float64 // E2E orig / trim
+	MemImprove  float64 // fraction
+	CostImprove float64 // fraction
+}
+
+// Figure8Result aggregates rows plus the paper's headline averages.
+type Figure8Result struct {
+	Rows []Figure8Row
+
+	AvgSpeedup     float64
+	MaxSpeedup     float64
+	AvgMemImprove  float64
+	MaxMemImprove  float64
+	AvgCostImprove float64
+	MaxCostImprove float64
+}
+
+// Figure8 runs the full pipeline on every app and measures both variants.
+func (s *Suite) Figure8() (*Figure8Result, error) {
+	out := &Figure8Result{}
+	var speedups, mems, costs []float64
+	for _, name := range AllNames() {
+		res, err := s.Debloat(name)
+		if err != nil {
+			return nil, err
+		}
+		orig, err := faas.MeasureColdStart(res.Original, s.Platform)
+		if err != nil {
+			return nil, fmt.Errorf("figure8 %s original: %w", name, err)
+		}
+		trim, err := faas.MeasureColdStart(res.App, s.Platform)
+		if err != nil {
+			return nil, fmt.Errorf("figure8 %s trimmed: %w", name, err)
+		}
+		row := Figure8Row{
+			App:         name,
+			E2EOrigS:    orig.E2E.Seconds(),
+			E2ETrimS:    trim.E2E.Seconds(),
+			ImportOrigS: orig.Init.Seconds(),
+			ImportTrimS: trim.Init.Seconds(),
+			MemOrigMB:   orig.PeakMB,
+			MemTrimMB:   trim.PeakMB,
+			CostOrigUSD: orig.CostUSD * Invocations100K,
+			CostTrimUSD: trim.CostUSD * Invocations100K,
+		}
+		row.Speedup = stats.Speedup(row.E2EOrigS, row.E2ETrimS)
+		row.MemImprove = stats.Improvement(row.MemOrigMB, row.MemTrimMB)
+		row.CostImprove = stats.Improvement(row.CostOrigUSD, row.CostTrimUSD)
+		out.Rows = append(out.Rows, row)
+		speedups = append(speedups, row.Speedup)
+		mems = append(mems, row.MemImprove)
+		costs = append(costs, row.CostImprove)
+	}
+	out.AvgSpeedup = stats.Mean(speedups)
+	out.MaxSpeedup = stats.Max(speedups)
+	out.AvgMemImprove = stats.Mean(mems)
+	out.MaxMemImprove = stats.Max(mems)
+	out.AvgCostImprove = stats.Mean(costs)
+	out.MaxCostImprove = stats.Max(costs)
+	return out, nil
+}
+
+// Render prints the figure data.
+func (f *Figure8Result) Render() string {
+	var b strings.Builder
+	b.WriteString("Figure 8 — λ-trim improvements (cold starts)\n")
+	fmt.Fprintf(&b, "%-18s %17s %17s %19s %7s %6s %6s\n",
+		"Application", "E2E orig->trim", "Mem orig->trim", "Cost/100K o->t", "Speedup", "Mem%", "Cost%")
+	for _, r := range f.Rows {
+		fmt.Fprintf(&b, "%-18s %7.2fs ->%6.2fs %7.0f ->%6.0fMB %8.2f ->%7.2f %6.2fx %5.1f%% %5.1f%%\n",
+			r.App, r.E2EOrigS, r.E2ETrimS, r.MemOrigMB, r.MemTrimMB,
+			r.CostOrigUSD, r.CostTrimUSD, r.Speedup, 100*r.MemImprove, 100*r.CostImprove)
+	}
+	fmt.Fprintf(&b, "average speedup %.2fx (max %.2fx); memory -%.1f%% (max -%.1f%%); cost -%.1f%% (max -%.1f%%)\n",
+		f.AvgSpeedup, f.MaxSpeedup, 100*f.AvgMemImprove, 100*f.MaxMemImprove,
+		100*f.AvgCostImprove, 100*f.MaxCostImprove)
+	return b.String()
+}
+
+// ---------------------------------------------------------------------------
+// Figure 11 — warm start impact
+// ---------------------------------------------------------------------------
+
+// Figure11Row compares warm-start E2E before and after λ-trim.
+type Figure11Row struct {
+	App        string
+	WarmOrigS  float64
+	WarmTrimS  float64
+	ImpactFrac float64 // (orig-trim)/orig; near zero expected
+}
+
+// Figure11Result aggregates rows.
+type Figure11Result struct {
+	Rows []Figure11Row
+	// MaxAbsImpact is the largest |impact| across apps; the paper reports
+	// <10% for all applications.
+	MaxAbsImpact float64
+}
+
+// Figure11 measures warm-start E2E for both variants.
+func (s *Suite) Figure11() (*Figure11Result, error) {
+	out := &Figure11Result{}
+	for _, name := range AllNames() {
+		res, err := s.Debloat(name)
+		if err != nil {
+			return nil, err
+		}
+		orig, err := faas.MeasureWarmStart(res.Original, s.Platform)
+		if err != nil {
+			return nil, fmt.Errorf("figure11 %s original: %w", name, err)
+		}
+		trim, err := faas.MeasureWarmStart(res.App, s.Platform)
+		if err != nil {
+			return nil, fmt.Errorf("figure11 %s trimmed: %w", name, err)
+		}
+		impact := stats.Improvement(orig.E2E.Seconds(), trim.E2E.Seconds())
+		out.Rows = append(out.Rows, Figure11Row{
+			App: name, WarmOrigS: orig.E2E.Seconds(), WarmTrimS: trim.E2E.Seconds(),
+			ImpactFrac: impact,
+		})
+		abs := impact
+		if abs < 0 {
+			abs = -abs
+		}
+		if abs > out.MaxAbsImpact {
+			out.MaxAbsImpact = abs
+		}
+	}
+	return out, nil
+}
+
+// Render prints the figure data.
+func (f *Figure11Result) Render() string {
+	var b strings.Builder
+	b.WriteString("Figure 11 — warm start E2E impact of λ-trim\n")
+	fmt.Fprintf(&b, "%-18s %10s %10s %8s\n", "Application", "Original", "λ-trim", "Impact")
+	for _, r := range f.Rows {
+		fmt.Fprintf(&b, "%-18s %9.3fs %9.3fs %7.1f%%\n", r.App, r.WarmOrigS, r.WarmTrimS, 100*r.ImpactFrac)
+	}
+	fmt.Fprintf(&b, "max |impact| %.1f%% (paper: <10%% for all apps)\n", 100*f.MaxAbsImpact)
+	return b.String()
+}

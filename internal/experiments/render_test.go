@@ -1,0 +1,88 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// Render-output smoke tests: every driver's text rendering must contain
+// the rows and headline lines cmd/experiments users rely on. These reuse
+// the shared suite, so they add no pipeline cost.
+
+func TestRenderTable1(t *testing.T) {
+	r, err := suite.Table1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := r.Render()
+	for _, needle := range []string{"Table 1", "resnet", "huggingface", "RainbowCake", "PyPI"} {
+		if !strings.Contains(out, needle) {
+			t.Errorf("render missing %q", needle)
+		}
+	}
+	if lines := strings.Count(out, "\n"); lines < 22 {
+		t.Errorf("render has %d lines, want ≥22", lines)
+	}
+}
+
+func TestRenderFigure8(t *testing.T) {
+	r, err := suite.Figure8()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := r.Render()
+	for _, needle := range []string{"Figure 8", "average speedup", "max", "Cost/100K"} {
+		if !strings.Contains(out, needle) {
+			t.Errorf("render missing %q", needle)
+		}
+	}
+}
+
+func TestRenderFigure13(t *testing.T) {
+	r, err := suite.Figure13()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := r.Render()
+	for _, needle := range []string{"Figure 13", "p50", "median SnapStart share", "15m"} {
+		if !strings.Contains(out, needle) {
+			t.Errorf("render missing %q", needle)
+		}
+	}
+}
+
+func TestRenderTable4(t *testing.T) {
+	r, err := suite.Table4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := r.Render()
+	for _, needle := range []string{"Table 4", "Fallback Warm", "Fallback Cold", "Cold", "Warm", "spacy"} {
+		if !strings.Contains(out, needle) {
+			t.Errorf("render missing %q", needle)
+		}
+	}
+}
+
+func TestRenderAllNonEmpty(t *testing.T) {
+	renders := []func() (interface{ Render() string }, error){
+		func() (interface{ Render() string }, error) { return suite.Figure1() },
+		func() (interface{ Render() string }, error) { return suite.Figure2() },
+		func() (interface{ Render() string }, error) { return suite.Table2() },
+		func() (interface{ Render() string }, error) { return suite.Figure9() },
+		func() (interface{ Render() string }, error) { return suite.Table3() },
+		func() (interface{ Render() string }, error) { return suite.Figure10() },
+		func() (interface{ Render() string }, error) { return suite.Figure11() },
+		func() (interface{ Render() string }, error) { return suite.Figure12() },
+		func() (interface{ Render() string }, error) { return suite.Figure14() },
+	}
+	for i, fn := range renders {
+		r, err := fn()
+		if err != nil {
+			t.Fatalf("driver %d: %v", i, err)
+		}
+		if len(r.Render()) < 80 {
+			t.Errorf("driver %d render suspiciously short", i)
+		}
+	}
+}

@@ -1,0 +1,89 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§8) from the simulated substrate. Each driver returns typed
+// rows plus a Render method producing an aligned text table, so results can
+// be consumed programmatically (benchmarks, tests) or read directly
+// (cmd/experiments).
+package experiments
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/appcorpus"
+	"repro/internal/appspec"
+	"repro/internal/debloat"
+	"repro/internal/faas"
+)
+
+// Suite caches corpus builds and debloating results so that regenerating
+// several figures does not re-run the (expensive) DD pipeline per figure —
+// mirroring the artifact's workflow, where the debloating experiment runs
+// once and later experiments reuse its outputs.
+type Suite struct {
+	Platform faas.Config
+
+	mu        sync.Mutex
+	apps      map[string]*appspec.App
+	debloated map[string]*debloat.Result
+}
+
+// NewSuite creates a suite with the paper's default platform configuration.
+func NewSuite() *Suite {
+	return &Suite{
+		Platform:  faas.DefaultConfig(),
+		apps:      make(map[string]*appspec.App),
+		debloated: make(map[string]*debloat.Result),
+	}
+}
+
+// App returns the original (un-optimized) app, built once.
+func (s *Suite) App(name string) *appspec.App {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if a, ok := s.apps[name]; ok {
+		return a
+	}
+	a := appcorpus.MustBuild(name)
+	s.apps[name] = a
+	return a
+}
+
+// Debloat returns the cached λ-trim result for the app under the paper's
+// default configuration (K=20, combined scoring).
+func (s *Suite) Debloat(name string) (*debloat.Result, error) {
+	s.mu.Lock()
+	if r, ok := s.debloated[name]; ok {
+		s.mu.Unlock()
+		return r, nil
+	}
+	s.mu.Unlock()
+
+	app := s.App(name).Clone()
+	res, err := debloat.Run(app, debloat.DefaultConfig())
+	if err != nil {
+		return nil, fmt.Errorf("debloat %s: %w", name, err)
+	}
+	s.mu.Lock()
+	s.debloated[name] = res
+	s.mu.Unlock()
+	return res, nil
+}
+
+// DebloatWith runs λ-trim with a custom configuration (not cached).
+func (s *Suite) DebloatWith(name string, cfg debloat.Config) (*debloat.Result, error) {
+	app := s.App(name).Clone()
+	return debloat.Run(app, cfg)
+}
+
+// AllNames returns the corpus app names in Table 1 order.
+func AllNames() []string {
+	var out []string
+	for _, d := range appcorpus.Catalog() {
+		out = append(out, d.Name)
+	}
+	return out
+}
+
+// Invocations100K is the invocation count the paper prices (Figure 2:
+// "priced for 100K invocations").
+const Invocations100K = 100_000

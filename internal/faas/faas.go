@@ -1,0 +1,550 @@
+// Package faas simulates a serverless platform with AWS-Lambda-like
+// semantics: on-demand instances, cold and warm starts, a keep-alive pool,
+// and duration×memory billing (Eq. 1 of the paper):
+//
+//	C = Configured Memory × Billed Duration × Unit Price
+//
+// The lifecycle of an invocation follows Figure 1 of the paper: instance
+// init and image transmission are performed by the provider and are not
+// billed; Function Initialization (imports, environment setup) and Function
+// Execution are billed. The simulator also implements λ-trim's fallback
+// deployment (§5.4): a debloated function that raises AttributeError
+// re-invokes its original as an independent serverless function.
+package faas
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/appspec"
+	"repro/internal/pyruntime"
+	"repro/internal/simtime"
+)
+
+// Pricing models a platform's billing.
+type Pricing struct {
+	// USDPerGBSecond is the duration-memory unit price.
+	USDPerGBSecond float64
+	// Granularity is the billing rounding unit (1 ms on AWS; GCP rounds to
+	// 100 ms, Azure to 1 s).
+	Granularity time.Duration
+	// MinMemoryMB is the smallest billable memory configuration.
+	MinMemoryMB int
+	// MemoryStepMB is the configuration step (AWS allows 1 MB steps above
+	// the floor).
+	MemoryStepMB int
+}
+
+// AWSPricing is AWS Lambda's x86 pricing as used in the paper
+// ($0.0000162109 per GB-second, 1 ms granularity, 128 MB floor).
+func AWSPricing() Pricing {
+	return Pricing{
+		USDPerGBSecond: 0.0000162109,
+		Granularity:    time.Millisecond,
+		MinMemoryMB:    128,
+		MemoryStepMB:   1,
+	}
+}
+
+// GCPPricing approximates GCP Cloud Run functions (100 ms rounding).
+func GCPPricing() Pricing {
+	return Pricing{
+		USDPerGBSecond: 0.0000165,
+		Granularity:    100 * time.Millisecond,
+		MinMemoryMB:    128,
+		MemoryStepMB:   1,
+	}
+}
+
+// AzurePricing approximates Azure Functions consumption plan (1 s rounding).
+func AzurePricing() Pricing {
+	return Pricing{
+		USDPerGBSecond: 0.000016,
+		Granularity:    time.Second,
+		MinMemoryMB:    128,
+		MemoryStepMB:   1,
+	}
+}
+
+// Cost computes Eq. 1 for a billed duration and configured memory.
+func (p Pricing) Cost(billed time.Duration, memoryMB int) float64 {
+	gb := float64(memoryMB) / 1024.0
+	return gb * billed.Seconds() * p.USDPerGBSecond
+}
+
+// BillDuration rounds a duration up to the billing granularity.
+func (p Pricing) BillDuration(d time.Duration) time.Duration {
+	if p.Granularity <= 0 {
+		return d
+	}
+	g := p.Granularity
+	return ((d + g - 1) / g) * g
+}
+
+// ConfigureMemory rounds a peak footprint up to a billable configuration.
+func (p Pricing) ConfigureMemory(peakMB float64) int {
+	mem := int(math.Ceil(peakMB))
+	if mem < p.MinMemoryMB {
+		mem = p.MinMemoryMB
+	}
+	if p.MemoryStepMB > 1 {
+		mem = ((mem + p.MemoryStepMB - 1) / p.MemoryStepMB) * p.MemoryStepMB
+	}
+	return mem
+}
+
+// Config parameterizes the platform simulator.
+type Config struct {
+	Pricing Pricing
+	// KeepAlive is how long an idle instance survives (AWS: up to
+	// ~45-60 min; GCP: <15 min). Paper experiments assume 15 min.
+	KeepAlive time.Duration
+	// BaseRuntimeMB is the interpreter/runtime footprint added to every
+	// instance (CPython ~35 MB on Lambda).
+	BaseRuntimeMB float64
+	// RoutingOverhead models request routing/queueing on every invocation
+	// (present in E2E, never billed).
+	RoutingOverhead time.Duration
+	// InstanceInit and TransferRateMBps model the provider-side cold path
+	// when UseAppSetupDelay is false: instance init plus image
+	// transmission at the given rate (Figure 1's unbilled phases).
+	InstanceInit     time.Duration
+	TransferRateMBps float64
+	// UseAppSetupDelay, when true, uses each app's calibrated
+	// SetupDelayMS instead of the image model (matches Table 1 E2E).
+	UseAppSetupDelay bool
+	// FallbackSetup is the wrapper's overhead when the fallback path
+	// triggers (~50 ms in §8.7).
+	FallbackSetup time.Duration
+}
+
+// DefaultConfig mirrors the paper's AWS Lambda setup.
+func DefaultConfig() Config {
+	return Config{
+		Pricing:          AWSPricing(),
+		KeepAlive:        15 * time.Minute,
+		BaseRuntimeMB:    35,
+		RoutingOverhead:  40 * time.Millisecond,
+		InstanceInit:     350 * time.Millisecond,
+		TransferRateMBps: 600,
+		UseAppSetupDelay: true,
+		FallbackSetup:    50 * time.Millisecond,
+	}
+}
+
+// StartKind distinguishes cold from warm starts.
+type StartKind int
+
+const (
+	// ColdStart initializes a fresh instance on the critical path.
+	ColdStart StartKind = iota
+	// WarmStart reuses a kept-alive instance.
+	WarmStart
+)
+
+func (k StartKind) String() string {
+	if k == WarmStart {
+		return "warm"
+	}
+	return "cold"
+}
+
+// Invocation is the full record of one function invocation.
+type Invocation struct {
+	Function string
+	Kind     StartKind
+
+	// Phase latencies (Figure 1). InstanceInit and ImageTransfer are zero
+	// on warm starts and never billed.
+	InstanceInit  time.Duration
+	ImageTransfer time.Duration
+	Init          time.Duration // Function Initialization (billed, cold only)
+	Exec          time.Duration // Function Execution (billed)
+	E2E           time.Duration
+
+	// BilledDuration is Init+Exec (cold) or Exec (warm), rounded up.
+	BilledDuration time.Duration
+	// MemoryMB is the billed memory configuration.
+	MemoryMB int
+	// PeakMB is the measured footprint including the runtime base.
+	PeakMB float64
+	// CostUSD is Eq. 1 applied to this invocation.
+	CostUSD float64
+
+	// Result carries the handler's return value repr.
+	Result string
+	// Stdout carries printed output.
+	Stdout string
+	// Err is set when the handler raised and no fallback absorbed it.
+	Err error
+	// FallbackUsed marks invocations served by the fallback original
+	// function after an AttributeError in the debloated one.
+	FallbackUsed bool
+	// FallbackKind is the start kind of the fallback invocation when used.
+	FallbackKind StartKind
+
+	// SnapStartRestore marks cold starts served from a checkpoint; Init
+	// then holds the restore latency and RestoreFeeUSD the per-restore
+	// charge (included in CostUSD).
+	SnapStartRestore bool
+	RestoreFeeUSD    float64
+}
+
+// instance is one warm-capable execution environment.
+type instance struct {
+	interp    *pyruntime.Interp
+	handler   pyruntime.Value
+	initTime  time.Duration
+	initMemMB float64
+	lastUsed  time.Duration // completion time of the last request served
+	busyUntil time.Duration // instance is serving a request until then
+	expired   bool
+}
+
+// SnapStartConfig enables checkpoint/restore-backed cold starts for a
+// deployment: instead of re-running Function Initialization, a cold start
+// restores the post-init snapshot. Restores are not billed as duration —
+// they are charged per GB restored, and the checkpoint accrues cache
+// storage cost for as long as the function stays deployed (AWS SnapStart
+// pricing, §8.6).
+type SnapStartConfig struct {
+	// RestoreTime replaces Function Initialization latency on cold starts.
+	RestoreTime time.Duration
+	// RestoreFeeUSD is charged per cold start.
+	RestoreFeeUSD float64
+	// CacheUSDPerSecond accrues while deployed (surfaced via
+	// FunctionStats; per-invocation records carry only the restore fee).
+	CacheUSDPerSecond float64
+}
+
+// deployment is a registered function.
+type deployment struct {
+	app       *appspec.App
+	fallback  string // name of the fallback function, if any
+	snapstart *SnapStartConfig
+	instances []*instance
+	// configuredMB is fixed after the first invocation measures the peak
+	// footprint, as operators do with AWS Lambda Power Tuning.
+	configuredMB int
+	invocations  int
+	coldStarts   int
+}
+
+// Platform is the simulator. It is not safe for concurrent use.
+type Platform struct {
+	cfg   Config
+	now   time.Duration
+	fns   map[string]*deployment
+	order []string
+}
+
+// New creates a platform.
+func New(cfg Config) *Platform {
+	return &Platform{cfg: cfg, fns: make(map[string]*deployment)}
+}
+
+// Now returns the platform timeline.
+func (p *Platform) Now() time.Duration { return p.now }
+
+// Advance moves the platform timeline forward (idle time between requests).
+func (p *Platform) Advance(d time.Duration) {
+	if d > 0 {
+		p.now += d
+	}
+}
+
+// Deploy registers an app under its name. Redeploying replaces the function
+// and discards warm instances (AWS behaves the same on code updates — the
+// paper exploits this to force cold starts).
+func (p *Platform) Deploy(app *appspec.App) {
+	if _, exists := p.fns[app.Name]; !exists {
+		p.order = append(p.order, app.Name)
+	}
+	p.fns[app.Name] = &deployment{app: app}
+}
+
+// DeployWithFallback registers a debloated app plus its original as the
+// fallback function (§5.4).
+func (p *Platform) DeployWithFallback(debloated, original *appspec.App) {
+	fallbackName := original.Name + "-fallback"
+	orig := original.Clone()
+	orig.Name = fallbackName
+	p.Deploy(orig)
+	p.Deploy(debloated)
+	p.fns[debloated.Name].fallback = fallbackName
+}
+
+// DeployWithSnapStart registers an app whose cold starts restore from a
+// checkpoint instead of re-initializing.
+func (p *Platform) DeployWithSnapStart(app *appspec.App, cfg SnapStartConfig) {
+	p.Deploy(app)
+	p.fns[app.Name].snapstart = &cfg
+}
+
+// InvalidateWarm discards all warm instances of a function (the paper
+// triggers this by updating the function description between invocations).
+func (p *Platform) InvalidateWarm(name string) {
+	if d, ok := p.fns[name]; ok {
+		d.instances = nil
+	}
+}
+
+// Stats summarizes a deployment's lifetime counters.
+type Stats struct {
+	Invocations int
+	ColdStarts  int
+}
+
+// FunctionStats returns counters for a deployed function.
+func (p *Platform) FunctionStats(name string) (Stats, bool) {
+	d, ok := p.fns[name]
+	if !ok {
+		return Stats{}, false
+	}
+	return Stats{Invocations: d.invocations, ColdStarts: d.coldStarts}, true
+}
+
+// Invoke sends an event to a function at the current platform time.
+func (p *Platform) Invoke(name string, event map[string]any) (*Invocation, error) {
+	d, ok := p.fns[name]
+	if !ok {
+		return nil, fmt.Errorf("faas: no function named %q", name)
+	}
+	inv, err := p.invoke(d, event, true)
+	if err != nil {
+		return nil, err
+	}
+
+	// Fallback path: AttributeError in a debloated function re-invokes the
+	// original as an independent serverless function (§5.4, Table 4).
+	if inv.Err != nil && d.fallback != "" && isAttributeError(inv.Err) {
+		fb := p.fns[d.fallback]
+		fbInv, ferr := p.invoke(fb, event, true)
+		if ferr != nil {
+			return nil, ferr
+		}
+		total := *fbInv
+		total.Function = name
+		total.FallbackUsed = true
+		total.FallbackKind = fbInv.Kind
+		total.Kind = inv.Kind
+		// E2E: failed primary attempt + wrapper setup + fallback E2E.
+		total.E2E = inv.E2E + p.cfg.FallbackSetup + fbInv.E2E
+		// The user pays for both attempts.
+		total.CostUSD = inv.CostUSD + fbInv.CostUSD
+		total.BilledDuration = inv.BilledDuration + fbInv.BilledDuration
+		total.Err = nil
+		return &total, nil
+	}
+	return inv, nil
+}
+
+func isAttributeError(err error) bool {
+	pe, ok := err.(*pyruntime.PyErr)
+	return ok && pe.ClassName() == "AttributeError"
+}
+
+func (p *Platform) invoke(d *deployment, event map[string]any, advanceClock bool) (*Invocation, error) {
+	d.invocations++
+	inv := &Invocation{Function: d.app.Name}
+
+	inst := p.warmInstance(d)
+	if inst == nil {
+		inst = &instance{}
+		inv.Kind = ColdStart
+		d.coldStarts++
+
+		// Provider-side, unbilled phases.
+		if p.cfg.UseAppSetupDelay {
+			delay := time.Duration(d.app.SetupDelayMS * float64(time.Millisecond))
+			// Split for reporting: instance init vs image transmission,
+			// 40/60 as a fixed convention.
+			inv.InstanceInit = delay * 2 / 5
+			inv.ImageTransfer = delay - inv.InstanceInit
+		} else {
+			inv.InstanceInit = p.cfg.InstanceInit
+			if p.cfg.TransferRateMBps > 0 {
+				inv.ImageTransfer = time.Duration(d.app.ImageSizeMB / p.cfg.TransferRateMBps * float64(time.Second))
+			}
+		}
+
+		// Function Initialization: import the entry module.
+		interp := pyruntime.New(d.app.Image)
+		t0 := interp.Clock.Now()
+		m0 := interp.Alloc.Used()
+		mod, perr := interp.Import(d.app.Entry)
+		if perr != nil {
+			inv.Err = perr
+			inv.E2E = p.cfg.RoutingOverhead + inv.InstanceInit + inv.ImageTransfer + (interp.Clock.Now() - t0)
+			return inv, nil
+		}
+		handler, ok := mod.Dict.Get(d.app.Handler)
+		if !ok {
+			return nil, fmt.Errorf("faas: %s: handler %q not found", d.app.Name, d.app.Handler)
+		}
+		inst.interp = interp
+		inst.handler = handler
+		inst.initTime = interp.Clock.Now() - t0
+		inst.initMemMB = simtime.MBf(interp.Alloc.Used() - m0)
+		inv.Init = inst.initTime
+		if d.snapstart != nil {
+			// Restoring the snapshot replaces re-initialization: the
+			// interpreter state is built the same way (semantics), but
+			// the observable latency is the restore time and the charge
+			// is the per-GB restore fee instead of billed duration.
+			inv.Init = d.snapstart.RestoreTime
+			inv.SnapStartRestore = true
+			inv.RestoreFeeUSD = d.snapstart.RestoreFeeUSD
+		}
+		d.instances = append(d.instances, inst)
+	} else {
+		inv.Kind = WarmStart
+	}
+
+	// Function Execution.
+	interp := inst.interp
+	evValue, err := pyruntime.FromGo(asAny(event))
+	if err != nil {
+		return nil, fmt.Errorf("faas: bad event: %w", err)
+	}
+	ctx := contextValue(d.app)
+	t0 := interp.Clock.Now()
+	out0 := len(interp.OutputString())
+	result, perr := interp.CallFunction(inst.handler, []pyruntime.Value{evValue, ctx})
+	inv.Exec = interp.Clock.Now() - t0
+	inv.Stdout = interp.OutputString()[out0:]
+	if perr != nil {
+		inv.Err = perr
+	} else {
+		inv.Result = pyruntime.Repr(result)
+	}
+
+	// Footprint & billing.
+	inv.PeakMB = simtime.MBf(interp.Alloc.Peak()) + p.cfg.BaseRuntimeMB
+	if d.configuredMB == 0 {
+		d.configuredMB = p.cfg.Pricing.ConfigureMemory(inv.PeakMB)
+	}
+	inv.MemoryMB = d.configuredMB
+	billed := inv.Exec
+	if inv.Kind == ColdStart && !inv.SnapStartRestore {
+		billed += inv.Init
+	}
+	inv.BilledDuration = p.cfg.Pricing.BillDuration(billed)
+	inv.CostUSD = p.cfg.Pricing.Cost(inv.BilledDuration, inv.MemoryMB) + inv.RestoreFeeUSD
+
+	inv.E2E = p.cfg.RoutingOverhead + inv.InstanceInit + inv.ImageTransfer + inv.Init + inv.Exec
+
+	inst.busyUntil = p.now + inv.E2E
+	inst.lastUsed = inst.busyUntil
+	if advanceClock {
+		p.now += inv.E2E
+	}
+	return inv, nil
+}
+
+// warmInstance returns an idle live instance or nil, expiring stale ones.
+// Instances still serving a request (busyUntil in the future) are kept but
+// not eligible — that is what turns a burst into a cold-start storm.
+func (p *Platform) warmInstance(d *deployment) *instance {
+	live := d.instances[:0]
+	var found *instance
+	for _, inst := range d.instances {
+		if inst.busyUntil <= p.now && p.now-inst.lastUsed > p.cfg.KeepAlive {
+			inst.expired = true
+			continue
+		}
+		live = append(live, inst)
+		if inst.busyUntil > p.now {
+			continue // still serving a request
+		}
+		if found == nil {
+			found = inst
+		}
+	}
+	d.instances = live
+	return found
+}
+
+// InvokeBurst delivers n copies of event concurrently at the current
+// platform time — the scale-out burst the paper's introduction motivates
+// ("scale-out architectures that lead to very bursty workloads"). Idle
+// warm instances serve what they can; every request beyond that pays a
+// full cold start. The platform clock advances by the slowest E2E.
+func (p *Platform) InvokeBurst(name string, event map[string]any, n int) ([]*Invocation, error) {
+	d, ok := p.fns[name]
+	if !ok {
+		return nil, fmt.Errorf("faas: no function named %q", name)
+	}
+	out := make([]*Invocation, 0, n)
+	var maxE2E time.Duration
+	for i := 0; i < n; i++ {
+		inv, err := p.invoke(d, event, false)
+		if err != nil {
+			return nil, err
+		}
+		if inv.E2E > maxE2E {
+			maxE2E = inv.E2E
+		}
+		out = append(out, inv)
+	}
+	p.now += maxE2E
+	return out, nil
+}
+
+func contextValue(app *appspec.App) pyruntime.Value {
+	ctx := pyruntime.NewDict()
+	ctx.SetStr("function_name", pyruntime.StrV(app.Name))
+	ctx.SetStr("function_version", pyruntime.StrV("$LATEST"))
+	ctx.SetStr("memory_limit_in_mb", pyruntime.IntV(3008))
+	return ctx
+}
+
+func asAny(m map[string]any) map[string]any {
+	if m == nil {
+		return map[string]any{}
+	}
+	return m
+}
+
+// MeasureColdStart deploys the app on a fresh platform and performs one
+// cold invocation with the first oracle event — the basic measurement
+// behind Table 1 and Figure 2.
+func MeasureColdStart(app *appspec.App, cfg Config) (*Invocation, error) {
+	p := New(cfg)
+	p.Deploy(app)
+	event := map[string]any{}
+	if len(app.Oracle) > 0 {
+		event = app.Oracle[0].Event
+	}
+	inv, err := p.Invoke(app.Name, event)
+	if err != nil {
+		return nil, err
+	}
+	if inv.Err != nil {
+		return nil, fmt.Errorf("faas: %s cold start raised: %v", app.Name, inv.Err)
+	}
+	return inv, nil
+}
+
+// MeasureWarmStart performs one cold start to prime an instance, then one
+// warm invocation, returning the warm record.
+func MeasureWarmStart(app *appspec.App, cfg Config) (*Invocation, error) {
+	p := New(cfg)
+	p.Deploy(app)
+	event := map[string]any{}
+	if len(app.Oracle) > 0 {
+		event = app.Oracle[0].Event
+	}
+	if _, err := p.Invoke(app.Name, event); err != nil {
+		return nil, err
+	}
+	inv, err := p.Invoke(app.Name, event)
+	if err != nil {
+		return nil, err
+	}
+	if inv.Kind != WarmStart {
+		return nil, fmt.Errorf("faas: expected warm start for %s", app.Name)
+	}
+	return inv, nil
+}

@@ -1,0 +1,454 @@
+package faas
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/appspec"
+	"repro/internal/vfs"
+)
+
+// testApp builds a small app with known init/exec cost.
+func testApp(name string) *appspec.App {
+	fs := vfs.New()
+	fs.Write("handler.py", `
+import lib
+
+def handler(event, context):
+    lib.work()
+    print("handled", event.get("id", 0))
+    return {"ok": True}
+`)
+	fs.Write("site-packages/lib/__init__.py", `
+load_native(200, 50)
+
+def work():
+    compute(30)
+`)
+	return &appspec.App{
+		Name: name, Image: fs, Entry: "handler", Handler: "handler",
+		Oracle:       []appspec.TestCase{{Name: "t", Event: map[string]any{"id": 1}}},
+		SetupDelayMS: 300, ImageSizeMB: 120,
+	}
+}
+
+// fallbackApp is a debloated-style app whose handler raises AttributeError
+// on mode=advanced.
+func fallbackApp(name string) *appspec.App {
+	fs := vfs.New()
+	fs.Write("handler.py", `
+import lib
+
+def handler(event, context):
+    if event.get("mode", "basic") == "advanced":
+        return lib.removed_fn()
+    return {"ok": True}
+`)
+	fs.Write("site-packages/lib/__init__.py", "load_native(50, 10)\n")
+	return &appspec.App{
+		Name: name, Image: fs, Entry: "handler", Handler: "handler",
+		SetupDelayMS: 100, ImageSizeMB: 40,
+	}
+}
+
+func TestColdThenWarm(t *testing.T) {
+	p := New(DefaultConfig())
+	p.Deploy(testApp("fn"))
+
+	inv1, err := p.Invoke("fn", map[string]any{"id": 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inv1.Kind != ColdStart {
+		t.Error("first invocation should be cold")
+	}
+	if inv1.Init < 200*time.Millisecond {
+		t.Errorf("init = %v, want ≥200ms", inv1.Init)
+	}
+	if inv1.InstanceInit == 0 || inv1.ImageTransfer == 0 {
+		t.Error("cold start should include provider phases")
+	}
+	if inv1.Stdout != "handled 1\n" {
+		t.Errorf("stdout = %q", inv1.Stdout)
+	}
+
+	inv2, err := p.Invoke("fn", map[string]any{"id": 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inv2.Kind != WarmStart {
+		t.Error("second invocation should be warm")
+	}
+	if inv2.Init != 0 || inv2.InstanceInit != 0 {
+		t.Error("warm start must skip initialization")
+	}
+	if inv2.E2E >= inv1.E2E {
+		t.Errorf("warm E2E %v should beat cold %v", inv2.E2E, inv1.E2E)
+	}
+	// Warm starts bill only execution.
+	if inv2.BilledDuration >= inv1.BilledDuration {
+		t.Error("warm billed duration should be smaller")
+	}
+}
+
+func TestKeepAliveExpiry(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.KeepAlive = 1 * time.Minute
+	p := New(cfg)
+	p.Deploy(testApp("fn"))
+
+	if _, err := p.Invoke("fn", nil); err != nil {
+		t.Fatal(err)
+	}
+	p.Advance(2 * time.Minute) // exceed keep-alive
+	inv, err := p.Invoke("fn", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inv.Kind != ColdStart {
+		t.Error("instance should have expired")
+	}
+
+	// Within keep-alive, it stays warm.
+	p.Advance(30 * time.Second)
+	inv, err = p.Invoke("fn", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inv.Kind != WarmStart {
+		t.Error("instance should still be warm")
+	}
+}
+
+func TestInvalidateWarmForcesColdStart(t *testing.T) {
+	p := New(DefaultConfig())
+	p.Deploy(testApp("fn"))
+	if _, err := p.Invoke("fn", nil); err != nil {
+		t.Fatal(err)
+	}
+	p.InvalidateWarm("fn") // the paper's "update function description" trick
+	inv, err := p.Invoke("fn", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inv.Kind != ColdStart {
+		t.Error("invalidation should force a cold start")
+	}
+	stats, _ := p.FunctionStats("fn")
+	if stats.Invocations != 2 || stats.ColdStarts != 2 {
+		t.Errorf("stats = %+v", stats)
+	}
+}
+
+func TestBillingFormula(t *testing.T) {
+	pr := AWSPricing()
+	cost := pr.Cost(1*time.Second, 1024)
+	if diff := cost - 0.0000162109; diff > 1e-12 || diff < -1e-12 {
+		t.Errorf("1GB-s cost = %.10f", cost)
+	}
+	// Rounding to 1ms.
+	if pr.BillDuration(1500*time.Microsecond) != 2*time.Millisecond {
+		t.Error("1ms rounding broken")
+	}
+	if pr.BillDuration(2*time.Millisecond) != 2*time.Millisecond {
+		t.Error("exact durations must not round up")
+	}
+	// Azure rounds to 1s.
+	if AzurePricing().BillDuration(10*time.Millisecond) != time.Second {
+		t.Error("Azure rounding broken")
+	}
+	// Memory floor.
+	if pr.ConfigureMemory(3) != 128 {
+		t.Error("128MB floor not applied")
+	}
+	if pr.ConfigureMemory(300.2) != 301 {
+		t.Errorf("ceil config = %d", pr.ConfigureMemory(300.2))
+	}
+}
+
+func TestMinBillingHidesSmallFootprints(t *testing.T) {
+	// Two apps under the floor bill identically per unit time — the
+	// effect the paper notes for small applications.
+	pr := AWSPricing()
+	if pr.Cost(time.Second, pr.ConfigureMemory(40)) != pr.Cost(time.Second, pr.ConfigureMemory(90)) {
+		t.Error("both sub-floor footprints should bill at 128MB")
+	}
+}
+
+func TestFallbackOnAttributeError(t *testing.T) {
+	cfg := DefaultConfig()
+	p := New(cfg)
+	debloated := fallbackApp("app")
+	original := testApp("app") // original handles everything
+	p.DeployWithFallback(debloated, original)
+
+	// Normal path: no fallback.
+	inv, err := p.Invoke("app", map[string]any{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inv.FallbackUsed || inv.Err != nil {
+		t.Errorf("normal path used fallback: %+v", inv)
+	}
+
+	// Advanced path: AttributeError -> fallback serves the request.
+	inv, err = p.Invoke("app", map[string]any{"mode": "advanced"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !inv.FallbackUsed {
+		t.Fatal("fallback not used")
+	}
+	if inv.Err != nil {
+		t.Errorf("fallback should absorb the error: %v", inv.Err)
+	}
+	if inv.FallbackKind != ColdStart {
+		t.Error("first fallback invocation should be cold")
+	}
+	// E2E includes the failed attempt, wrapper setup, and the fallback.
+	if inv.E2E < cfg.FallbackSetup {
+		t.Error("fallback E2E too small")
+	}
+
+	// Second advanced request: fallback instance is now warm.
+	inv2, err := p.Invoke("app", map[string]any{"mode": "advanced"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inv2.FallbackKind != WarmStart {
+		t.Error("second fallback should be warm")
+	}
+	if inv2.E2E >= inv.E2E {
+		t.Errorf("warm fallback E2E %v should beat cold %v", inv2.E2E, inv.E2E)
+	}
+}
+
+func TestNonAttributeErrorsPropagate(t *testing.T) {
+	fs := vfs.New()
+	fs.Write("handler.py", `
+def handler(event, context):
+    raise ValueError("genuine bug")
+`)
+	bad := &appspec.App{Name: "bad", Image: fs, Entry: "handler", Handler: "handler", SetupDelayMS: 50}
+	p := New(DefaultConfig())
+	p.DeployWithFallback(bad, testApp("bad"))
+	inv, err := p.Invoke("bad", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inv.FallbackUsed {
+		t.Error("ValueError must not trigger the AttributeError fallback")
+	}
+	if inv.Err == nil {
+		t.Error("error should propagate to the caller")
+	}
+}
+
+func TestUnknownFunction(t *testing.T) {
+	p := New(DefaultConfig())
+	if _, err := p.Invoke("ghost", nil); err == nil {
+		t.Error("expected error for unknown function")
+	}
+}
+
+func TestMeasureHelpers(t *testing.T) {
+	app := testApp("m")
+	cold, err := MeasureColdStart(app, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.Kind != ColdStart {
+		t.Error("MeasureColdStart returned a warm start")
+	}
+	warm, err := MeasureWarmStart(app, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.Kind != WarmStart {
+		t.Error("MeasureWarmStart returned a cold start")
+	}
+}
+
+func TestWarmStatePersistsAcrossInvocations(t *testing.T) {
+	fs := vfs.New()
+	fs.Write("handler.py", `
+counter = [0]
+
+def handler(event, context):
+    counter[0] += 1
+    return counter[0]
+`)
+	app := &appspec.App{Name: "stateful", Image: fs, Entry: "handler", Handler: "handler", SetupDelayMS: 50}
+	p := New(DefaultConfig())
+	p.Deploy(app)
+	inv1, _ := p.Invoke("stateful", nil)
+	inv2, _ := p.Invoke("stateful", nil)
+	if inv1.Result != "1" || inv2.Result != "2" {
+		t.Errorf("warm state lost: %q then %q", inv1.Result, inv2.Result)
+	}
+}
+
+// Property: billed duration is never less than the raw duration and the
+// rounding is exact-multiple idempotent.
+func TestQuickBillRounding(t *testing.T) {
+	pr := AWSPricing()
+	f := func(us uint32) bool {
+		d := time.Duration(us) * time.Microsecond
+		billed := pr.BillDuration(d)
+		if billed < d {
+			return false
+		}
+		return pr.BillDuration(billed) == billed && billed-d < time.Millisecond
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: cost scales linearly in duration and memory.
+func TestQuickCostLinear(t *testing.T) {
+	pr := AWSPricing()
+	f := func(msRaw uint16, memRaw uint16) bool {
+		d := time.Duration(msRaw) * time.Millisecond
+		mem := int(memRaw%8192) + 128
+		c1 := pr.Cost(d, mem)
+		c2 := pr.Cost(2*d, mem)
+		c3 := pr.Cost(d, 2*mem)
+		return almost(c2, 2*c1) && almost(c3, 2*c1)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func almost(a, b float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d < 1e-12
+}
+
+func TestSnapStartDeployment(t *testing.T) {
+	app := testApp("snap")
+	// Plain deployment for comparison.
+	plainInv, err := MeasureColdStart(app, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	p := New(DefaultConfig())
+	p.DeployWithSnapStart(app, SnapStartConfig{
+		RestoreTime:   120 * time.Millisecond,
+		RestoreFeeUSD: 0.00002,
+	})
+	inv, err := p.Invoke("snap", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !inv.SnapStartRestore || inv.Kind != ColdStart {
+		t.Fatalf("expected a snapstart cold start: %+v", inv)
+	}
+	// Restore latency replaces the 200ms+ initialization.
+	if inv.Init != 120*time.Millisecond {
+		t.Errorf("init = %v, want the restore time", inv.Init)
+	}
+	if inv.E2E >= plainInv.E2E {
+		t.Errorf("snapstart cold E2E %v should beat plain %v", inv.E2E, plainInv.E2E)
+	}
+	// Restore is not billed as duration; it is a separate fee.
+	if inv.BilledDuration >= plainInv.BilledDuration {
+		t.Errorf("snapstart billed %v should exclude init (plain %v)",
+			inv.BilledDuration, plainInv.BilledDuration)
+	}
+	if inv.RestoreFeeUSD != 0.00002 {
+		t.Errorf("restore fee = %v", inv.RestoreFeeUSD)
+	}
+	durationCost := DefaultConfig().Pricing.Cost(inv.BilledDuration, inv.MemoryMB)
+	if diff := inv.CostUSD - (durationCost + inv.RestoreFeeUSD); diff > 1e-12 || diff < -1e-12 {
+		t.Errorf("cost %v != duration %v + fee %v", inv.CostUSD, durationCost, inv.RestoreFeeUSD)
+	}
+
+	// Warm starts behave normally (no restore, no fee).
+	warm, err := p.Invoke("snap", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.Kind != WarmStart || warm.SnapStartRestore || warm.RestoreFeeUSD != 0 {
+		t.Errorf("warm invocation wrong: %+v", warm)
+	}
+}
+
+func TestInvokeBurstColdStorm(t *testing.T) {
+	p := New(DefaultConfig())
+	p.Deploy(testApp("burst"))
+
+	// Prime two warm instances with an initial burst of 2.
+	first, err := p.InvokeBurst("burst", nil, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, inv := range first {
+		if inv.Kind != ColdStart {
+			t.Error("initial burst should be all cold")
+		}
+	}
+	stats, _ := p.FunctionStats("burst")
+	if stats.ColdStarts != 2 {
+		t.Fatalf("cold starts = %d, want 2", stats.ColdStarts)
+	}
+
+	// Wait for both to go idle, then burst 5: two warm, three cold.
+	p.Advance(10 * time.Second)
+	second, err := p.InvokeBurst("burst", nil, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, warm := 0, 0
+	for _, inv := range second {
+		if inv.Kind == ColdStart {
+			cold++
+		} else {
+			warm++
+		}
+	}
+	if warm != 2 || cold != 3 {
+		t.Errorf("burst served warm=%d cold=%d, want 2/3", warm, cold)
+	}
+}
+
+func TestBurstAdvancesClockBySlowest(t *testing.T) {
+	p := New(DefaultConfig())
+	p.Deploy(testApp("b2"))
+	t0 := p.Now()
+	invs, err := p.InvokeBurst("b2", nil, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var maxE2E time.Duration
+	for _, inv := range invs {
+		if inv.E2E > maxE2E {
+			maxE2E = inv.E2E
+		}
+	}
+	if p.Now()-t0 != maxE2E {
+		t.Errorf("clock advanced %v, want slowest E2E %v", p.Now()-t0, maxE2E)
+	}
+}
+
+func TestBusyInstancesNotReused(t *testing.T) {
+	p := New(DefaultConfig())
+	p.Deploy(testApp("b3"))
+	// A burst of 4 simultaneous requests needs 4 instances: none can be
+	// shared while busy.
+	invs, err := p.InvokeBurst("b3", nil, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, inv := range invs {
+		if inv.Kind != ColdStart {
+			t.Error("simultaneous requests cannot share an instance")
+		}
+	}
+}

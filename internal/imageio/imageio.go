@@ -1,0 +1,166 @@
+// Package imageio loads serverless applications from real directories into
+// the in-memory image format, and parses oracle specifications from JSON —
+// the input format the paper specifies (§5: "a JSON file containing the
+// input test cases that λ-trim will use to ensure correctness; each test
+// must contain an event and a context").
+//
+// A deployable application directory looks like:
+//
+//	app/
+//	  handler.py            entry module (handler function inside)
+//	  oracle.json           test cases (optional here, required to debloat)
+//	  site-packages/        third-party libraries
+//	    numpy/__init__.py
+//	    ...
+package imageio
+
+import (
+	"encoding/json"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/appspec"
+	"repro/internal/vfs"
+)
+
+// oracleFile mirrors the paper's JSON oracle specification.
+type oracleFile struct {
+	Tests []oracleTest `json:"tests"`
+}
+
+type oracleTest struct {
+	Name  string         `json:"name"`
+	Event map[string]any `json:"event"`
+	// Context is accepted for compatibility with the paper's format; the
+	// harness synthesizes the runtime context, so its contents are
+	// currently informational.
+	Context map[string]any `json:"context"`
+}
+
+// ParseOracleJSON decodes an oracle specification.
+func ParseOracleJSON(data []byte) ([]appspec.TestCase, error) {
+	var spec oracleFile
+	if err := json.Unmarshal(data, &spec); err != nil {
+		// Also accept a bare array of tests.
+		var bare []oracleTest
+		if err2 := json.Unmarshal(data, &bare); err2 != nil {
+			return nil, fmt.Errorf("imageio: oracle spec: %w", err)
+		}
+		spec.Tests = bare
+	}
+	if len(spec.Tests) == 0 {
+		return nil, fmt.Errorf("imageio: oracle spec contains no tests")
+	}
+	out := make([]appspec.TestCase, len(spec.Tests))
+	for i, tc := range spec.Tests {
+		name := tc.Name
+		if name == "" {
+			name = fmt.Sprintf("test-%d", i)
+		}
+		if tc.Event == nil {
+			tc.Event = map[string]any{}
+		}
+		out[i] = appspec.TestCase{Name: name, Event: normalizeJSON(tc.Event).(map[string]any)}
+	}
+	return out, nil
+}
+
+// normalizeJSON converts json.Unmarshal's generic values into the forms
+// appspec events use (float64 stays; json numbers that are integral become
+// int64 so handlers see ints).
+func normalizeJSON(v any) any {
+	switch t := v.(type) {
+	case map[string]any:
+		out := make(map[string]any, len(t))
+		for k, val := range t {
+			out[k] = normalizeJSON(val)
+		}
+		return out
+	case []any:
+		out := make([]any, len(t))
+		for i, val := range t {
+			out[i] = normalizeJSON(val)
+		}
+		return out
+	case float64:
+		if t == float64(int64(t)) {
+			return int64(t)
+		}
+		return t
+	}
+	return v
+}
+
+// LoadDir reads an application directory from the real filesystem. entry
+// and handler default to "handler"; the oracle is read from oracle.json
+// when present.
+func LoadDir(dir string) (*appspec.App, error) {
+	image := vfs.New()
+	var oracle []appspec.TestCase
+
+	err := filepath.WalkDir(dir, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			return nil
+		}
+		rel, err := filepath.Rel(dir, path)
+		if err != nil {
+			return err
+		}
+		rel = filepath.ToSlash(rel)
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		if rel == "oracle.json" {
+			oracle, err = ParseOracleJSON(data)
+			return err
+		}
+		if strings.HasSuffix(rel, ".py") {
+			image.Write(rel, string(data))
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("imageio: %w", err)
+	}
+	if !image.Exists("handler.py") {
+		return nil, fmt.Errorf("imageio: %s has no handler.py", dir)
+	}
+
+	name := filepath.Base(filepath.Clean(dir))
+	return &appspec.App{
+		Name:         name,
+		Image:        image,
+		Entry:        "handler",
+		Handler:      "handler",
+		Oracle:       oracle,
+		SetupDelayMS: 300,
+		ImageSizeMB:  float64(image.TotalSize()) / (1 << 20),
+		Tags:         map[string]string{"source": "local"},
+	}, nil
+}
+
+// SaveDir writes an application image back to a real directory — used to
+// export a debloated app for deployment.
+func SaveDir(app *appspec.App, dir string) error {
+	for _, rel := range app.Image.List() {
+		content, err := app.Image.Read(rel)
+		if err != nil {
+			return err
+		}
+		dst := filepath.Join(dir, filepath.FromSlash(rel))
+		if err := os.MkdirAll(filepath.Dir(dst), 0o755); err != nil {
+			return fmt.Errorf("imageio: %w", err)
+		}
+		if err := os.WriteFile(dst, []byte(content), 0o644); err != nil {
+			return fmt.Errorf("imageio: %w", err)
+		}
+	}
+	return nil
+}

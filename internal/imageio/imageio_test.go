@@ -1,0 +1,151 @@
+package imageio
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/debloat"
+)
+
+func writeFile(t *testing.T, path, content string) {
+	t.Helper()
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// buildAppDir writes a runnable app directory to a temp location.
+func buildAppDir(t *testing.T) string {
+	t.Helper()
+	dir := filepath.Join(t.TempDir(), "demo-app")
+	writeFile(t, filepath.Join(dir, "handler.py"), `
+import mathlib
+
+def handler(event, context):
+    x = event.get("x", 2)
+    print("square:", mathlib.square(x))
+    return {"result": mathlib.square(x)}
+`)
+	writeFile(t, filepath.Join(dir, "site-packages", "mathlib", "__init__.py"), `
+load_native(25, 8)
+
+def square(x):
+    return x * x
+
+def unused_cube(x):
+    return x * x * x
+`)
+	writeFile(t, filepath.Join(dir, "oracle.json"), `{
+  "tests": [
+    {"name": "two", "event": {"x": 2}},
+    {"name": "neg", "event": {"x": -3}}
+  ]
+}`)
+	writeFile(t, filepath.Join(dir, "README.txt"), "not python, ignored")
+	return dir
+}
+
+func TestLoadDir(t *testing.T) {
+	app, err := LoadDir(buildAppDir(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if app.Name != "demo-app" {
+		t.Errorf("name = %q", app.Name)
+	}
+	if !app.Image.Exists("handler.py") || !app.Image.Exists("site-packages/mathlib/__init__.py") {
+		t.Errorf("image files = %v", app.Image.List())
+	}
+	if app.Image.Exists("README.txt") {
+		t.Error("non-Python files must not be loaded")
+	}
+	if len(app.Oracle) != 2 || app.Oracle[0].Name != "two" {
+		t.Errorf("oracle = %+v", app.Oracle)
+	}
+	// JSON integers arrive as int64, not float64.
+	if _, ok := app.Oracle[0].Event["x"].(int64); !ok {
+		t.Errorf("event x has type %T, want int64", app.Oracle[0].Event["x"])
+	}
+}
+
+func TestLoadedAppDebloatsEndToEnd(t *testing.T) {
+	app, err := LoadDir(buildAppDir(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := debloat.Run(app, debloat.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	removed := false
+	for _, m := range res.Modules {
+		for _, r := range m.Removed {
+			if r == "unused_cube" {
+				removed = true
+			}
+			if r == "square" {
+				t.Error("needed attribute removed")
+			}
+		}
+	}
+	if !removed {
+		t.Error("unused_cube should have been removed")
+	}
+}
+
+func TestSaveDirRoundTrip(t *testing.T) {
+	app, err := LoadDir(buildAppDir(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := filepath.Join(t.TempDir(), "exported")
+	if err := SaveDir(app, out); err != nil {
+		t.Fatal(err)
+	}
+	reloaded, err := LoadDir(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reloaded.Image.Len() != app.Image.Len() {
+		t.Errorf("file count %d -> %d", app.Image.Len(), reloaded.Image.Len())
+	}
+	orig, _ := app.Image.Read("handler.py")
+	back, _ := reloaded.Image.Read("handler.py")
+	if orig != back {
+		t.Error("handler content changed across save/load")
+	}
+}
+
+func TestParseOracleBareArray(t *testing.T) {
+	cases, err := ParseOracleJSON([]byte(`[{"event": {"k": 1.5}}]`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cases) != 1 || cases[0].Name != "test-0" {
+		t.Errorf("cases = %+v", cases)
+	}
+	if v, ok := cases[0].Event["k"].(float64); !ok || v != 1.5 {
+		t.Errorf("k = %#v", cases[0].Event["k"])
+	}
+}
+
+func TestParseOracleErrors(t *testing.T) {
+	if _, err := ParseOracleJSON([]byte(`not json`)); err == nil {
+		t.Error("garbage should fail")
+	}
+	if _, err := ParseOracleJSON([]byte(`{"tests": []}`)); err == nil {
+		t.Error("empty tests should fail")
+	}
+}
+
+func TestLoadDirMissingHandler(t *testing.T) {
+	dir := t.TempDir()
+	writeFile(t, filepath.Join(dir, "other.py"), "x = 1\n")
+	if _, err := LoadDir(dir); err == nil {
+		t.Error("missing handler.py should fail")
+	}
+}

@@ -1,0 +1,154 @@
+// Package powertune finds cost-optimal memory configurations, modeling the
+// tradeoff the paper lays out in §2.1: "Configuring the memory too large is
+// a waste of resources and money. Configuring it too small would result in
+// memory swapping... the optimal configuration should be above the
+// application's peak memory footprint."
+//
+// Like AWS Lambda Power Tuning (which the paper cites for its memory-
+// setting methodology), the sweep exploits the platform's CPU allocation
+// rule: AWS grants vCPU proportionally to configured memory, one full vCPU
+// at 1769 MB. More memory therefore makes CPU-bound phases faster — up to
+// the point where the larger memory price outweighs the shorter duration.
+package powertune
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/appspec"
+	"repro/internal/faas"
+)
+
+// FullVCPUAtMB is the configured memory granting one full vCPU on AWS.
+const FullVCPUAtMB = 1769.0
+
+// MaxVCPUs caps the CPU scaling (AWS tops out at 6 vCPUs at 10240 MB).
+const MaxVCPUs = 6.0
+
+// Row is one memory configuration's outcome.
+type Row struct {
+	MemoryMB int
+	// Feasible is false below the app's peak footprint (the function
+	// would be OOM-killed or swap-degraded; the paper treats this as
+	// unusable).
+	Feasible bool
+	InitS    float64
+	ExecS    float64
+	E2ES     float64
+	// CostUSD is the per-cold-invocation bill at this configuration.
+	CostUSD float64
+}
+
+// Result is a full sweep. Because AWS scales vCPU linearly with memory,
+// the CPU-bound part of the bill (duration × memory) is roughly constant
+// across configurations while the fixed part grows — so the *cheapest*
+// feasible configuration is usually the smallest one, and the real
+// decision is the cost/latency tradeoff. The three summary picks mirror
+// AWS Lambda Power Tuning's strategies.
+type Result struct {
+	App  string
+	Rows []Row
+	// PeakMB is the measured footprint that feasibility is judged against.
+	PeakMB float64
+	// OptimalMB is the cost-minimizing feasible configuration ("cost"
+	// strategy).
+	OptimalMB int
+	// FastestMB is the E2E-minimizing configuration ("speed" strategy).
+	FastestMB int
+	// BalancedMB minimizes cost × E2E ("balanced" strategy).
+	BalancedMB int
+}
+
+// Sweep measures the app once at its natural configuration, then projects
+// init/exec time and cost across the candidate memory settings.
+// cpuBoundFrac is the fraction of the measured durations that scales with
+// CPU allocation (imports and handlers are a mix of CPU work and I/O;
+// 0.6-0.8 matches AWS power-tuning experience).
+func Sweep(app *appspec.App, cfg faas.Config, memories []int, cpuBoundFrac float64) (*Result, error) {
+	if cpuBoundFrac < 0 || cpuBoundFrac > 1 {
+		return nil, fmt.Errorf("powertune: cpuBoundFrac %f out of [0,1]", cpuBoundFrac)
+	}
+	base, err := faas.MeasureColdStart(app, cfg)
+	if err != nil {
+		return nil, err
+	}
+	refMB := float64(base.MemoryMB)
+	refFactor := cpuFactor(refMB)
+
+	res := &Result{App: app.Name, PeakMB: base.PeakMB}
+	sorted := append([]int(nil), memories...)
+	sort.Ints(sorted)
+
+	bestCost, bestE2E, bestBal := -1.0, -1.0, -1.0
+	for _, mem := range sorted {
+		row := Row{MemoryMB: mem}
+		if float64(mem) < base.PeakMB {
+			res.Rows = append(res.Rows, row) // infeasible: OOM
+			continue
+		}
+		row.Feasible = true
+		scale := cpuBoundFrac*(refFactor/cpuFactor(float64(mem))) + (1 - cpuBoundFrac)
+		init := base.Init.Seconds() * scale
+		exec := base.Exec.Seconds() * scale
+		row.InitS = init
+		row.ExecS = exec
+		row.E2ES = base.E2E.Seconds() - base.Init.Seconds() - base.Exec.Seconds() + init + exec
+		billed := cfg.Pricing.BillDuration(time.Duration((init + exec) * float64(time.Second)))
+		row.CostUSD = cfg.Pricing.Cost(billed, mem)
+		res.Rows = append(res.Rows, row)
+		if bestCost < 0 || row.CostUSD < bestCost {
+			bestCost = row.CostUSD
+			res.OptimalMB = mem
+		}
+		if bestE2E < 0 || row.E2ES < bestE2E {
+			bestE2E = row.E2ES
+			res.FastestMB = mem
+		}
+		if bal := row.CostUSD * row.E2ES; bestBal < 0 || bal < bestBal {
+			bestBal = bal
+			res.BalancedMB = mem
+		}
+	}
+	if res.OptimalMB == 0 {
+		return nil, fmt.Errorf("powertune: no feasible configuration (peak %.0f MB)", res.PeakMB)
+	}
+	return res, nil
+}
+
+// cpuFactor returns the vCPU share at a configuration.
+func cpuFactor(memMB float64) float64 {
+	f := memMB / FullVCPUAtMB
+	if f > MaxVCPUs {
+		return MaxVCPUs
+	}
+	if f < 0.05 {
+		return 0.05
+	}
+	return f
+}
+
+// DefaultLadder is the common power-tuning candidate set.
+func DefaultLadder() []int {
+	return []int{128, 256, 512, 768, 1024, 1536, 2048, 3008, 4096, 6144, 8192, 10240}
+}
+
+// Render prints a sweep as text.
+func (r *Result) Render() string {
+	out := fmt.Sprintf("power tuning %s (peak %.0f MB; cheapest %d MB, balanced %d MB, fastest %d MB)\n",
+		r.App, r.PeakMB, r.OptimalMB, r.BalancedMB, r.FastestMB)
+	out += fmt.Sprintf("%8s %9s %8s %8s %12s\n", "Mem(MB)", "Feasible", "Init(s)", "Exec(s)", "Cost($/inv)")
+	for _, row := range r.Rows {
+		if !row.Feasible {
+			out += fmt.Sprintf("%8d %9s %8s %8s %12s\n", row.MemoryMB, "OOM", "-", "-", "-")
+			continue
+		}
+		marker := ""
+		if row.MemoryMB == r.OptimalMB {
+			marker = "  <- optimal"
+		}
+		out += fmt.Sprintf("%8d %9s %8.3f %8.3f %12.3g%s\n",
+			row.MemoryMB, "yes", row.InitS, row.ExecS, row.CostUSD, marker)
+	}
+	return out
+}

@@ -1,0 +1,156 @@
+package powertune
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/appcorpus"
+	"repro/internal/appspec"
+	"repro/internal/faas"
+	"repro/internal/vfs"
+)
+
+// cpuHeavyApp has a big CPU-bound exec relative to its footprint, so the
+// cost curve has an interior optimum above the 128 MB floor.
+func cpuHeavyApp() *appspec.App {
+	fs := vfs.New()
+	fs.Write("handler.py", `
+import lib
+
+def handler(event, context):
+    lib.crunch()
+    return "ok"
+`)
+	fs.Write("site-packages/lib/__init__.py", `
+load_native(150, 120)
+
+def crunch():
+    compute(2500)
+`)
+	return &appspec.App{
+		Name: "cpu-heavy", Image: fs, Entry: "handler", Handler: "handler",
+		Oracle:       []appspec.TestCase{{Name: "t", Event: map[string]any{}}},
+		SetupDelayMS: 200,
+	}
+}
+
+func TestSweepShape(t *testing.T) {
+	res, err := Sweep(cpuHeavyApp(), faas.DefaultConfig(), DefaultLadder(), 0.7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != len(DefaultLadder()) {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	// Below the ~155 MB peak: infeasible.
+	if res.Rows[0].MemoryMB != 128 || res.Rows[0].Feasible {
+		t.Errorf("128 MB should be infeasible for a 155 MB footprint: %+v", res.Rows[0])
+	}
+	// Durations shrink monotonically with memory (more vCPU share).
+	var lastExec float64 = -1
+	for _, row := range res.Rows {
+		if !row.Feasible {
+			continue
+		}
+		if lastExec >= 0 && row.ExecS > lastExec+1e-9 {
+			t.Errorf("exec time rose with memory at %d MB", row.MemoryMB)
+		}
+		lastExec = row.ExecS
+	}
+	// With linear CPU scaling, the CPU share of the bill is constant while
+	// the fixed share grows, so the cheapest configuration is the smallest
+	// feasible one — and the speed/balanced strategies justify paying more.
+	feasible := feasibleRows(res)
+	if res.OptimalMB != feasible[0].MemoryMB {
+		t.Errorf("cheapest = %d MB, want smallest feasible %d", res.OptimalMB, feasible[0].MemoryMB)
+	}
+	if res.FastestMB <= res.OptimalMB {
+		t.Errorf("fastest %d MB should exceed cheapest %d MB for a CPU-bound app",
+			res.FastestMB, res.OptimalMB)
+	}
+	if res.BalancedMB < res.OptimalMB || res.BalancedMB > res.FastestMB {
+		t.Errorf("balanced %d MB should sit between cheapest %d and fastest %d",
+			res.BalancedMB, res.OptimalMB, res.FastestMB)
+	}
+	// The reported cheapest really is the cost minimum.
+	for _, row := range feasible {
+		opt := rowFor(res, res.OptimalMB)
+		if row.CostUSD < opt.CostUSD-1e-15 {
+			t.Errorf("config %d MB cheaper than reported optimum", row.MemoryMB)
+		}
+	}
+}
+
+func TestSweepDoublingMemoryHalvesCPUTime(t *testing.T) {
+	// With cpuBoundFrac=1, durations scale exactly inversely with memory
+	// below the vCPU cap.
+	res, err := Sweep(cpuHeavyApp(), faas.DefaultConfig(), []int{256, 512}, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := rowFor(res, 256), rowFor(res, 512)
+	if !a.Feasible || !b.Feasible {
+		t.Fatal("expected both feasible")
+	}
+	ratio := a.ExecS / b.ExecS
+	if ratio < 1.95 || ratio > 2.05 {
+		t.Errorf("512MB should halve 256MB exec: ratio %.3f", ratio)
+	}
+}
+
+func TestSweepIOOnlyAppPrefersSmallest(t *testing.T) {
+	// cpuBoundFrac=0: duration never improves, so the smallest feasible
+	// configuration wins on cost.
+	res, err := Sweep(cpuHeavyApp(), faas.DefaultConfig(), DefaultLadder(), 0.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	feasible := feasibleRows(res)
+	if res.OptimalMB != feasible[0].MemoryMB {
+		t.Errorf("I/O-bound app optimal %d, want smallest feasible %d",
+			res.OptimalMB, feasible[0].MemoryMB)
+	}
+}
+
+func TestSweepOnCorpusApp(t *testing.T) {
+	app := appcorpus.MustBuild("resnet")
+	res, err := Sweep(app, faas.DefaultConfig(), DefaultLadder(), 0.7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OptimalMB < 343 {
+		t.Errorf("optimal %d MB below resnet's footprint", res.OptimalMB)
+	}
+	out := res.Render()
+	if !strings.Contains(out, "optimal") || !strings.Contains(out, "OOM") {
+		t.Errorf("render missing content:\n%s", out)
+	}
+}
+
+func TestSweepErrors(t *testing.T) {
+	if _, err := Sweep(cpuHeavyApp(), faas.DefaultConfig(), DefaultLadder(), 1.5); err == nil {
+		t.Error("bad cpuBoundFrac should fail")
+	}
+	if _, err := Sweep(cpuHeavyApp(), faas.DefaultConfig(), []int{128}, 0.7); err == nil {
+		t.Error("no feasible configuration should fail")
+	}
+}
+
+func feasibleRows(res *Result) []Row {
+	var out []Row
+	for _, r := range res.Rows {
+		if r.Feasible {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+func rowFor(res *Result, mem int) Row {
+	for _, r := range res.Rows {
+		if r.MemoryMB == mem {
+			return r
+		}
+	}
+	return Row{}
+}

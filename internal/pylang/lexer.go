@@ -1,0 +1,484 @@
+package pylang
+
+import (
+	"fmt"
+	"strings"
+)
+
+// LexError reports a tokenization failure with its source position.
+type LexError struct {
+	Pos Pos
+	Msg string
+}
+
+func (e *LexError) Error() string { return fmt.Sprintf("%s: %s", e.Pos, e.Msg) }
+
+// Lexer converts source text into tokens, synthesizing NEWLINE, INDENT and
+// DEDENT tokens from significant whitespace in the usual Python manner.
+// Logical-line continuation inside (), [] and {} is supported; explicit
+// backslash continuation is not (the corpus generator never emits it).
+type Lexer struct {
+	src    string
+	pos    int // byte offset into src
+	line   int
+	col    int
+	indent []int // indentation stack, always starts with 0
+	nest   int   // depth of open brackets; newlines inside are insignificant
+
+	pending []Token // queued DEDENT tokens
+	atStart bool    // true when positioned at the start of a logical line
+	emitted bool    // whether any non-layout token was emitted on this line
+}
+
+// NewLexer returns a lexer over src.
+func NewLexer(src string) *Lexer {
+	return &Lexer{src: src, line: 1, col: 1, indent: []int{0}, atStart: true}
+}
+
+// Tokenize runs the lexer to completion.
+func Tokenize(src string) ([]Token, error) {
+	lx := NewLexer(src)
+	var toks []Token
+	for {
+		t, err := lx.Next()
+		if err != nil {
+			return nil, err
+		}
+		toks = append(toks, t)
+		if t.Kind == EOF {
+			return toks, nil
+		}
+	}
+}
+
+func (lx *Lexer) errf(format string, args ...any) error {
+	return &LexError{Pos: Pos{lx.line, lx.col}, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (lx *Lexer) peekByte() byte {
+	if lx.pos >= len(lx.src) {
+		return 0
+	}
+	return lx.src[lx.pos]
+}
+
+func (lx *Lexer) peekAt(off int) byte {
+	if lx.pos+off >= len(lx.src) {
+		return 0
+	}
+	return lx.src[lx.pos+off]
+}
+
+func (lx *Lexer) advance() byte {
+	c := lx.src[lx.pos]
+	lx.pos++
+	if c == '\n' {
+		lx.line++
+		lx.col = 1
+	} else {
+		lx.col++
+	}
+	return c
+}
+
+// Next returns the next token.
+func (lx *Lexer) Next() (Token, error) {
+	if len(lx.pending) > 0 {
+		t := lx.pending[0]
+		lx.pending = lx.pending[1:]
+		return t, nil
+	}
+
+	if lx.atStart && lx.nest == 0 {
+		if t, ok, err := lx.handleLineStart(); err != nil {
+			return Token{}, err
+		} else if ok {
+			return t, nil
+		}
+	}
+
+	lx.skipSpacesAndComments()
+
+	if lx.pos >= len(lx.src) {
+		return lx.finish()
+	}
+
+	c := lx.peekByte()
+	if c == '\n' {
+		lx.advance()
+		if lx.nest > 0 {
+			return lx.Next() // insignificant newline inside brackets
+		}
+		lx.atStart = true
+		if !lx.emitted {
+			return lx.Next() // blank or comment-only line
+		}
+		lx.emitted = false
+		return Token{Kind: NEWLINE, Pos: Pos{lx.line - 1, lx.col}}, nil
+	}
+
+	start := Pos{lx.line, lx.col}
+	switch {
+	case isNameStart(c):
+		return lx.lexName(start)
+	case c >= '0' && c <= '9':
+		return lx.lexNumber(start)
+	case c == '"' || c == '\'':
+		return lx.lexString(start)
+	case c == '.' && isDigit(lx.peekAt(1)):
+		return lx.lexNumber(start)
+	}
+	return lx.lexOperator(start)
+}
+
+// handleLineStart measures indentation and emits INDENT/DEDENT as needed.
+// Returns (token, true, nil) when a layout token must be produced.
+func (lx *Lexer) handleLineStart() (Token, bool, error) {
+	for {
+		// Measure leading whitespace of the upcoming line.
+		width := 0
+		i := lx.pos
+		for i < len(lx.src) {
+			switch lx.src[i] {
+			case ' ':
+				width++
+			case '\t':
+				width += 8 - width%8
+			default:
+				goto measured
+			}
+			i++
+		}
+	measured:
+		// Skip blank and comment-only lines entirely.
+		if i >= len(lx.src) {
+			lx.skipTo(i)
+			return Token{}, false, nil // EOF handling picks it up
+		}
+		if lx.src[i] == '\n' {
+			lx.skipTo(i + 1)
+			continue
+		}
+		if lx.src[i] == '#' {
+			for i < len(lx.src) && lx.src[i] != '\n' {
+				i++
+			}
+			if i < len(lx.src) {
+				i++
+			}
+			lx.skipTo(i)
+			continue
+		}
+
+		lx.skipTo(i)
+		lx.atStart = false
+		cur := lx.indent[len(lx.indent)-1]
+		switch {
+		case width > cur:
+			lx.indent = append(lx.indent, width)
+			return Token{Kind: INDENT, Pos: Pos{lx.line, lx.col}}, true, nil
+		case width < cur:
+			for len(lx.indent) > 1 && lx.indent[len(lx.indent)-1] > width {
+				lx.indent = lx.indent[:len(lx.indent)-1]
+				lx.pending = append(lx.pending, Token{Kind: DEDENT, Pos: Pos{lx.line, lx.col}})
+			}
+			if lx.indent[len(lx.indent)-1] != width {
+				return Token{}, false, lx.errf("inconsistent dedent to width %d", width)
+			}
+			t := lx.pending[0]
+			lx.pending = lx.pending[1:]
+			return t, true, nil
+		default:
+			return Token{}, false, nil
+		}
+	}
+}
+
+// skipTo advances the cursor to absolute offset target, maintaining line/col.
+func (lx *Lexer) skipTo(target int) {
+	for lx.pos < target {
+		lx.advance()
+	}
+}
+
+func (lx *Lexer) skipSpacesAndComments() {
+	for lx.pos < len(lx.src) {
+		c := lx.peekByte()
+		if c == ' ' || c == '\t' || c == '\r' {
+			lx.advance()
+			continue
+		}
+		if c == '#' {
+			for lx.pos < len(lx.src) && lx.peekByte() != '\n' {
+				lx.advance()
+			}
+			continue
+		}
+		if c == '\\' && lx.peekAt(1) == '\n' {
+			lx.advance()
+			lx.advance()
+			continue
+		}
+		return
+	}
+}
+
+// finish emits trailing NEWLINE/DEDENT/EOF tokens at end of input.
+func (lx *Lexer) finish() (Token, error) {
+	pos := Pos{lx.line, lx.col}
+	if lx.emitted {
+		lx.emitted = false
+		return Token{Kind: NEWLINE, Pos: pos}, nil
+	}
+	if len(lx.indent) > 1 {
+		lx.indent = lx.indent[:len(lx.indent)-1]
+		return Token{Kind: DEDENT, Pos: pos}, nil
+	}
+	return Token{Kind: EOF, Pos: pos}, nil
+}
+
+func isNameStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isNameChar(c byte) bool { return isNameStart(c) || isDigit(c) }
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+func (lx *Lexer) lexName(start Pos) (Token, error) {
+	begin := lx.pos
+	for lx.pos < len(lx.src) && isNameChar(lx.peekByte()) {
+		lx.advance()
+	}
+	text := lx.src[begin:lx.pos]
+	lx.emitted = true
+	if kw, ok := keywords[text]; ok {
+		// Fuse the two-word operators "not in" and "is not" so the parser
+		// sees single tokens.
+		if kw == KwNot && lx.followedByWord("in") {
+			return Token{Kind: KwNotIn, Text: "not in", Pos: start}, nil
+		}
+		if kw == KwIs && lx.followedByWord("not") {
+			return Token{Kind: KwIsNot, Text: "is not", Pos: start}, nil
+		}
+		return Token{Kind: kw, Text: text, Pos: start}, nil
+	}
+	return Token{Kind: NAME, Text: text, Pos: start}, nil
+}
+
+// followedByWord reports whether the next non-space run of name characters is
+// exactly word; if so it consumes it (including the intervening spaces).
+func (lx *Lexer) followedByWord(word string) bool {
+	i := lx.pos
+	for i < len(lx.src) && (lx.src[i] == ' ' || lx.src[i] == '\t') {
+		i++
+	}
+	if !strings.HasPrefix(lx.src[i:], word) {
+		return false
+	}
+	end := i + len(word)
+	if end < len(lx.src) && isNameChar(lx.src[end]) {
+		return false
+	}
+	lx.skipTo(end)
+	return true
+}
+
+func (lx *Lexer) lexNumber(start Pos) (Token, error) {
+	begin := lx.pos
+	seenDot := false
+	for lx.pos < len(lx.src) {
+		c := lx.peekByte()
+		if isDigit(c) || c == '_' {
+			lx.advance()
+			continue
+		}
+		if c == '.' && !seenDot && isDigit(lx.peekAt(1)) {
+			seenDot = true
+			lx.advance()
+			continue
+		}
+		if c == '.' && !seenDot && !isNameStart(lx.peekAt(1)) && lx.peekAt(1) != '.' {
+			seenDot = true
+			lx.advance()
+			continue
+		}
+		if (c == 'e' || c == 'E') && (isDigit(lx.peekAt(1)) || ((lx.peekAt(1) == '+' || lx.peekAt(1) == '-') && isDigit(lx.peekAt(2)))) {
+			seenDot = true
+			lx.advance() // e
+			if lx.peekByte() == '+' || lx.peekByte() == '-' {
+				lx.advance()
+			}
+			continue
+		}
+		break
+	}
+	lx.emitted = true
+	return Token{Kind: NUMBER, Text: lx.src[begin:lx.pos], Pos: start}, nil
+}
+
+func (lx *Lexer) lexString(start Pos) (Token, error) {
+	quote := lx.advance()
+	// Triple-quoted strings.
+	if lx.peekByte() == quote && lx.peekAt(1) == quote {
+		lx.advance()
+		lx.advance()
+		var sb strings.Builder
+		for {
+			if lx.pos >= len(lx.src) {
+				return Token{}, lx.errf("unterminated triple-quoted string")
+			}
+			if lx.peekByte() == quote && lx.peekAt(1) == quote && lx.peekAt(2) == quote {
+				lx.advance()
+				lx.advance()
+				lx.advance()
+				lx.emitted = true
+				return Token{Kind: STRING, Text: sb.String(), Pos: start}, nil
+			}
+			sb.WriteByte(lx.advance())
+		}
+	}
+	var sb strings.Builder
+	for {
+		if lx.pos >= len(lx.src) {
+			return Token{}, lx.errf("unterminated string")
+		}
+		c := lx.advance()
+		switch {
+		case c == quote:
+			lx.emitted = true
+			return Token{Kind: STRING, Text: sb.String(), Pos: start}, nil
+		case c == '\n':
+			return Token{}, lx.errf("newline in string literal")
+		case c == '\\':
+			if lx.pos >= len(lx.src) {
+				return Token{}, lx.errf("unterminated escape")
+			}
+			e := lx.advance()
+			switch e {
+			case 'n':
+				sb.WriteByte('\n')
+			case 't':
+				sb.WriteByte('\t')
+			case 'r':
+				sb.WriteByte('\r')
+			case '\\':
+				sb.WriteByte('\\')
+			case '\'':
+				sb.WriteByte('\'')
+			case '"':
+				sb.WriteByte('"')
+			case '0':
+				sb.WriteByte(0)
+			default:
+				sb.WriteByte('\\')
+				sb.WriteByte(e)
+			}
+		default:
+			sb.WriteByte(c)
+		}
+	}
+}
+
+func (lx *Lexer) lexOperator(start Pos) (Token, error) {
+	two := ""
+	if lx.pos+1 < len(lx.src) {
+		two = lx.src[lx.pos : lx.pos+2]
+	}
+	emit := func(k Kind, n int) (Token, error) {
+		text := lx.src[lx.pos : lx.pos+n]
+		for i := 0; i < n; i++ {
+			lx.advance()
+		}
+		lx.emitted = true
+		switch k {
+		case LParen, LBracket, LBrace:
+			lx.nest++
+		case RParen, RBracket, RBrace:
+			if lx.nest > 0 {
+				lx.nest--
+			}
+		}
+		return Token{Kind: k, Text: text, Pos: start}, nil
+	}
+
+	three := ""
+	if lx.pos+2 < len(lx.src) {
+		three = lx.src[lx.pos : lx.pos+3]
+	}
+	switch three {
+	case "//=":
+		return emit(DoubleSlashEq, 3)
+	case "**=":
+		return emit(DoubleStarEq, 3)
+	}
+
+	switch two {
+	case "**":
+		return emit(DoubleStar, 2)
+	case "//":
+		return emit(DoubleSlash, 2)
+	case "<=":
+		return emit(Le, 2)
+	case ">=":
+		return emit(Ge, 2)
+	case "==":
+		return emit(Eq, 2)
+	case "!=":
+		return emit(Ne, 2)
+	case "+=":
+		return emit(PlusEq, 2)
+	case "-=":
+		return emit(MinusEq, 2)
+	case "*=":
+		return emit(StarEq, 2)
+	case "/=":
+		return emit(SlashEq, 2)
+	case "%=":
+		return emit(PercentEq, 2)
+	case "->":
+		return emit(Arrow, 2)
+	}
+
+	switch lx.peekByte() {
+	case '(':
+		return emit(LParen, 1)
+	case ')':
+		return emit(RParen, 1)
+	case '[':
+		return emit(LBracket, 1)
+	case ']':
+		return emit(RBracket, 1)
+	case '{':
+		return emit(LBrace, 1)
+	case '}':
+		return emit(RBrace, 1)
+	case ',':
+		return emit(Comma, 1)
+	case ':':
+		return emit(Colon, 1)
+	case ';':
+		return emit(Semicolon, 1)
+	case '.':
+		return emit(Dot, 1)
+	case '=':
+		return emit(Assign, 1)
+	case '+':
+		return emit(Plus, 1)
+	case '-':
+		return emit(Minus, 1)
+	case '*':
+		return emit(Star, 1)
+	case '/':
+		return emit(Slash, 1)
+	case '%':
+		return emit(Percent, 1)
+	case '<':
+		return emit(Lt, 1)
+	case '>':
+		return emit(Gt, 1)
+	case '@':
+		return emit(At, 1)
+	}
+	return Token{}, lx.errf("unexpected character %q", lx.peekByte())
+}

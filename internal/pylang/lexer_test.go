@@ -1,0 +1,224 @@
+package pylang
+
+import (
+	"strings"
+	"testing"
+)
+
+func kinds(toks []Token) []Kind {
+	out := make([]Kind, len(toks))
+	for i, t := range toks {
+		out[i] = t.Kind
+	}
+	return out
+}
+
+func expectKinds(t *testing.T, src string, want ...Kind) {
+	t.Helper()
+	toks, err := Tokenize(src)
+	if err != nil {
+		t.Fatalf("tokenize %q: %v", src, err)
+	}
+	got := kinds(toks)
+	if len(got) != len(want) {
+		t.Fatalf("tokenize %q:\n got %v\nwant %v", src, got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("tokenize %q:\n got %v\nwant %v", src, got, want)
+		}
+	}
+}
+
+func TestLexSimpleStatement(t *testing.T) {
+	expectKinds(t, "x = 1\n", NAME, Assign, NUMBER, NEWLINE, EOF)
+}
+
+func TestLexIndentation(t *testing.T) {
+	expectKinds(t, "if x:\n    y = 1\nz = 2\n",
+		KwIf, NAME, Colon, NEWLINE,
+		INDENT, NAME, Assign, NUMBER, NEWLINE, DEDENT,
+		NAME, Assign, NUMBER, NEWLINE, EOF)
+}
+
+func TestLexNestedDedents(t *testing.T) {
+	src := "if a:\n    if b:\n        x = 1\ny = 2\n"
+	toks, err := Tokenize(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dedents := 0
+	for _, tok := range toks {
+		if tok.Kind == DEDENT {
+			dedents++
+		}
+	}
+	if dedents != 2 {
+		t.Errorf("got %d DEDENTs, want 2", dedents)
+	}
+}
+
+func TestLexBlankAndCommentLines(t *testing.T) {
+	expectKinds(t, "x = 1\n\n# comment\n   \ny = 2\n",
+		NAME, Assign, NUMBER, NEWLINE, NAME, Assign, NUMBER, NEWLINE, EOF)
+}
+
+func TestLexBracketsSuppressNewlines(t *testing.T) {
+	expectKinds(t, "x = [1,\n     2]\n",
+		NAME, Assign, LBracket, NUMBER, Comma, NUMBER, RBracket, NEWLINE, EOF)
+}
+
+func TestLexFusedOperators(t *testing.T) {
+	expectKinds(t, "a is not b\n", NAME, KwIsNot, NAME, NEWLINE, EOF)
+	expectKinds(t, "a not in b\n", NAME, KwNotIn, NAME, NEWLINE, EOF)
+	expectKinds(t, "not a\n", KwNot, NAME, NEWLINE, EOF)
+	// "in" as part of an identifier must not fuse.
+	expectKinds(t, "a is nothing\n", NAME, KwIs, NAME, NEWLINE, EOF)
+}
+
+func TestLexTwoCharOperators(t *testing.T) {
+	expectKinds(t, "a ** b // c <= d >= e == f != g\n",
+		NAME, DoubleStar, NAME, DoubleSlash, NAME, Le, NAME, Ge,
+		NAME, Eq, NAME, Ne, NAME, NEWLINE, EOF)
+	expectKinds(t, "a += 1; b -= 2\n",
+		NAME, PlusEq, NUMBER, Semicolon, NAME, MinusEq, NUMBER, NEWLINE, EOF)
+}
+
+func TestLexStringEscapes(t *testing.T) {
+	toks, err := Tokenize(`s = "a\nb\tc\"d"` + "\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[2].Kind != STRING || toks[2].Text != "a\nb\tc\"d" {
+		t.Errorf("string = %q", toks[2].Text)
+	}
+}
+
+func TestLexTripleQuotedString(t *testing.T) {
+	toks, err := Tokenize("s = \"\"\"line1\nline2\"\"\"\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[2].Text != "line1\nline2" {
+		t.Errorf("triple string = %q", toks[2].Text)
+	}
+}
+
+func TestLexNumbers(t *testing.T) {
+	toks, err := Tokenize("a = 1_000 + 3.14 + 1e3 + 2.5e-2\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var nums []string
+	for _, tok := range toks {
+		if tok.Kind == NUMBER {
+			nums = append(nums, tok.Text)
+		}
+	}
+	want := []string{"1_000", "3.14", "1e3", "2.5e-2"}
+	if strings.Join(nums, " ") != strings.Join(want, " ") {
+		t.Errorf("numbers = %v, want %v", nums, want)
+	}
+}
+
+func TestLexErrors(t *testing.T) {
+	cases := []string{
+		"x = \"unterminated\n",
+		"x = $\n",
+		"if a:\n      b = 1\n   c = 2\n", // inconsistent dedent
+	}
+	for _, src := range cases {
+		if _, err := Tokenize(src); err == nil {
+			t.Errorf("no error for %q", src)
+		}
+	}
+}
+
+func TestLexPositions(t *testing.T) {
+	toks, err := Tokenize("x = 1\ny = 2\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Pos.Line != 1 || toks[0].Pos.Col != 1 {
+		t.Errorf("first token pos = %v", toks[0].Pos)
+	}
+	// The "y" token starts line 2.
+	var yTok *Token
+	for i := range toks {
+		if toks[i].Text == "y" {
+			yTok = &toks[i]
+		}
+	}
+	if yTok == nil || yTok.Pos.Line != 2 {
+		t.Errorf("y token pos = %+v", yTok)
+	}
+}
+
+func TestLexKeywordsRecognized(t *testing.T) {
+	for word, kind := range keywords {
+		toks, err := Tokenize(word + "\n")
+		if err != nil {
+			t.Fatalf("%s: %v", word, err)
+		}
+		if toks[0].Kind != kind {
+			t.Errorf("%s lexed as %v, want %v", word, toks[0].Kind, kind)
+		}
+	}
+}
+
+func TestLexLineContinuation(t *testing.T) {
+	expectKinds(t, "x = 1 + \\\n2\n",
+		NAME, Assign, NUMBER, Plus, NUMBER, NEWLINE, EOF)
+}
+
+func TestWalkVisitsAllNodes(t *testing.T) {
+	mod := &Module{Body: []Stmt{
+		&IfStmt{
+			Cond: &Compare{Left: &NameExpr{Name: "a"}, Ops: []Kind{Lt}, Comparators: []Expr{&IntLit{Value: 3}}},
+			Body: []Stmt{&ExprStmt{Value: &CallExpr{Func: &NameExpr{Name: "f"}, Args: []Expr{&StringLit{Value: "x"}}}}},
+			Else: []Stmt{&PassStmt{}},
+		},
+	}}
+	var names []string
+	Walk(mod, func(n Node) bool {
+		if ne, ok := n.(*NameExpr); ok {
+			names = append(names, ne.Name)
+		}
+		return true
+	})
+	if len(names) != 2 || names[0] != "a" || names[1] != "f" {
+		t.Errorf("walk names = %v", names)
+	}
+}
+
+func TestWalkPrune(t *testing.T) {
+	mod := &Module{Body: []Stmt{
+		&DefStmt{Name: "f", Body: []Stmt{&ExprStmt{Value: &NameExpr{Name: "inner"}}}},
+	}}
+	count := 0
+	Walk(mod, func(n Node) bool {
+		count++
+		_, isDef := n.(*DefStmt)
+		return !isDef // prune def bodies
+	})
+	if count != 2 { // module + def only
+		t.Errorf("visited %d nodes, want 2", count)
+	}
+}
+
+func TestAliasBound(t *testing.T) {
+	cases := []struct {
+		alias Alias
+		want  string
+	}{
+		{Alias{Name: "numpy"}, "numpy"},
+		{Alias{Name: "numpy", AsName: "np"}, "np"},
+		{Alias{Name: "a.b.c"}, "a"},
+		{Alias{Name: "a.b.c", AsName: "abc"}, "abc"},
+	}
+	for _, c := range cases {
+		if got := c.alias.Bound(); got != c.want {
+			t.Errorf("Bound(%+v) = %q, want %q", c.alias, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,427 @@
+package pylang
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Print renders a module back to source text. The output parses to an
+// equivalent AST, which is what the debloater relies on when it rewrites a
+// library's __init__ file and copies it back into site-packages.
+func Print(m *Module) string {
+	var p printer
+	p.stmts(m.Body)
+	return p.sb.String()
+}
+
+// PrintStmts renders a statement list at the top level.
+func PrintStmts(body []Stmt) string {
+	var p printer
+	p.stmts(body)
+	return p.sb.String()
+}
+
+// PrintExpr renders a single expression.
+func PrintExpr(e Expr) string {
+	var p printer
+	p.expr(e)
+	return p.sb.String()
+}
+
+type printer struct {
+	sb     strings.Builder
+	indent int
+}
+
+func (p *printer) line(format string, args ...any) {
+	p.sb.WriteString(strings.Repeat("    ", p.indent))
+	fmt.Fprintf(&p.sb, format, args...)
+	p.sb.WriteByte('\n')
+}
+
+func (p *printer) stmts(body []Stmt) {
+	if len(body) == 0 {
+		p.line("pass")
+		return
+	}
+	for _, s := range body {
+		p.stmt(s)
+	}
+}
+
+func aliasText(a Alias) string {
+	if a.AsName != "" {
+		return a.Name + " as " + a.AsName
+	}
+	return a.Name
+}
+
+func (p *printer) stmt(s Stmt) {
+	switch v := s.(type) {
+	case *ImportStmt:
+		parts := make([]string, len(v.Names))
+		for i, a := range v.Names {
+			parts[i] = aliasText(a)
+		}
+		p.line("import %s", strings.Join(parts, ", "))
+	case *FromImportStmt:
+		mod := strings.Repeat(".", v.Level) + v.Module
+		if v.Star {
+			p.line("from %s import *", mod)
+			return
+		}
+		parts := make([]string, len(v.Names))
+		for i, a := range v.Names {
+			parts[i] = aliasText(a)
+		}
+		p.line("from %s import %s", mod, strings.Join(parts, ", "))
+	case *DefStmt:
+		for _, d := range v.Decorators {
+			p.line("@%s", PrintExpr(d))
+		}
+		p.line("def %s(%s):", v.Name, p.params(v.Params))
+		p.indent++
+		p.stmts(v.Body)
+		p.indent--
+	case *ClassStmt:
+		for _, d := range v.Decorators {
+			p.line("@%s", PrintExpr(d))
+		}
+		if len(v.Bases) == 0 {
+			p.line("class %s:", v.Name)
+		} else {
+			bases := make([]string, len(v.Bases))
+			for i, b := range v.Bases {
+				bases[i] = PrintExpr(b)
+			}
+			p.line("class %s(%s):", v.Name, strings.Join(bases, ", "))
+		}
+		p.indent++
+		p.stmts(v.Body)
+		p.indent--
+	case *ReturnStmt:
+		if v.Value == nil {
+			p.line("return")
+		} else {
+			p.line("return %s", PrintExpr(v.Value))
+		}
+	case *IfStmt:
+		p.ifChain(v, "if")
+	case *WhileStmt:
+		p.line("while %s:", PrintExpr(v.Cond))
+		p.indent++
+		p.stmts(v.Body)
+		p.indent--
+		if len(v.Else) > 0 {
+			p.line("else:")
+			p.indent++
+			p.stmts(v.Else)
+			p.indent--
+		}
+	case *ForStmt:
+		p.line("for %s in %s:", PrintExpr(v.Target), PrintExpr(v.Iter))
+		p.indent++
+		p.stmts(v.Body)
+		p.indent--
+		if len(v.Else) > 0 {
+			p.line("else:")
+			p.indent++
+			p.stmts(v.Else)
+			p.indent--
+		}
+	case *AssignStmt:
+		targets := make([]string, len(v.Targets))
+		for i, t := range v.Targets {
+			targets[i] = PrintExpr(t)
+		}
+		p.line("%s = %s", strings.Join(targets, " = "), PrintExpr(v.Value))
+	case *AugAssignStmt:
+		p.line("%s %s= %s", PrintExpr(v.Target), v.Op, PrintExpr(v.Value))
+	case *ExprStmt:
+		p.line("%s", PrintExpr(v.Value))
+	case *PassStmt:
+		p.line("pass")
+	case *BreakStmt:
+		p.line("break")
+	case *ContinueStmt:
+		p.line("continue")
+	case *RaiseStmt:
+		if v.Value == nil {
+			p.line("raise")
+		} else {
+			p.line("raise %s", PrintExpr(v.Value))
+		}
+	case *TryStmt:
+		p.line("try:")
+		p.indent++
+		p.stmts(v.Body)
+		p.indent--
+		for _, ex := range v.Excepts {
+			switch {
+			case ex.Type == nil:
+				p.line("except:")
+			case ex.Name != "":
+				p.line("except %s as %s:", PrintExpr(ex.Type), ex.Name)
+			default:
+				p.line("except %s:", PrintExpr(ex.Type))
+			}
+			p.indent++
+			p.stmts(ex.Body)
+			p.indent--
+		}
+		if len(v.Else) > 0 {
+			p.line("else:")
+			p.indent++
+			p.stmts(v.Else)
+			p.indent--
+		}
+		if len(v.Finally) > 0 {
+			p.line("finally:")
+			p.indent++
+			p.stmts(v.Finally)
+			p.indent--
+		}
+	case *GlobalStmt:
+		p.line("global %s", strings.Join(v.Names, ", "))
+	case *DelStmt:
+		targets := make([]string, len(v.Targets))
+		for i, t := range v.Targets {
+			targets[i] = PrintExpr(t)
+		}
+		p.line("del %s", strings.Join(targets, ", "))
+	case *AssertStmt:
+		if v.Msg != nil {
+			p.line("assert %s, %s", PrintExpr(v.Cond), PrintExpr(v.Msg))
+		} else {
+			p.line("assert %s", PrintExpr(v.Cond))
+		}
+	default:
+		panic(fmt.Sprintf("printer: unknown statement %T", s))
+	}
+}
+
+func (p *printer) ifChain(v *IfStmt, kw string) {
+	p.line("%s %s:", kw, PrintExpr(v.Cond))
+	p.indent++
+	p.stmts(v.Body)
+	p.indent--
+	if len(v.Else) == 0 {
+		return
+	}
+	// Re-sugar a sole nested IfStmt as an elif chain.
+	if len(v.Else) == 1 {
+		if nested, ok := v.Else[0].(*IfStmt); ok {
+			p.ifChain(nested, "elif")
+			return
+		}
+	}
+	p.line("else:")
+	p.indent++
+	p.stmts(v.Else)
+	p.indent--
+}
+
+func (p *printer) params(params []Param) string {
+	parts := make([]string, len(params))
+	for i, pa := range params {
+		if pa.Default != nil {
+			parts[i] = pa.Name + "=" + PrintExpr(pa.Default)
+		} else {
+			parts[i] = pa.Name
+		}
+	}
+	return strings.Join(parts, ", ")
+}
+
+func (p *printer) expr(e Expr) {
+	p.sb.WriteString(exprString(e, 0))
+}
+
+// Operator precedence levels used to decide parenthesization; larger binds
+// tighter. Mirrors the parser's expression grammar.
+const (
+	precLambda = iota
+	precCond
+	precOr
+	precAnd
+	precNot
+	precCompare
+	precAdd
+	precMul
+	precUnary
+	precPower
+	precPostfix
+	precAtom
+)
+
+func binPrec(op Kind) int {
+	switch op {
+	case Plus, Minus:
+		return precAdd
+	case Star, Slash, DoubleSlash, Percent:
+		return precMul
+	case DoubleStar:
+		return precPower
+	}
+	return precAtom
+}
+
+func exprString(e Expr, parentPrec int) string {
+	var s string
+	var prec int
+	switch v := e.(type) {
+	case *NameExpr:
+		s, prec = v.Name, precAtom
+	case *IntLit:
+		s, prec = strconv.FormatInt(v.Value, 10), precAtom
+	case *FloatLit:
+		s, prec = formatFloat(v.Value), precAtom
+	case *StringLit:
+		s, prec = quotePy(v.Value), precAtom
+	case *BoolLit:
+		if v.Value {
+			s = "True"
+		} else {
+			s = "False"
+		}
+		prec = precAtom
+	case *NoneLit:
+		s, prec = "None", precAtom
+	case *AttrExpr:
+		s = exprString(v.Value, precPostfix) + "." + v.Attr
+		prec = precPostfix
+	case *IndexExpr:
+		base := exprString(v.Value, precPostfix)
+		if v.Slice {
+			low, high := "", ""
+			if v.Low != nil {
+				low = exprString(v.Low, 0)
+			}
+			if v.High != nil {
+				high = exprString(v.High, 0)
+			}
+			s = base + "[" + low + ":" + high + "]"
+		} else {
+			s = base + "[" + exprString(v.Index, 0) + "]"
+		}
+		prec = precPostfix
+	case *CallExpr:
+		var parts []string
+		for _, a := range v.Args {
+			parts = append(parts, exprString(a, 0))
+		}
+		for _, kw := range v.Keywords {
+			parts = append(parts, kw.Name+"="+exprString(kw.Value, 0))
+		}
+		s = exprString(v.Func, precPostfix) + "(" + strings.Join(parts, ", ") + ")"
+		prec = precPostfix
+	case *BinOp:
+		prec = binPrec(v.Op)
+		if v.Op == DoubleStar {
+			// ** is right-associative: parenthesize the left side instead.
+			s = exprString(v.Left, prec+1) + " " + v.Op.String() + " " + exprString(v.Right, prec)
+		} else {
+			s = exprString(v.Left, prec) + " " + v.Op.String() + " " + exprString(v.Right, prec+1)
+		}
+	case *BoolOp:
+		if v.Op == KwAnd {
+			prec = precAnd
+		} else {
+			prec = precOr
+		}
+		parts := make([]string, len(v.Values))
+		for i, val := range v.Values {
+			parts[i] = exprString(val, prec+1)
+		}
+		s = strings.Join(parts, " "+v.Op.String()+" ")
+	case *UnaryOp:
+		if v.Op == KwNot {
+			prec = precNot
+			s = "not " + exprString(v.Operand, precNot)
+		} else {
+			prec = precUnary
+			s = v.Op.String() + exprString(v.Operand, precUnary)
+		}
+	case *Compare:
+		prec = precCompare
+		var sb strings.Builder
+		sb.WriteString(exprString(v.Left, precCompare+1))
+		for i, op := range v.Ops {
+			sb.WriteString(" " + op.String() + " ")
+			sb.WriteString(exprString(v.Comparators[i], precCompare+1))
+		}
+		s = sb.String()
+	case *ListExpr:
+		parts := make([]string, len(v.Elems))
+		for i, el := range v.Elems {
+			parts[i] = exprString(el, 0)
+		}
+		s, prec = "["+strings.Join(parts, ", ")+"]", precAtom
+	case *TupleExpr:
+		parts := make([]string, len(v.Elems))
+		for i, el := range v.Elems {
+			parts[i] = exprString(el, 0)
+		}
+		if len(parts) == 1 {
+			s = "(" + parts[0] + ",)"
+		} else {
+			s = "(" + strings.Join(parts, ", ") + ")"
+		}
+		prec = precAtom
+	case *DictExpr:
+		parts := make([]string, len(v.Items))
+		for i, it := range v.Items {
+			parts[i] = exprString(it.Key, 0) + ": " + exprString(it.Value, 0)
+		}
+		s, prec = "{"+strings.Join(parts, ", ")+"}", precAtom
+	case *CondExpr:
+		prec = precCond
+		s = exprString(v.Body, precCond+1) + " if " + exprString(v.Cond, precCond+1) +
+			" else " + exprString(v.OrElse, precCond)
+	case *LambdaExpr:
+		prec = precLambda
+		var pp printer
+		s = "lambda " + pp.params(v.Params) + ": " + exprString(v.Body, precLambda)
+		if len(v.Params) == 0 {
+			s = "lambda: " + exprString(v.Body, precLambda)
+		}
+	default:
+		panic(fmt.Sprintf("printer: unknown expression %T", e))
+	}
+	if prec < parentPrec {
+		return "(" + s + ")"
+	}
+	return s
+}
+
+func formatFloat(f float64) string {
+	s := strconv.FormatFloat(f, 'g', -1, 64)
+	if !strings.ContainsAny(s, ".eE") {
+		s += ".0"
+	}
+	return s
+}
+
+func quotePy(s string) string {
+	var sb strings.Builder
+	sb.WriteByte('"')
+	for i := 0; i < len(s); i++ {
+		switch c := s[i]; c {
+		case '"':
+			sb.WriteString("\\\"")
+		case '\\':
+			sb.WriteString("\\\\")
+		case '\n':
+			sb.WriteString("\\n")
+		case '\t':
+			sb.WriteString("\\t")
+		case '\r':
+			sb.WriteString("\\r")
+		default:
+			sb.WriteByte(c)
+		}
+	}
+	sb.WriteByte('"')
+	return sb.String()
+}

@@ -1,0 +1,225 @@
+package pylang
+
+import (
+	"strings"
+	"testing"
+)
+
+func p(line int, col int) Pos { return Pos{line, col} }
+
+func name(s string) *NameExpr { return &NameExpr{Name: s} }
+
+func TestPrintImports(t *testing.T) {
+	m := &Module{Body: []Stmt{
+		&ImportStmt{Names: []Alias{{Name: "numpy"}, {Name: "torch.nn", AsName: "nn"}}},
+		&FromImportStmt{Module: "pandas", Names: []Alias{{Name: "DataFrame"}, {Name: "Series", AsName: "S"}}},
+		&FromImportStmt{Level: 2, Module: "pkg", Names: []Alias{{Name: "x"}}},
+		&FromImportStmt{Module: "lib", Star: true},
+	}}
+	want := `import numpy, torch.nn as nn
+from pandas import DataFrame, Series as S
+from ..pkg import x
+from lib import *
+`
+	if got := Print(m); got != want {
+		t.Errorf("got:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestPrintCompound(t *testing.T) {
+	m := &Module{Body: []Stmt{
+		&WhileStmt{
+			Cond: &BoolLit{Value: true},
+			Body: []Stmt{&BreakStmt{}},
+			Else: []Stmt{&ExprStmt{Value: &CallExpr{Func: name("done")}}},
+		},
+		&ForStmt{
+			Target: &TupleExpr{Elems: []Expr{name("k"), name("v")}},
+			Iter:   &CallExpr{Func: &AttrExpr{Value: name("d"), Attr: "items"}},
+			Body:   []Stmt{&ContinueStmt{}},
+		},
+		&TryStmt{
+			Body: []Stmt{&PassStmt{}},
+			Excepts: []ExceptClause{
+				{Type: name("ValueError"), Name: "e", Body: []Stmt{&PassStmt{}}},
+				{Body: []Stmt{&RaiseStmt{}}},
+			},
+			Else:    []Stmt{&PassStmt{}},
+			Finally: []Stmt{&PassStmt{}},
+		},
+	}}
+	out := Print(m)
+	for _, needle := range []string{
+		"while True:", "break", "else:", "done()",
+		"for (k, v) in d.items():", "continue",
+		"try:", "except ValueError as e:", "except:", "raise", "finally:",
+	} {
+		if !strings.Contains(out, needle) {
+			t.Errorf("missing %q in:\n%s", needle, out)
+		}
+	}
+}
+
+func TestPrintDefAndClass(t *testing.T) {
+	m := &Module{Body: []Stmt{
+		&DefStmt{
+			Name: "f",
+			Params: []Param{
+				{Name: "a"},
+				{Name: "b", Default: &IntLit{Value: 2}},
+			},
+			Body:       []Stmt{&ReturnStmt{Value: &BinOp{Op: Plus, Left: name("a"), Right: name("b")}}},
+			Decorators: []Expr{name("cached")},
+		},
+		&ClassStmt{
+			Name:  "C",
+			Bases: []Expr{name("Base")},
+			Body:  []Stmt{},
+		},
+	}}
+	out := Print(m)
+	for _, needle := range []string{"@cached", "def f(a, b=2):", "return a + b", "class C(Base):", "pass"} {
+		if !strings.Contains(out, needle) {
+			t.Errorf("missing %q in:\n%s", needle, out)
+		}
+	}
+}
+
+func TestPrintSimpleStatements(t *testing.T) {
+	m := &Module{Body: []Stmt{
+		&AssignStmt{Targets: []Expr{name("a"), name("b")}, Value: &IntLit{Value: 1}},
+		&AugAssignStmt{Target: name("x"), Op: DoubleSlash, Value: &IntLit{Value: 2}},
+		&GlobalStmt{Names: []string{"g1", "g2"}},
+		&DelStmt{Targets: []Expr{name("a"), &IndexExpr{Value: name("d"), Index: &StringLit{Value: "k"}}}},
+		&AssertStmt{Cond: name("ok"), Msg: &StringLit{Value: "boom"}},
+		&AssertStmt{Cond: name("ok")},
+		&ReturnStmt{},
+		&RaiseStmt{Value: &CallExpr{Func: name("ValueError"), Args: []Expr{&StringLit{Value: "x"}}}},
+	}}
+	out := Print(m)
+	for _, needle := range []string{
+		"a = b = 1", "x //= 2", "global g1, g2", `del a, d["k"]`,
+		`assert ok, "boom"`, "assert ok", "return", `raise ValueError("x")`,
+	} {
+		if !strings.Contains(out, needle) {
+			t.Errorf("missing %q in:\n%s", needle, out)
+		}
+	}
+}
+
+func TestPrintExprForms(t *testing.T) {
+	cases := []struct {
+		expr Expr
+		want string
+	}{
+		{&FloatLit{Value: 2}, "2.0"},
+		{&FloatLit{Value: 2.5}, "2.5"},
+		{&BoolLit{Value: false}, "False"},
+		{&NoneLit{}, "None"},
+		{&StringLit{Value: "a\"b\n"}, `"a\"b\n"`},
+		{&TupleExpr{}, "()"},
+		{&TupleExpr{Elems: []Expr{&IntLit{Value: 1}}}, "(1,)"},
+		{&DictExpr{Items: []DictItem{{Key: &StringLit{Value: "k"}, Value: &IntLit{Value: 1}}}}, `{"k": 1}`},
+		{&CondExpr{Cond: name("c"), Body: name("a"), OrElse: name("b")}, "a if c else b"},
+		{&LambdaExpr{Params: []Param{{Name: "x"}}, Body: name("x")}, "lambda x: x"},
+		{&LambdaExpr{Body: &IntLit{Value: 0}}, "lambda: 0"},
+		{&UnaryOp{Op: KwNot, Operand: name("x")}, "not x"},
+		{&UnaryOp{Op: Minus, Operand: name("x")}, "-x"},
+		{&Compare{Left: name("a"), Ops: []Kind{Lt, Le}, Comparators: []Expr{name("b"), name("c")}}, "a < b <= c"},
+		{&Compare{Left: name("a"), Ops: []Kind{KwNotIn}, Comparators: []Expr{name("s")}}, "a not in s"},
+		{&IndexExpr{Value: name("l"), Slice: true, Low: &IntLit{Value: 1}}, "l[1:]"},
+		{&IndexExpr{Value: name("l"), Slice: true, High: &IntLit{Value: 2}}, "l[:2]"},
+		{&IndexExpr{Value: name("l"), Slice: true}, "l[:]"},
+		{&BoolOp{Op: KwOr, Values: []Expr{name("a"), name("b"), name("c")}}, "a or b or c"},
+		{&CallExpr{Func: name("f"), Args: []Expr{name("x")},
+			Keywords: []KeywordArg{{Name: "k", Value: &IntLit{Value: 1}}}}, "f(x, k=1)"},
+	}
+	for _, c := range cases {
+		if got := PrintExpr(c.expr); got != c.want {
+			t.Errorf("PrintExpr = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestPrintParenthesization(t *testing.T) {
+	// (a + b) * c requires parens; a + b * c does not.
+	mul := &BinOp{Op: Star,
+		Left:  &BinOp{Op: Plus, Left: name("a"), Right: name("b")},
+		Right: name("c")}
+	if got := PrintExpr(mul); got != "(a + b) * c" {
+		t.Errorf("got %q", got)
+	}
+	add := &BinOp{Op: Plus,
+		Left:  name("a"),
+		Right: &BinOp{Op: Star, Left: name("b"), Right: name("c")}}
+	if got := PrintExpr(add); got != "a + b * c" {
+		t.Errorf("got %q", got)
+	}
+	// Left-nested subtraction keeps order without parens; right-nested
+	// needs them.
+	sub := &BinOp{Op: Minus,
+		Left:  name("a"),
+		Right: &BinOp{Op: Minus, Left: name("b"), Right: name("c")}}
+	if got := PrintExpr(sub); got != "a - (b - c)" {
+		t.Errorf("got %q", got)
+	}
+	// not binds looser than comparison.
+	notCmp := &UnaryOp{Op: KwNot, Operand: &Compare{Left: name("a"), Ops: []Kind{Eq}, Comparators: []Expr{name("b")}}}
+	if got := PrintExpr(notCmp); got != "not a == b" {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestPrintElifChainResugared(t *testing.T) {
+	m := &Module{Body: []Stmt{
+		&IfStmt{
+			Cond: name("a"),
+			Body: []Stmt{&PassStmt{}},
+			Else: []Stmt{&IfStmt{
+				Cond: name("b"),
+				Body: []Stmt{&PassStmt{}},
+				Else: []Stmt{&PassStmt{}},
+			}},
+		},
+	}}
+	out := Print(m)
+	if !strings.Contains(out, "elif b:") {
+		t.Errorf("elif not resugared:\n%s", out)
+	}
+	if strings.Contains(out, "else:\n    if") {
+		t.Errorf("nested if not flattened:\n%s", out)
+	}
+}
+
+func TestPrintEmptyModule(t *testing.T) {
+	if got := Print(&Module{}); got != "pass\n" {
+		t.Errorf("empty module printed as %q", got)
+	}
+}
+
+func TestPrintStmtsIndentation(t *testing.T) {
+	m := &Module{Body: []Stmt{
+		&DefStmt{Name: "outer", Body: []Stmt{
+			&DefStmt{Name: "inner", Body: []Stmt{
+				&ReturnStmt{Value: &IntLit{Value: 1}},
+			}},
+		}},
+	}}
+	out := Print(m)
+	if !strings.Contains(out, "    def inner():") || !strings.Contains(out, "        return 1") {
+		t.Errorf("nested indentation wrong:\n%s", out)
+	}
+}
+
+func TestPosString(t *testing.T) {
+	if p(3, 7).String() != "3:7" {
+		t.Error("Pos.String format")
+	}
+	tok := Token{Kind: NAME, Text: "x"}
+	if tok.String() != `NAME("x")` {
+		t.Errorf("token string = %s", tok)
+	}
+	if Kind(9999).String() == "" {
+		t.Error("unknown kind should still render")
+	}
+}

@@ -1,0 +1,172 @@
+// Package pylang defines the lexical tokens, abstract syntax tree, and
+// source printer for the Python subset interpreted by this repository.
+//
+// The subset covers the module-level constructs that λ-trim's pipeline
+// manipulates — imports, from-imports, function and class definitions,
+// assignments — plus enough statement and expression forms (control flow,
+// exceptions, calls, attribute access, containers) to express realistic
+// serverless handlers and synthetic third-party libraries.
+package pylang
+
+import "fmt"
+
+// Kind identifies the lexical class of a token.
+type Kind int
+
+// Token kinds. Keyword kinds are kept distinct from NAME so that the parser
+// never needs string comparisons on hot paths.
+const (
+	EOF Kind = iota
+	NEWLINE
+	INDENT
+	DEDENT
+
+	NAME
+	NUMBER
+	STRING
+
+	// Keywords.
+	KwImport
+	KwFrom
+	KwAs
+	KwDef
+	KwClass
+	KwReturn
+	KwIf
+	KwElif
+	KwElse
+	KwWhile
+	KwFor
+	KwIn
+	KwNotIn // synthesized by the lexer for "not in"
+	KwBreak
+	KwContinue
+	KwPass
+	KwRaise
+	KwTry
+	KwExcept
+	KwFinally
+	KwGlobal
+	KwDel
+	KwAssert
+	KwAnd
+	KwOr
+	KwNot
+	KwTrue
+	KwFalse
+	KwNone
+	KwIs
+	KwIsNot // synthesized by the lexer for "is not"
+	KwLambda
+
+	// Punctuation and operators.
+	LParen
+	RParen
+	LBracket
+	RBracket
+	LBrace
+	RBrace
+	Comma
+	Colon
+	Semicolon
+	Dot
+	Arrow // ->
+
+	Assign        // =
+	PlusEq        // +=
+	MinusEq       // -=
+	StarEq        // *=
+	SlashEq       // /=
+	PercentEq     // %=
+	DoubleSlashEq // //=
+	DoubleStarEq  // **=
+	DoubleStar    // **
+	Plus
+	Minus
+	Star
+	Slash
+	DoubleSlash // //
+	Percent
+	Lt
+	Gt
+	Le
+	Ge
+	Eq // ==
+	Ne // !=
+	At // @ (decorator)
+)
+
+var kindNames = map[Kind]string{
+	EOF:     "EOF",
+	NEWLINE: "NEWLINE",
+	INDENT:  "INDENT",
+	DEDENT:  "DEDENT",
+	NAME:    "NAME",
+	NUMBER:  "NUMBER",
+	STRING:  "STRING",
+
+	KwImport: "import", KwFrom: "from", KwAs: "as", KwDef: "def",
+	KwClass: "class", KwReturn: "return", KwIf: "if", KwElif: "elif",
+	KwElse: "else", KwWhile: "while", KwFor: "for", KwIn: "in",
+	KwNotIn: "not in", KwBreak: "break", KwContinue: "continue",
+	KwPass: "pass", KwRaise: "raise", KwTry: "try", KwExcept: "except",
+	KwFinally: "finally", KwGlobal: "global", KwDel: "del",
+	KwAssert: "assert", KwAnd: "and", KwOr: "or", KwNot: "not",
+	KwTrue: "True", KwFalse: "False", KwNone: "None", KwIs: "is",
+	KwIsNot: "is not", KwLambda: "lambda",
+
+	LParen: "(", RParen: ")", LBracket: "[", RBracket: "]",
+	LBrace: "{", RBrace: "}", Comma: ",", Colon: ":", Semicolon: ";",
+	Dot: ".", Arrow: "->",
+
+	Assign: "=", PlusEq: "+=", MinusEq: "-=", StarEq: "*=",
+	SlashEq: "/=", PercentEq: "%=", DoubleSlashEq: "//=",
+	DoubleStarEq: "**=", DoubleStar: "**",
+	Plus: "+", Minus: "-", Star: "*", Slash: "/", DoubleSlash: "//",
+	Percent: "%", Lt: "<", Gt: ">", Le: "<=", Ge: ">=", Eq: "==",
+	Ne: "!=", At: "@",
+}
+
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// keywords maps source spellings to keyword kinds.
+var keywords = map[string]Kind{
+	"import": KwImport, "from": KwFrom, "as": KwAs, "def": KwDef,
+	"class": KwClass, "return": KwReturn, "if": KwIf, "elif": KwElif,
+	"else": KwElse, "while": KwWhile, "for": KwFor, "in": KwIn,
+	"break": KwBreak, "continue": KwContinue, "pass": KwPass,
+	"raise": KwRaise, "try": KwTry, "except": KwExcept,
+	"finally": KwFinally, "global": KwGlobal, "del": KwDel,
+	"assert": KwAssert, "and": KwAnd, "or": KwOr, "not": KwNot,
+	"True": KwTrue, "False": KwFalse, "None": KwNone, "is": KwIs,
+	"lambda": KwLambda,
+}
+
+// Pos is a line/column source position (both 1-based).
+type Pos struct {
+	Line int
+	Col  int
+}
+
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// Token is a single lexical token with its source text and position.
+type Token struct {
+	Kind Kind
+	Text string
+	Pos  Pos
+}
+
+func (t Token) String() string {
+	switch t.Kind {
+	case NAME, NUMBER, STRING:
+		return fmt.Sprintf("%s(%q)", t.Kind, t.Text)
+	default:
+		return t.Kind.String()
+	}
+}

@@ -1,0 +1,49 @@
+package pyparser
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/pylang"
+)
+
+var benchSrc = strings.Repeat(`
+def process(data, factor=2):
+    out = []
+    for x in data:
+        if x % 2 == 0:
+            out.append(x * factor)
+    return out
+
+class Worker(Base):
+    def __init__(self, n):
+        self.n = n
+    def run(self):
+        return process(range(self.n))
+`, 20)
+
+func BenchmarkParse(b *testing.B) {
+	b.SetBytes(int64(len(benchSrc)))
+	for i := 0; i < b.N; i++ {
+		if _, err := Parse("bench", benchSrc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPrint(b *testing.B) {
+	mod := MustParse("bench", benchSrc)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pylang.Print(mod)
+	}
+}
+
+func BenchmarkTokenize(b *testing.B) {
+	b.SetBytes(int64(len(benchSrc)))
+	for i := 0; i < b.N; i++ {
+		if _, err := pylang.Tokenize(benchSrc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

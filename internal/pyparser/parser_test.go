@@ -1,0 +1,385 @@
+package pyparser
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/pylang"
+)
+
+func parse(t *testing.T, src string) *pylang.Module {
+	t.Helper()
+	m, err := Parse("test", src)
+	if err != nil {
+		t.Fatalf("parse: %v\nsource:\n%s", err, src)
+	}
+	return m
+}
+
+func TestParseImports(t *testing.T) {
+	m := parse(t, `
+import numpy
+import torch.nn as nn, os
+from pandas import DataFrame as DF, Series
+from . import sibling
+from ..pkg import thing
+from mod import *
+`)
+	imp := m.Body[0].(*pylang.ImportStmt)
+	if imp.Names[0].Name != "numpy" {
+		t.Errorf("import name = %q", imp.Names[0].Name)
+	}
+	multi := m.Body[1].(*pylang.ImportStmt)
+	if multi.Names[0].Name != "torch.nn" || multi.Names[0].AsName != "nn" || multi.Names[1].Name != "os" {
+		t.Errorf("multi import = %+v", multi.Names)
+	}
+	from := m.Body[2].(*pylang.FromImportStmt)
+	if from.Module != "pandas" || from.Names[0].AsName != "DF" || from.Names[1].Name != "Series" {
+		t.Errorf("from import = %+v", from)
+	}
+	rel := m.Body[3].(*pylang.FromImportStmt)
+	if rel.Level != 1 || rel.Module != "" || rel.Names[0].Name != "sibling" {
+		t.Errorf("relative import = %+v", rel)
+	}
+	rel2 := m.Body[4].(*pylang.FromImportStmt)
+	if rel2.Level != 2 || rel2.Module != "pkg" {
+		t.Errorf("relative import 2 = %+v", rel2)
+	}
+	star := m.Body[5].(*pylang.FromImportStmt)
+	if !star.Star {
+		t.Error("star import not recognized")
+	}
+}
+
+func TestParsePrecedence(t *testing.T) {
+	cases := map[string]string{
+		"1 + 2 * 3":        "1 + 2 * 3",
+		"(1 + 2) * 3":      "(1 + 2) * 3",
+		"-x ** 2":          "-x ** 2", // unary binds looser than **
+		"2 ** 3 ** 2":      "2 ** 3 ** 2",
+		"not a or b and c": "not a or b and c",
+		"a < b == c":       "a < b == c",
+		"x if c else y":    "x if c else y",
+	}
+	for src, want := range cases {
+		e, err := ParseExpr(src)
+		if err != nil {
+			t.Errorf("%q: %v", src, err)
+			continue
+		}
+		if got := pylang.PrintExpr(e); got != want {
+			t.Errorf("%q printed as %q, want %q", src, got, want)
+		}
+	}
+}
+
+func TestParsePowerRightAssociative(t *testing.T) {
+	e, err := ParseExpr("2 ** 3 ** 2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	outer := e.(*pylang.BinOp)
+	if _, ok := outer.Right.(*pylang.BinOp); !ok {
+		t.Error("** should be right-associative")
+	}
+}
+
+func TestParseCallForms(t *testing.T) {
+	e, err := ParseExpr("f(1, x, key=2, other=g())")
+	if err != nil {
+		t.Fatal(err)
+	}
+	call := e.(*pylang.CallExpr)
+	if len(call.Args) != 2 || len(call.Keywords) != 2 {
+		t.Errorf("args=%d kwargs=%d", len(call.Args), len(call.Keywords))
+	}
+	if call.Keywords[0].Name != "key" {
+		t.Errorf("kw name = %q", call.Keywords[0].Name)
+	}
+}
+
+func TestParsePositionalAfterKeywordError(t *testing.T) {
+	if _, err := ParseExpr("f(a=1, 2)"); err == nil {
+		t.Error("expected error for positional after keyword")
+	}
+}
+
+func TestParseTrailerChains(t *testing.T) {
+	e, err := ParseExpr("a.b[0].c(1)[2:3]")
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx := e.(*pylang.IndexExpr)
+	if !idx.Slice {
+		t.Error("outermost should be a slice")
+	}
+}
+
+func TestParseCompoundStatements(t *testing.T) {
+	m := parse(t, `
+def f(a, b=2, c=None):
+    if a > b:
+        return a
+    elif a == b:
+        return b
+    else:
+        return c
+
+class Shape(Base):
+    def area(self):
+        pass
+
+for i, v in pairs:
+    total += v
+else:
+    done = True
+
+while x:
+    break
+
+try:
+    risky()
+except (A, B) as e:
+    handle(e)
+except:
+    pass
+finally:
+    cleanup()
+`)
+	def := m.Body[0].(*pylang.DefStmt)
+	if len(def.Params) != 3 || def.Params[1].Default == nil || def.Params[0].Default != nil {
+		t.Errorf("params = %+v", def.Params)
+	}
+	ifStmt := def.Body[0].(*pylang.IfStmt)
+	if len(ifStmt.Else) != 1 {
+		t.Fatalf("elif not nested")
+	}
+	if _, ok := ifStmt.Else[0].(*pylang.IfStmt); !ok {
+		t.Error("elif should nest as IfStmt in Else")
+	}
+	class := m.Body[1].(*pylang.ClassStmt)
+	if class.Name != "Shape" || len(class.Bases) != 1 {
+		t.Errorf("class = %+v", class)
+	}
+	forStmt := m.Body[2].(*pylang.ForStmt)
+	if _, ok := forStmt.Target.(*pylang.TupleExpr); !ok {
+		t.Error("for target should be a tuple")
+	}
+	if len(forStmt.Else) == 0 {
+		t.Error("for-else missing")
+	}
+	try := m.Body[4].(*pylang.TryStmt)
+	if len(try.Excepts) != 2 || try.Excepts[0].Name != "e" || try.Excepts[1].Type != nil {
+		t.Errorf("try = %+v", try)
+	}
+	if len(try.Finally) != 1 {
+		t.Error("finally missing")
+	}
+}
+
+func TestParseDecorators(t *testing.T) {
+	m := parse(t, `
+@wrap
+@registry.register("name")
+def f():
+    pass
+`)
+	def := m.Body[0].(*pylang.DefStmt)
+	if len(def.Decorators) != 2 {
+		t.Fatalf("decorators = %d", len(def.Decorators))
+	}
+}
+
+func TestParseAnnotationsDiscarded(t *testing.T) {
+	m := parse(t, `
+def f(a: int, b: list = None) -> str:
+    return "x"
+`)
+	def := m.Body[0].(*pylang.DefStmt)
+	if len(def.Params) != 2 || def.Params[1].Default == nil {
+		t.Errorf("annotated params = %+v", def.Params)
+	}
+}
+
+func TestParseLambdaNoAnnotations(t *testing.T) {
+	e, err := ParseExpr("lambda a, b: a * b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lam := e.(*pylang.LambdaExpr)
+	if len(lam.Params) != 2 {
+		t.Errorf("lambda params = %d", len(lam.Params))
+	}
+}
+
+func TestParseChainedAndMultiAssign(t *testing.T) {
+	m := parse(t, "a = b = c = 1\nx, y = y, x\nd[k] = v\no.attr = 2\n")
+	multi := m.Body[0].(*pylang.AssignStmt)
+	if len(multi.Targets) != 3 {
+		t.Errorf("chained targets = %d", len(multi.Targets))
+	}
+	swap := m.Body[1].(*pylang.AssignStmt)
+	if _, ok := swap.Targets[0].(*pylang.TupleExpr); !ok {
+		t.Error("tuple target expected")
+	}
+	if _, ok := swap.Value.(*pylang.TupleExpr); !ok {
+		t.Error("tuple value expected")
+	}
+}
+
+func TestParseSemicolons(t *testing.T) {
+	m := parse(t, "a = 1; b = 2; c = 3\n")
+	if len(m.Body) != 3 {
+		t.Errorf("%d statements, want 3", len(m.Body))
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"def f(:\n    pass\n",
+		"if x\n    pass\n",
+		"return 1\n2 +\n",
+		"from import x\n",
+		"try:\n    pass\n", // try without except/finally
+		"x = (1, 2\n",
+	}
+	for _, src := range cases {
+		if _, err := Parse("bad", src); err == nil {
+			t.Errorf("no error for %q", src)
+		}
+	}
+}
+
+func TestParseErrorHasPosition(t *testing.T) {
+	_, err := Parse("mod", "x = 1\ny = (\n")
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	pe, ok := err.(*ParseError)
+	if !ok {
+		t.Fatalf("error type %T", err)
+	}
+	if pe.Module != "mod" || pe.Pos.Line < 2 {
+		t.Errorf("error position = %+v", pe)
+	}
+}
+
+// TestPrintParseRoundTrip checks that printing a parsed module and parsing
+// the output reaches a fixed point — the property the debloater relies on
+// when writing rewritten modules back to site-packages.
+func TestPrintParseRoundTrip(t *testing.T) {
+	srcs := []string{
+		`
+import numpy as np
+from torch.nn import Linear, MSELoss
+
+__version__ = "1.0"
+
+def compute(data, factor=2):
+    out = []
+    for x in data:
+        if x % 2 == 0:
+            out.append(x * factor)
+        else:
+            out.append(-x)
+    return out
+
+class Model(Base):
+    def __init__(self, n):
+        self.n = n
+        self.weights = native_alloc(1.5)
+    def forward(self, t):
+        return t if self.n > 0 else None
+
+try:
+    cfg = load()
+except (IOError, ValueError) as e:
+    cfg = {"fallback": True, "err": str(e)}
+finally:
+    ready = True
+
+items = [1, 2.5, "three", (4,), {"k": [5]}]
+f = lambda a, b=1: a ** b
+del items[0]
+assert ready, "not ready"
+while cfg:
+    break
+`,
+	}
+	for _, src := range srcs {
+		m1 := parse(t, src)
+		p1 := pylang.Print(m1)
+		m2 := parse(t, p1)
+		p2 := pylang.Print(m2)
+		if p1 != p2 {
+			t.Errorf("print/parse not a fixed point:\n--- first ---\n%s\n--- second ---\n%s", p1, p2)
+		}
+	}
+}
+
+// TestRoundTripPreservesStatementCount double-checks no statements are
+// silently dropped or duplicated by the printer.
+func TestRoundTripPreservesStatementCount(t *testing.T) {
+	src := `
+a = 1
+b = 2
+def f():
+    pass
+class C:
+    pass
+print(a)
+`
+	m1 := parse(t, src)
+	m2 := parse(t, pylang.Print(m1))
+	if len(m1.Body) != len(m2.Body) {
+		t.Errorf("statement count %d -> %d", len(m1.Body), len(m2.Body))
+	}
+}
+
+func TestParseAdjacentStringConcatenation(t *testing.T) {
+	e, err := ParseExpr(`"abc" "def"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lit := e.(*pylang.StringLit)
+	if lit.Value != "abcdef" {
+		t.Errorf("concat = %q", lit.Value)
+	}
+}
+
+func TestParseRaiseFrom(t *testing.T) {
+	m := parse(t, "raise ValueError(\"x\") from err\n")
+	r := m.Body[0].(*pylang.RaiseStmt)
+	if r.Value == nil {
+		t.Error("raise value missing")
+	}
+}
+
+func TestParseInlineSuite(t *testing.T) {
+	m := parse(t, "if x: y = 1\n")
+	ifStmt := m.Body[0].(*pylang.IfStmt)
+	if len(ifStmt.Body) != 1 {
+		t.Errorf("inline suite body = %d", len(ifStmt.Body))
+	}
+}
+
+func TestMustParsePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustParse should panic on bad input")
+		}
+	}()
+	MustParse("bad", "def (:\n")
+}
+
+func TestParseGlobalAndDel(t *testing.T) {
+	m := parse(t, "global a, b\ndel x, y.z\n")
+	g := m.Body[0].(*pylang.GlobalStmt)
+	if strings.Join(g.Names, ",") != "a,b" {
+		t.Errorf("global names = %v", g.Names)
+	}
+	d := m.Body[1].(*pylang.DelStmt)
+	if len(d.Targets) != 2 {
+		t.Errorf("del targets = %d", len(d.Targets))
+	}
+}

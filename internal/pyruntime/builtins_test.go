@@ -1,0 +1,180 @@
+package pyruntime
+
+import (
+	"strings"
+	"testing"
+)
+
+// Builtin-function coverage through real programs.
+
+func TestBuiltinConversions(t *testing.T) {
+	expectOutput(t, `
+print(int("42"), int(3.9), int(True), int())
+print(float("2.5"), float(3), float())
+print(str(12), str(None), str([1, 2]))
+print(bool(0), bool(""), bool("x"), bool([]))
+print(list("abc"))
+print(tuple([1, 2]))
+print(dict(a=1, b=2))
+`, "42 3 1 0\n2.5 3.0 0.0\n12 None [1, 2]\nFalse False True False\n['a', 'b', 'c']\n(1, 2)\n{'a': 1, 'b': 2}\n")
+}
+
+func TestBuiltinConversionErrors(t *testing.T) {
+	perr := runExpectErr(t, `int("not a number")`)
+	if perr.ClassName() != "ValueError" {
+		t.Errorf("int error class = %s", perr.ClassName())
+	}
+	perr = runExpectErr(t, `float("nope")`)
+	if perr.ClassName() != "ValueError" {
+		t.Errorf("float error class = %s", perr.ClassName())
+	}
+}
+
+func TestBuiltinAggregates(t *testing.T) {
+	expectOutput(t, `
+print(min(3, 1, 2), max(3, 1, 2))
+print(min([5, 4]), max([5, 4]))
+print(min("b", "a"), max(["x", "y"]))
+print(sum([1, 2, 3]), sum([0.5, 0.5]), sum([1, 2], 10))
+print(abs(-3), abs(2.5), abs(-0.0))
+print(round(2.675, 2), round(3.5), round(2.5), round(7))
+`, "1 3\n4 5\na y\n6 1.0 13\n3 2.5 0.0\n2.68 4 2 7\n")
+}
+
+func TestBuiltinSequenceTools(t *testing.T) {
+	expectOutput(t, `
+print(sorted([3, 1, 2]))
+print(sorted(["b", "a"], reverse=True))
+print(sorted([(2, "b"), (1, "a")]))
+print(sorted([-3, 1, -2], key=abs))
+print(reversed([1, 2, 3]))
+print(list(zip([1, 2, 3], "ab")))
+print(enumerate(["x", "y"], 1))
+`, "[1, 2, 3]\n['b', 'a']\n[(1, 'a'), (2, 'b')]\n[1, -2, -3]\n[3, 2, 1]\n[(1, 'a'), (2, 'b')]\n[(1, 'x'), (2, 'y')]\n")
+}
+
+func TestBuiltinIntrospection(t *testing.T) {
+	expectOutput(t, `
+class Base:
+    def m(self):
+        return 1
+
+class Child(Base):
+    pass
+
+c = Child()
+print(isinstance(c, Base), isinstance(c, Child), isinstance(1, Base))
+print(issubclass(Child, Base), issubclass(Base, Child))
+print(isinstance("s", str), isinstance(1, int), isinstance(1.5, float))
+print(isinstance(True, int))
+print(callable(Base), callable(c.m), callable(3))
+`, "True True False\nTrue False\nTrue True True\nTrue\nTrue True False\n")
+}
+
+func TestBuiltinDirOnModule(t *testing.T) {
+	out, _ := runProgram(t, `
+import m
+print(dir(m))
+`, map[string]string{"site-packages/m.py": "b = 1\na = 2\n"})
+	if !strings.Contains(out, "'a', 'b'") {
+		t.Errorf("dir output = %q", out)
+	}
+}
+
+func TestBuiltinRangeSemantics(t *testing.T) {
+	expectOutput(t, `
+print(list(range(4)))
+print(list(range(2, 5)))
+print(list(range(10, 0, -3)))
+print(len(range(1000000)))
+print(5 in range(10), 10 in range(10), 4 in range(0, 10, 2))
+`, "[0, 1, 2, 3]\n[2, 3, 4]\n[10, 7, 4, 1]\n1000000\nTrue False True\n")
+}
+
+func TestStringMethodSuite(t *testing.T) {
+	expectOutput(t, `
+s = "  Hello World  "
+print(s.strip() + "|")
+print(s.lstrip() + "|")
+print((s.rstrip() + "|").replace(" ", "_"))
+print("a,b,,c".split(","))
+print("one two  three".split())
+print("Hello".startswith("He"), "Hello".endswith("lo"))
+print("hello".find("ll"), "hello".find("xx"))
+print("banana".count("an"))
+print("hello world".capitalize())
+print("hello world".title())
+print("123".isdigit(), "12a".isdigit(), "".isdigit())
+print("x={} y={}".format(1, "two"))
+`, "Hello World|\nHello World  |\n__Hello_World|\n['a', 'b', '', 'c']\n['one', 'two', 'three']\nTrue True\n2 -1\n2\nHello world\nHello World\nTrue False False\nx=1 y=two\n")
+}
+
+func TestListMethodSuite(t *testing.T) {
+	expectOutput(t, `
+l = [3, 1]
+l.append(2)
+l.extend([5, 4])
+l.insert(0, 9)
+print(l)
+print(l.pop(), l.pop(0))
+l.sort()
+print(l)
+l.reverse()
+print(l)
+print(l.index(3), l.count(3))
+l.remove(3)
+print(l)
+c = l.copy()
+c.clear()
+print(l, c)
+`, "[9, 3, 1, 2, 5, 4]\n4 9\n[1, 2, 3, 5]\n[5, 3, 2, 1]\n1 1\n[5, 2, 1]\n[5, 2, 1] []\n")
+}
+
+func TestDictMethodSuite(t *testing.T) {
+	expectOutput(t, `
+d = {"a": 1}
+d.update({"b": 2}, c=3)
+print(d)
+print(d.setdefault("a", 99), d.setdefault("z", 0))
+print(d.pop("z"), d.pop("missing", -1))
+print(d.keys(), d.values())
+print(d.items())
+e = d.copy()
+e.clear()
+print(d, e)
+`, "{'a': 1, 'b': 2, 'c': 3}\n1 0\n0 -1\n['a', 'b', 'c'] [1, 2, 3]\n[('a', 1), ('b', 2), ('c', 3)]\n{'a': 1, 'b': 2, 'c': 3} {}\n")
+}
+
+func TestListMethodErrors(t *testing.T) {
+	if perr := runExpectErr(t, "[].pop()"); perr.ClassName() != "IndexError" {
+		t.Errorf("pop error = %s", perr.ClassName())
+	}
+	if perr := runExpectErr(t, "[1].remove(2)"); perr.ClassName() != "ValueError" {
+		t.Errorf("remove error = %s", perr.ClassName())
+	}
+	if perr := runExpectErr(t, "{}.pop(\"k\")"); perr.ClassName() != "KeyError" {
+		t.Errorf("dict pop error = %s", perr.ClassName())
+	}
+}
+
+func TestGetattrSetattrBuiltins(t *testing.T) {
+	expectOutputFiles(t, `
+class C:
+    pass
+c = C()
+setattr(c, "field", 10)
+print(getattr(c, "field"))
+print(getattr(c, "nope", "default"))
+import m
+print(getattr(m, "value"))
+`, "10\ndefault\n7\n", map[string]string{"site-packages/m.py": "value = 7\n"})
+}
+
+// expectOutput with optional files.
+func expectOutputFiles(t *testing.T, src, want string, files map[string]string) {
+	t.Helper()
+	got, _ := runProgram(t, src, files)
+	if got != want {
+		t.Errorf("output mismatch:\n got: %q\nwant: %q", got, want)
+	}
+}

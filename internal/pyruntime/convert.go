@@ -1,0 +1,99 @@
+package pyruntime
+
+import (
+	"fmt"
+	"sort"
+)
+
+// FromGo converts a JSON-like Go value (nil, bool, int, int64, float64,
+// string, []any, map[string]any) into a runtime Value. It is used to build
+// lambda events from oracle specifications. Map keys are inserted in sorted
+// order so event construction is deterministic.
+func FromGo(v any) (Value, error) {
+	switch t := v.(type) {
+	case nil:
+		return None, nil
+	case bool:
+		return BoolV(t), nil
+	case int:
+		return IntV(int64(t)), nil
+	case int64:
+		return IntV(t), nil
+	case float64:
+		return FloatV(t), nil
+	case string:
+		return StrV(t), nil
+	case []any:
+		elems := make([]Value, len(t))
+		for i, e := range t {
+			ev, err := FromGo(e)
+			if err != nil {
+				return nil, err
+			}
+			elems[i] = ev
+		}
+		return &ListV{Elems: elems}, nil
+	case map[string]any:
+		d := NewDict()
+		keys := make([]string, 0, len(t))
+		for k := range t {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			ev, err := FromGo(t[k])
+			if err != nil {
+				return nil, err
+			}
+			d.SetStr(k, ev)
+		}
+		return d, nil
+	}
+	return nil, fmt.Errorf("pyruntime: cannot convert %T to a runtime value", v)
+}
+
+// MustFromGo is FromGo that panics on error; for literals in tests and
+// corpus definitions.
+func MustFromGo(v any) Value {
+	out, err := FromGo(v)
+	if err != nil {
+		panic(err)
+	}
+	return out
+}
+
+// ToGo converts a runtime Value back into a JSON-like Go value. Non-data
+// values (functions, modules, classes) convert to their repr string.
+func ToGo(v Value) any {
+	switch t := v.(type) {
+	case NoneV:
+		return nil
+	case BoolV:
+		return bool(t)
+	case IntV:
+		return int64(t)
+	case FloatV:
+		return float64(t)
+	case StrV:
+		return string(t)
+	case *ListV:
+		out := make([]any, len(t.Elems))
+		for i, e := range t.Elems {
+			out[i] = ToGo(e)
+		}
+		return out
+	case *TupleV:
+		out := make([]any, len(t.Elems))
+		for i, e := range t.Elems {
+			out[i] = ToGo(e)
+		}
+		return out
+	case *DictV:
+		out := make(map[string]any, t.Len())
+		for _, kv := range t.Items() {
+			out[Str(kv[0])] = ToGo(kv[1])
+		}
+		return out
+	}
+	return Repr(v)
+}

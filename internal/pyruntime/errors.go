@@ -1,0 +1,111 @@
+package pyruntime
+
+import (
+	"fmt"
+
+	"repro/internal/pylang"
+)
+
+// PyErr is a raised Python exception propagating through the interpreter.
+// It is distinct from Go errors: a PyErr can be caught by except clauses,
+// while Go errors from the embedding API are always fatal.
+type PyErr struct {
+	Value *InstanceV // the exception instance
+	Pos   pylang.Pos
+	Where string // module or function where it was raised
+}
+
+// Error implements the error interface with a Python-style rendering.
+func (e *PyErr) Error() string {
+	msg := e.Message()
+	if msg == "" {
+		return e.Value.Class.Name
+	}
+	return e.Value.Class.Name + ": " + msg
+}
+
+// ClassName returns the exception class name ("AttributeError", ...).
+func (e *PyErr) ClassName() string { return e.Value.Class.Name }
+
+// Message returns the first exception argument rendered with str().
+func (e *PyErr) Message() string {
+	args, ok := e.Value.Dict.Get("args")
+	if !ok {
+		return ""
+	}
+	tup, ok := args.(*TupleV)
+	if !ok || len(tup.Elems) == 0 {
+		return ""
+	}
+	return Str(tup.Elems[0])
+}
+
+// Matches reports whether the exception is an instance of class c
+// (or a subclass of it).
+func (e *PyErr) Matches(c *ClassV) bool { return e.Value.Class.IsSubclassOf(c) }
+
+// builtin exception hierarchy names; each maps to its base class name.
+// "BaseException" is the root.
+var exceptionTree = [][2]string{
+	{"BaseException", ""},
+	{"Exception", "BaseException"},
+	{"ArithmeticError", "Exception"},
+	{"ZeroDivisionError", "ArithmeticError"},
+	{"OverflowError", "ArithmeticError"},
+	{"AttributeError", "Exception"},
+	{"LookupError", "Exception"},
+	{"IndexError", "LookupError"},
+	{"KeyError", "LookupError"},
+	{"NameError", "Exception"},
+	{"TypeError", "Exception"},
+	{"ValueError", "Exception"},
+	{"ImportError", "Exception"},
+	{"ModuleNotFoundError", "ImportError"},
+	{"RuntimeError", "Exception"},
+	{"NotImplementedError", "RuntimeError"},
+	{"RecursionError", "RuntimeError"},
+	{"AssertionError", "Exception"},
+	{"StopIteration", "Exception"},
+	{"OSError", "Exception"},
+	{"FileNotFoundError", "OSError"},
+	{"TimeoutError", "OSError"},
+	{"ConnectionError", "OSError"},
+	{"MemoryError", "Exception"},
+	{"KeyboardInterrupt", "BaseException"},
+}
+
+// buildExceptionClasses constructs the builtin exception class objects.
+func buildExceptionClasses() map[string]*ClassV {
+	classes := make(map[string]*ClassV, len(exceptionTree))
+	for _, pair := range exceptionTree {
+		name, baseName := pair[0], pair[1]
+		var base *ClassV
+		if baseName != "" {
+			base = classes[baseName]
+		}
+		classes[name] = &ClassV{
+			Name: name, Base: base, Dict: NewNamespace(),
+			Module: "builtins", Exception: true,
+		}
+	}
+	return classes
+}
+
+// NewExc constructs an exception instance of the named builtin class.
+func (in *Interp) NewExc(class string, format string, args ...any) *PyErr {
+	c, ok := in.excClasses[class]
+	if !ok {
+		c = in.excClasses["RuntimeError"]
+	}
+	msg := fmt.Sprintf(format, args...)
+	inst := &InstanceV{Class: c, Dict: NewNamespace()}
+	inst.Dict.Set("args", &TupleV{Elems: []Value{StrV(msg)}})
+	return &PyErr{Value: inst}
+}
+
+// ExcClass exposes a builtin exception class (for harnesses that need to
+// test isinstance relationships, e.g. the fallback wrapper).
+func (in *Interp) ExcClass(name string) (*ClassV, bool) {
+	c, ok := in.excClasses[name]
+	return c, ok
+}

@@ -1,0 +1,180 @@
+package pyruntime
+
+import (
+	"strings"
+	"testing"
+)
+
+// Error-path coverage for the evaluator.
+
+func TestTypeErrorsFromCalls(t *testing.T) {
+	cases := map[string]string{
+		`def f(a): pass` + "\nf(1, 2)":           "TypeError", // too many args
+		`def f(a): pass` + "\nf()":               "TypeError", // missing arg
+		`def f(a): pass` + "\nf(b=1)":            "TypeError", // unknown kwarg
+		`def f(a): pass` + "\nf(1, a=1)":         "TypeError", // duplicate
+		`class C:` + "\n    pass\nC().missing()": "AttributeError",
+		`"str".missing`:                          "AttributeError",
+		`[].missing`:                             "AttributeError",
+		`{}.missing`:                             "AttributeError",
+		`(1).missing`:                            "AttributeError",
+	}
+	for src, wantClass := range cases {
+		perr := runExpectErr(t, src)
+		if perr.ClassName() != wantClass {
+			t.Errorf("%q raised %s, want %s", src, perr.ClassName(), wantClass)
+		}
+	}
+}
+
+func TestSetAttrOnImmutable(t *testing.T) {
+	perr := runExpectErr(t, "x = 1\nx.attr = 2")
+	if perr.ClassName() != "AttributeError" {
+		t.Errorf("class = %s", perr.ClassName())
+	}
+}
+
+func TestItemAssignmentErrors(t *testing.T) {
+	if perr := runExpectErr(t, `(1, 2)[0] = 5`); perr.ClassName() != "TypeError" {
+		t.Errorf("tuple assign = %s", perr.ClassName())
+	}
+	if perr := runExpectErr(t, `"abc"[0] = "z"`); perr.ClassName() != "TypeError" {
+		t.Errorf("str assign = %s", perr.ClassName())
+	}
+	if perr := runExpectErr(t, `[1, 2][5] = 0`); perr.ClassName() != "IndexError" {
+		t.Errorf("oob assign = %s", perr.ClassName())
+	}
+}
+
+func TestUnpackErrors(t *testing.T) {
+	if perr := runExpectErr(t, "a, b = [1, 2, 3]"); perr.ClassName() != "ValueError" {
+		t.Errorf("unpack mismatch = %s", perr.ClassName())
+	}
+	if perr := runExpectErr(t, "a, b = 5"); perr.ClassName() != "TypeError" {
+		t.Errorf("unpack non-iterable = %s", perr.ClassName())
+	}
+}
+
+func TestIterationErrors(t *testing.T) {
+	if perr := runExpectErr(t, "for x in 42:\n    pass"); perr.ClassName() != "TypeError" {
+		t.Errorf("iterate int = %s", perr.ClassName())
+	}
+	if perr := runExpectErr(t, "1 in 2"); perr.ClassName() != "TypeError" {
+		t.Errorf("in on int = %s", perr.ClassName())
+	}
+}
+
+func TestUnhashableDictKey(t *testing.T) {
+	if perr := runExpectErr(t, "d = {[1]: 2}"); perr.ClassName() != "TypeError" {
+		t.Errorf("unhashable key = %s", perr.ClassName())
+	}
+	if perr := runExpectErr(t, "d = {}\nd[[1]] = 2"); perr.ClassName() != "TypeError" {
+		t.Errorf("unhashable setitem = %s", perr.ClassName())
+	}
+}
+
+func TestDelErrors(t *testing.T) {
+	if perr := runExpectErr(t, "del undefined"); perr.ClassName() != "NameError" {
+		t.Errorf("del undefined = %s", perr.ClassName())
+	}
+	if perr := runExpectErr(t, "d = {}\ndel d[\"k\"]"); perr.ClassName() != "KeyError" {
+		t.Errorf("del missing key = %s", perr.ClassName())
+	}
+	if perr := runExpectErr(t, "class C:\n    pass\nc = C()\ndel c.missing"); perr.ClassName() != "AttributeError" {
+		t.Errorf("del missing attr = %s", perr.ClassName())
+	}
+}
+
+func TestAssertErrors(t *testing.T) {
+	perr := runExpectErr(t, `assert False, "custom message"`)
+	if perr.ClassName() != "AssertionError" || perr.Message() != "custom message" {
+		t.Errorf("assert = %s / %q", perr.ClassName(), perr.Message())
+	}
+}
+
+func TestBareRaiseOutsideExcept(t *testing.T) {
+	perr := runExpectErr(t, "raise")
+	if perr.ClassName() != "RuntimeError" {
+		t.Errorf("bare raise = %s", perr.ClassName())
+	}
+}
+
+func TestExceptTypeMustBeClass(t *testing.T) {
+	perr := runExpectErr(t, `
+try:
+    raise ValueError("x")
+except "not a class":
+    pass
+`)
+	if perr.ClassName() != "TypeError" {
+		t.Errorf("class = %s", perr.ClassName())
+	}
+}
+
+func TestUserExceptionUncaughtPropagates(t *testing.T) {
+	perr := runExpectErr(t, `
+class MyError(Exception):
+    pass
+raise MyError("custom")
+`)
+	if perr.ClassName() != "MyError" {
+		t.Errorf("class = %s", perr.ClassName())
+	}
+	if perr.Message() != "custom" {
+		t.Errorf("message = %q", perr.Message())
+	}
+	if !strings.Contains(perr.Error(), "MyError: custom") {
+		t.Errorf("Error() = %q", perr.Error())
+	}
+}
+
+func TestExceptionReprInOutput(t *testing.T) {
+	expectOutput(t, `
+try:
+    raise KeyError("missing")
+except KeyError as e:
+    print(e)
+    print(repr(e))
+`, "KeyError('missing')\nKeyError('missing')\n")
+}
+
+func TestClassBaseMustBeClass(t *testing.T) {
+	perr := runExpectErr(t, "class C(42):\n    pass")
+	if perr.ClassName() != "TypeError" {
+		t.Errorf("class = %s", perr.ClassName())
+	}
+}
+
+func TestSliceOnUnsliceable(t *testing.T) {
+	perr := runExpectErr(t, "d = {}\nd[1:2]")
+	if perr.ClassName() != "TypeError" {
+		t.Errorf("class = %s", perr.ClassName())
+	}
+}
+
+func TestNonCallableClassInit(t *testing.T) {
+	perr := runExpectErr(t, `
+class C:
+    __init__ = 42
+C()
+`)
+	if perr.ClassName() != "TypeError" {
+		t.Errorf("class = %s", perr.ClassName())
+	}
+}
+
+func TestErrorInsideImportedModulePropagates(t *testing.T) {
+	fs := map[string]string{
+		"site-packages/broken.py": "x = 1 / 0\n",
+	}
+	perr := runExpectErrFiles(t, "import broken", fs)
+	if perr.ClassName() != "ZeroDivisionError" {
+		t.Errorf("import error = %s", perr.ClassName())
+	}
+	// A failed import leaves the module out of the cache so a retry
+	// re-raises rather than returning a half-built module.
+	perr = runExpectErrFiles(t, "try:\n    import broken\nexcept ZeroDivisionError:\n    pass\nimport broken", fs)
+	if perr.ClassName() != "ZeroDivisionError" {
+		t.Errorf("retry error = %s", perr.ClassName())
+	}
+}

@@ -1,0 +1,233 @@
+package pyruntime
+
+import (
+	"strings"
+
+	"repro/internal/pylang"
+	"repro/internal/pyparser"
+)
+
+// Module search roots, in order. Application code lives at the image root;
+// third-party libraries live under site-packages (which is the directory
+// λ-trim's debloater rewrites).
+var searchRoots = []string{"", "site-packages/"}
+
+// SitePackages is the prefix for library code inside a deployment image.
+const SitePackages = "site-packages/"
+
+// Import loads a dotted module name, executing each package on the path
+// root-first, exactly like CPython: "import a.b.c" ensures a, a.b and a.b.c
+// are all in the module table, and returns the leaf module.
+func (in *Interp) Import(dotted string) (*ModuleV, *PyErr) {
+	parts := strings.Split(dotted, ".")
+	var mod *ModuleV
+	prefix := ""
+	for i, part := range parts {
+		if prefix == "" {
+			prefix = part
+		} else {
+			prefix = prefix + "." + part
+		}
+		m, err := in.importOne(prefix)
+		if err != nil {
+			return nil, err
+		}
+		// Bind the submodule as an attribute of its parent package.
+		if i > 0 {
+			parent := in.modules[strings.Join(parts[:i], ".")]
+			if parent != nil {
+				if _, exists := parent.Dict.Get(part); !exists {
+					in.Alloc.Alloc(64)
+				}
+				parent.Dict.Set(part, m)
+			}
+		}
+		mod = m
+	}
+	return mod, nil
+}
+
+// importOne loads a single fully-qualified module (all parents loaded).
+func (in *Interp) importOne(name string) (*ModuleV, *PyErr) {
+	if m, ok := in.modules[name]; ok {
+		return m, nil
+	}
+	for _, active := range in.importStack {
+		if active == name {
+			// Cyclic import: return the partially-initialized module, as
+			// CPython does.
+			if m, ok := in.modules[name]; ok {
+				return m, nil
+			}
+		}
+	}
+
+	body, file, found := in.findModule(name)
+	if !found {
+		return nil, in.NewExc("ModuleNotFoundError", "No module named '%s'", name)
+	}
+
+	mod := &ModuleV{Name: name, Dict: NewNamespace(), File: file}
+	in.Alloc.Alloc(SizeOf(mod))
+	mod.Dict.Set("__name__", StrV(name))
+	mod.Dict.Set("__file__", StrV(file))
+	in.modules[name] = mod
+	in.importStack = append(in.importStack, name)
+
+	for _, h := range in.hooks {
+		h.BeforeModuleExec(name)
+	}
+	fr := &frame{globals: mod.Dict, module: name}
+	_, err := in.execStmts(fr, body)
+	for _, h := range in.hooks {
+		if err != nil {
+			h.AfterModuleExec(name, err)
+		} else {
+			h.AfterModuleExec(name, nil)
+		}
+	}
+	in.importStack = in.importStack[:len(in.importStack)-1]
+	if err != nil {
+		delete(in.modules, name)
+		return nil, err
+	}
+	return mod, nil
+}
+
+// findModule resolves a dotted name to a parsed body. Overrides (debloater
+// AST overlays) take precedence; otherwise the file is located under the
+// search roots as either pkg/mod.py or pkg/mod/__init__.py.
+func (in *Interp) findModule(name string) ([]pylang.Stmt, string, bool) {
+	if ast, ok := in.overrides[name]; ok {
+		return ast.Body, "<override:" + name + ">", true
+	}
+	rel := strings.ReplaceAll(name, ".", "/")
+	for _, root := range searchRoots {
+		for _, candidate := range []string{root + rel + ".py", root + rel + "/__init__.py"} {
+			src, err := in.FS.Read(candidate)
+			if err != nil {
+				continue
+			}
+			mod, perr := in.parseCached(candidate, name, src)
+			if perr != nil {
+				// Surface parse errors as a module body that raises; the
+				// importer converts it below.
+				return []pylang.Stmt{&pylang.RaiseStmt{
+					Value: &pylang.CallExpr{
+						Func: &pylang.NameExpr{Name: "ImportError"},
+						Args: []pylang.Expr{&pylang.StringLit{Value: perr.Error()}},
+					},
+				}}, candidate, true
+			}
+			return mod.Body, candidate, true
+		}
+	}
+	return nil, "", false
+}
+
+func (in *Interp) parseCached(path, name, src string) (*pylang.Module, error) {
+	key := path + "\x00" + src
+	if m, ok := in.astCache.Get(key); ok {
+		return m, nil
+	}
+	mod, err := pyparser.Parse(name, src)
+	if err != nil {
+		return nil, err
+	}
+	in.astCache.Put(key, mod)
+	return mod, nil
+}
+
+// execFromImport implements "from X import a, b" including relative levels
+// and star imports.
+func (in *Interp) execFromImport(fr *frame, v *pylang.FromImportStmt) *PyErr {
+	target := v.Module
+	if v.Level > 0 {
+		pkg := fr.module
+		// A package's own __init__ executes with module name == package, so
+		// one level strips nothing extra for it; for plain modules a level
+		// strips the final component. We approximate CPython by treating
+		// the current module as a package iff its file is an __init__.
+		isPkg := false
+		if m, ok := in.modules[fr.module]; ok {
+			isPkg = strings.HasSuffix(m.File, "__init__.py") || strings.HasPrefix(m.File, "<override:")
+		}
+		for i := 0; i < v.Level; i++ {
+			if i == 0 && isPkg {
+				continue
+			}
+			dot := strings.LastIndexByte(pkg, '.')
+			if dot < 0 {
+				return in.NewExc("ImportError", "attempted relative import beyond top-level package")
+			}
+			pkg = pkg[:dot]
+		}
+		if target == "" {
+			target = pkg
+		} else {
+			target = pkg + "." + target
+		}
+	}
+	mod, err := in.Import(target)
+	if err != nil {
+		return err
+	}
+	if v.Star {
+		return in.importStar(fr, mod)
+	}
+	for _, alias := range v.Names {
+		val, ok := mod.Dict.Get(alias.Name)
+		if !ok {
+			// Fall back to importing a submodule, as CPython does for
+			// "from pkg import submodule".
+			sub, subErr := in.Import(target + "." + alias.Name)
+			if subErr != nil {
+				return in.NewExc("ImportError", "cannot import name '%s' from '%s'", alias.Name, target)
+			}
+			val = sub
+		}
+		bound := alias.Name
+		if alias.AsName != "" {
+			bound = alias.AsName
+		}
+		in.bind(fr, bound, val)
+	}
+	return nil
+}
+
+func (in *Interp) importStar(fr *frame, mod *ModuleV) *PyErr {
+	// Respect __all__ when present.
+	if allV, ok := mod.Dict.Get("__all__"); ok {
+		if lst, ok := allV.(*ListV); ok {
+			for _, nameV := range lst.Elems {
+				name, ok := nameV.(StrV)
+				if !ok {
+					return in.NewExc("TypeError", "__all__ items must be strings")
+				}
+				val, ok := mod.Dict.Get(string(name))
+				if !ok {
+					return in.NewExc("AttributeError", "module '%s' has no attribute '%s' (via __all__)", mod.Name, name)
+				}
+				in.bind(fr, string(name), val)
+			}
+			return nil
+		}
+	}
+	for _, name := range mod.Dict.Names() {
+		if strings.HasPrefix(name, "_") {
+			continue
+		}
+		v, _ := mod.Dict.Get(name)
+		in.bind(fr, name, v)
+	}
+	return nil
+}
+
+// MagicAttrs is the set of module attributes excluded from Delta Debugging
+// (§6.3 of the paper: "all the magic attributes of the module ... are
+// excluded from DD").
+var MagicAttrs = map[string]bool{
+	"__name__": true, "__file__": true, "__doc__": true,
+	"__package__": true, "__loader__": true, "__spec__": true,
+	"__all__": true, "__version__": true, "__path__": true,
+}

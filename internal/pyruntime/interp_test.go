@@ -1,0 +1,452 @@
+package pyruntime
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/pyparser"
+	"repro/internal/vfs"
+)
+
+// runProgram executes src as module __main__ over the given extra files and
+// returns stdout. Fatal on any error.
+func runProgram(t *testing.T, src string, files map[string]string) (string, *Interp) {
+	t.Helper()
+	fs := vfs.New()
+	for path, content := range files {
+		fs.Write(path, content)
+	}
+	in := New(fs)
+	mod := &ModuleV{Name: "__main__", Dict: NewNamespace()}
+	mod.Dict.Set("__name__", StrV("__main__"))
+	parsed, err := pyparser.Parse("__main__", src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if perr := in.RunModule(mod, parsed.Body); perr != nil {
+		t.Fatalf("run: %v", perr)
+	}
+	return in.OutputString(), in
+}
+
+// runExpectErr executes src and returns the raised PyErr (fatal if none).
+func runExpectErr(t *testing.T, src string) *PyErr {
+	t.Helper()
+	return runExpectErrFiles(t, src, nil)
+}
+
+// runExpectErrFiles is runExpectErr with extra image files.
+func runExpectErrFiles(t *testing.T, src string, files map[string]string) *PyErr {
+	t.Helper()
+	fs := vfs.New()
+	for path, content := range files {
+		fs.Write(path, content)
+	}
+	in := New(fs)
+	mod := &ModuleV{Name: "__main__", Dict: NewNamespace()}
+	parsed, err := pyparser.Parse("__main__", src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	perr := in.RunModule(mod, parsed.Body)
+	if perr == nil {
+		t.Fatalf("expected error, got none; output=%q", in.OutputString())
+	}
+	return perr
+}
+
+func expectOutput(t *testing.T, src, want string) {
+	t.Helper()
+	got, _ := runProgram(t, src, nil)
+	if got != want {
+		t.Errorf("output mismatch:\n got: %q\nwant: %q", got, want)
+	}
+}
+
+func TestArithmetic(t *testing.T) {
+	expectOutput(t, `
+x = 2 + 3 * 4
+print(x)
+print(7 // 2, 7 % 2, -7 // 2, -7 % 2)
+print(2 ** 10)
+print(1 / 4)
+print(10 - 3 - 2)
+`, "14\n3 1 -4 1\n1024\n0.25\n5\n")
+}
+
+func TestStringsAndFormatting(t *testing.T) {
+	expectOutput(t, `
+s = "hello" + " " + "world"
+print(s.upper())
+print(s.split(" "))
+print("-".join(["a", "b", "c"]))
+print("value: %d, pi: %.2f, name: %s" % (42, 3.14159, "x"))
+print("abc" * 3)
+print(len(s))
+`, "HELLO WORLD\n['hello', 'world']\na-b-c\nvalue: 42, pi: 3.14, name: x\nabcabcabc\n11\n")
+}
+
+func TestControlFlow(t *testing.T) {
+	expectOutput(t, `
+total = 0
+for i in range(10):
+    if i % 2 == 0:
+        continue
+    if i > 7:
+        break
+    total += i
+print(total)
+
+n = 0
+while n < 5:
+    n += 1
+else:
+    print("done", n)
+`, "16\ndone 5\n")
+}
+
+func TestFunctionsAndClosures(t *testing.T) {
+	expectOutput(t, `
+def make_adder(n):
+    def add(x):
+        return x + n
+    return add
+
+add5 = make_adder(5)
+print(add5(10))
+
+def greet(name, greeting="hi"):
+    return greeting + ", " + name
+
+print(greet("bob"))
+print(greet("alice", greeting="hello"))
+
+f = lambda a, b: a * b
+print(f(6, 7))
+`, "15\nhi, bob\nhello, alice\n42\n")
+}
+
+func TestClasses(t *testing.T) {
+	expectOutput(t, `
+class Animal:
+    def __init__(self, name):
+        self.name = name
+    def speak(self):
+        return self.name + " makes a sound"
+
+class Dog(Animal):
+    def speak(self):
+        return self.name + " barks"
+
+a = Animal("cat")
+d = Dog("rex")
+print(a.speak())
+print(d.speak())
+print(isinstance(d, Animal), isinstance(a, Dog))
+`, "cat makes a sound\nrex barks\nTrue False\n")
+}
+
+func TestExceptions(t *testing.T) {
+	expectOutput(t, `
+try:
+    x = 1 / 0
+except ZeroDivisionError as e:
+    print("caught:", e.args[0])
+
+try:
+    raise ValueError("bad value")
+except (TypeError, ValueError) as e:
+    print("ve:", e.args[0])
+finally:
+    print("finally ran")
+
+def risky():
+    try:
+        raise KeyError("k")
+    except ValueError:
+        print("wrong handler")
+    finally:
+        print("inner finally")
+
+try:
+    risky()
+except KeyError:
+    print("outer caught")
+`, "caught: division by zero\nve: bad value\nfinally ran\ninner finally\nouter caught\n")
+}
+
+func TestAttributeError(t *testing.T) {
+	perr := runExpectErr(t, `
+class C:
+    pass
+c = C()
+c.missing
+`)
+	if perr.ClassName() != "AttributeError" {
+		t.Errorf("expected AttributeError, got %s", perr.ClassName())
+	}
+}
+
+func TestContainers(t *testing.T) {
+	expectOutput(t, `
+d = {"a": 1, "b": 2}
+d["c"] = 3
+print(d)
+print(d.get("a"), d.get("z", -1))
+print(sorted(d.keys()))
+lst = [3, 1, 2]
+lst.append(0)
+lst.sort()
+print(lst)
+print(lst[1:3])
+t = (1, 2, 3)
+a, b, c = t
+print(a + b + c)
+print(sum([1, 2, 3.5]))
+print(list(enumerate(["x", "y"])))
+`, "{'a': 1, 'b': 2, 'c': 3}\n1 -1\n['a', 'b', 'c']\n[0, 1, 2, 3]\n[1, 2]\n6\n6.5\n[(0, 'x'), (1, 'y')]\n")
+}
+
+func TestImports(t *testing.T) {
+	files := map[string]string{
+		"site-packages/mylib/__init__.py": `
+from .util import helper
+VERSION = "1.0"
+def top():
+    return "top"
+`,
+		"site-packages/mylib/util.py": `
+def helper():
+    return "helped"
+`,
+	}
+	out, in := runProgram(t, `
+import mylib
+from mylib import top
+from mylib.util import helper as h
+print(mylib.VERSION)
+print(mylib.helper())
+print(top())
+print(h())
+import mylib.util
+print(mylib.util.helper())
+`, files)
+	want := "1.0\nhelped\ntop\nhelped\nhelped\n"
+	if out != want {
+		t.Errorf("output:\n got %q\nwant %q", out, want)
+	}
+	if _, ok := in.Modules()["mylib"]; !ok {
+		t.Error("mylib not in module table")
+	}
+	if _, ok := in.Modules()["mylib.util"]; !ok {
+		t.Error("mylib.util not in module table")
+	}
+}
+
+func TestImportCaching(t *testing.T) {
+	files := map[string]string{
+		"site-packages/once.py": `print("side effect")`,
+	}
+	out, _ := runProgram(t, `
+import once
+import once
+from once import *
+`, files)
+	if strings.Count(out, "side effect") != 1 {
+		t.Errorf("module executed %d times, want 1", strings.Count(out, "side effect"))
+	}
+}
+
+func TestImportError(t *testing.T) {
+	perr := runExpectErr(t, `import does_not_exist`)
+	if perr.ClassName() != "ModuleNotFoundError" {
+		t.Errorf("expected ModuleNotFoundError, got %s", perr.ClassName())
+	}
+}
+
+func TestImportHooks(t *testing.T) {
+	files := map[string]string{
+		"site-packages/a/__init__.py": `import b`,
+		"site-packages/b.py":          `x = 1`,
+	}
+	fs := vfs.New()
+	for p, c := range files {
+		fs.Write(p, c)
+	}
+	in := New(fs)
+	var events []string
+	in.AddImportHook(hookFunc{
+		before: func(name string) { events = append(events, "before:"+name) },
+		after:  func(name string, err error) { events = append(events, "after:"+name) },
+	})
+	if _, err := in.Import("a"); err != nil {
+		t.Fatalf("import: %v", err)
+	}
+	want := []string{"before:a", "before:b", "after:b", "after:a"}
+	if len(events) != len(want) {
+		t.Fatalf("events = %v, want %v", events, want)
+	}
+	for i := range want {
+		if events[i] != want[i] {
+			t.Fatalf("events = %v, want %v", events, want)
+		}
+	}
+}
+
+type hookFunc struct {
+	before func(string)
+	after  func(string, error)
+}
+
+func (h hookFunc) BeforeModuleExec(name string)           { h.before(name) }
+func (h hookFunc) AfterModuleExec(name string, err error) { h.after(name, err) }
+
+func TestVirtualClockAndAlloc(t *testing.T) {
+	_, in := runProgram(t, `
+load_native(100, 50)
+buf = native_alloc(10)
+compute(5)
+`, nil)
+	if ms := in.Clock.Now().Milliseconds(); ms < 105 {
+		t.Errorf("clock = %dms, want >= 105ms", ms)
+	}
+	if mb := in.Alloc.Used() >> 20; mb < 60 {
+		t.Errorf("alloc = %dMB, want >= 60MB", mb)
+	}
+}
+
+func TestRemoteCallJournal(t *testing.T) {
+	_, in := runProgram(t, `
+resp = remote_call("s3", "put_object", {"bucket": "b", "key": "k"})
+print(resp["status"])
+`, nil)
+	if len(in.RemoteLog) != 1 {
+		t.Fatalf("remote log length = %d, want 1", len(in.RemoteLog))
+	}
+	rc := in.RemoteLog[0]
+	if rc.Service != "s3" || rc.Op != "put_object" {
+		t.Errorf("remote call = %+v", rc)
+	}
+}
+
+func TestGlobalStatement(t *testing.T) {
+	expectOutput(t, `
+counter = 0
+def bump():
+    global counter
+    counter += 1
+bump()
+bump()
+print(counter)
+`, "2\n")
+}
+
+func TestDelAndHasattr(t *testing.T) {
+	expectOutput(t, `
+class C:
+    pass
+c = C()
+c.x = 1
+print(hasattr(c, "x"))
+del c.x
+print(hasattr(c, "x"))
+print(getattr(c, "x", "fallback"))
+`, "True\nFalse\nfallback\n")
+}
+
+func TestFromImportStar(t *testing.T) {
+	files := map[string]string{
+		"site-packages/starlib.py": `
+__all__ = ["visible"]
+def visible():
+    return "v"
+def hidden():
+    return "h"
+`,
+	}
+	fs := vfs.New()
+	for p, c := range files {
+		fs.Write(p, c)
+	}
+	in := New(fs)
+	mod := &ModuleV{Name: "__main__", Dict: NewNamespace()}
+	parsed, _ := pyparser.Parse("__main__", "from starlib import *\nprint(visible())")
+	if perr := in.RunModule(mod, parsed.Body); perr != nil {
+		t.Fatalf("run: %v", perr)
+	}
+	if _, ok := mod.Dict.Get("hidden"); ok {
+		t.Error("hidden leaked through __all__-filtered star import")
+	}
+}
+
+func TestFuelExhaustion(t *testing.T) {
+	fs := vfs.New()
+	in := New(fs)
+	in.SetFuel(1000)
+	mod := &ModuleV{Name: "__main__", Dict: NewNamespace()}
+	parsed, _ := pyparser.Parse("__main__", "while True:\n    pass")
+	perr := in.RunModule(mod, parsed.Body)
+	if perr == nil {
+		t.Fatal("expected fuel exhaustion error")
+	}
+	if !strings.Contains(perr.Error(), "budget") {
+		t.Errorf("error = %v, want budget exhaustion", perr)
+	}
+}
+
+func TestRecursionLimit(t *testing.T) {
+	perr := runExpectErr(t, `
+def f():
+    return f()
+f()
+`)
+	if perr.ClassName() != "RecursionError" {
+		t.Errorf("expected RecursionError, got %s", perr.ClassName())
+	}
+}
+
+func TestCallFunctionAPI(t *testing.T) {
+	fs := vfs.New()
+	fs.Write("handler.py", `
+def handler(event, context):
+    return event["n"] + 1
+`)
+	in := New(fs)
+	mod, perr := in.Import("handler")
+	if perr != nil {
+		t.Fatalf("import: %v", perr)
+	}
+	fn, ok := mod.Dict.Get("handler")
+	if !ok {
+		t.Fatal("handler not defined")
+	}
+	event := NewDict()
+	event.SetStr("n", IntV(41))
+	res, perr := in.CallFunction(fn, []Value{event, None})
+	if perr != nil {
+		t.Fatalf("call: %v", perr)
+	}
+	if iv, ok := res.(IntV); !ok || iv != 42 {
+		t.Errorf("result = %v, want 42", Repr(res))
+	}
+}
+
+func TestConditionalExprAndBoolOps(t *testing.T) {
+	expectOutput(t, `
+x = 5
+print("big" if x > 3 else "small")
+print(x > 0 and x < 10)
+print(None or "default")
+print(not [])
+print(1 < x < 10)
+`, "big\nTrue\ndefault\nTrue\nTrue\n")
+}
+
+func TestChainedComparisonShortCircuit(t *testing.T) {
+	expectOutput(t, `
+def loud(v):
+    print("eval", v)
+    return v
+print(loud(1) > loud(2) > loud(3))
+`, "eval 1\neval 2\nFalse\n")
+}

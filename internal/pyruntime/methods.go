@@ -1,0 +1,429 @@
+package pyruntime
+
+import (
+	"strings"
+
+	"repro/internal/pylang"
+)
+
+// pos0 is a zero position for builtins that have no source location.
+var pos0 = pylang.Pos{}
+
+// ltKind aliases the less-than comparison kind for sorted().
+const ltKind = pylang.Lt
+
+func method(name string, fn func(*Interp, []Value, map[string]Value) (Value, *PyErr)) Value {
+	return &BuiltinV{Name: name, Fn: fn}
+}
+
+// strMethod returns the bound builtin method name on string s.
+func strMethod(in *Interp, s StrV, name string) (Value, bool) {
+	str := string(s)
+	switch name {
+	case "upper":
+		return method(name, func(in *Interp, a []Value, k map[string]Value) (Value, *PyErr) {
+			return StrV(strings.ToUpper(str)), nil
+		}), true
+	case "lower":
+		return method(name, func(in *Interp, a []Value, k map[string]Value) (Value, *PyErr) {
+			return StrV(strings.ToLower(str)), nil
+		}), true
+	case "strip":
+		return method(name, func(in *Interp, a []Value, k map[string]Value) (Value, *PyErr) {
+			cutset := " \t\n\r"
+			if len(a) > 0 {
+				if cs, ok := a[0].(StrV); ok {
+					cutset = string(cs)
+				}
+			}
+			return StrV(strings.Trim(str, cutset)), nil
+		}), true
+	case "lstrip":
+		return method(name, func(in *Interp, a []Value, k map[string]Value) (Value, *PyErr) {
+			return StrV(strings.TrimLeft(str, " \t\n\r")), nil
+		}), true
+	case "rstrip":
+		return method(name, func(in *Interp, a []Value, k map[string]Value) (Value, *PyErr) {
+			return StrV(strings.TrimRight(str, " \t\n\r")), nil
+		}), true
+	case "split":
+		return method(name, func(in *Interp, a []Value, k map[string]Value) (Value, *PyErr) {
+			var parts []string
+			if len(a) == 0 {
+				parts = strings.Fields(str)
+			} else {
+				sep, ok := a[0].(StrV)
+				if !ok {
+					return nil, in.NewExc("TypeError", "sep must be a string")
+				}
+				parts = strings.Split(str, string(sep))
+			}
+			out := make([]Value, len(parts))
+			for i, p := range parts {
+				out[i] = StrV(p)
+			}
+			return &ListV{Elems: out}, nil
+		}), true
+	case "join":
+		return method(name, func(in *Interp, a []Value, k map[string]Value) (Value, *PyErr) {
+			if len(a) != 1 {
+				return nil, in.NewExc("TypeError", "join() takes exactly one argument")
+			}
+			items, err := in.iterate(a[0], pos0)
+			if err != nil {
+				return nil, err
+			}
+			parts := make([]string, len(items))
+			for i, item := range items {
+				sv, ok := item.(StrV)
+				if !ok {
+					return nil, in.NewExc("TypeError", "sequence item %d: expected str, %s found", i, item.TypeName())
+				}
+				parts[i] = string(sv)
+			}
+			return StrV(strings.Join(parts, str)), nil
+		}), true
+	case "replace":
+		return method(name, func(in *Interp, a []Value, k map[string]Value) (Value, *PyErr) {
+			if len(a) != 2 {
+				return nil, in.NewExc("TypeError", "replace() takes 2 arguments")
+			}
+			old, ok1 := a[0].(StrV)
+			new_, ok2 := a[1].(StrV)
+			if !ok1 || !ok2 {
+				return nil, in.NewExc("TypeError", "replace() arguments must be strings")
+			}
+			return StrV(strings.ReplaceAll(str, string(old), string(new_))), nil
+		}), true
+	case "startswith":
+		return method(name, func(in *Interp, a []Value, k map[string]Value) (Value, *PyErr) {
+			if len(a) != 1 {
+				return nil, in.NewExc("TypeError", "startswith() takes one argument")
+			}
+			prefix, ok := a[0].(StrV)
+			if !ok {
+				return nil, in.NewExc("TypeError", "startswith argument must be str")
+			}
+			return BoolV(strings.HasPrefix(str, string(prefix))), nil
+		}), true
+	case "endswith":
+		return method(name, func(in *Interp, a []Value, k map[string]Value) (Value, *PyErr) {
+			if len(a) != 1 {
+				return nil, in.NewExc("TypeError", "endswith() takes one argument")
+			}
+			suffix, ok := a[0].(StrV)
+			if !ok {
+				return nil, in.NewExc("TypeError", "endswith argument must be str")
+			}
+			return BoolV(strings.HasSuffix(str, string(suffix))), nil
+		}), true
+	case "find":
+		return method(name, func(in *Interp, a []Value, k map[string]Value) (Value, *PyErr) {
+			if len(a) != 1 {
+				return nil, in.NewExc("TypeError", "find() takes one argument")
+			}
+			sub, ok := a[0].(StrV)
+			if !ok {
+				return nil, in.NewExc("TypeError", "find argument must be str")
+			}
+			return IntV(strings.Index(str, string(sub))), nil
+		}), true
+	case "count":
+		return method(name, func(in *Interp, a []Value, k map[string]Value) (Value, *PyErr) {
+			if len(a) != 1 {
+				return nil, in.NewExc("TypeError", "count() takes one argument")
+			}
+			sub, ok := a[0].(StrV)
+			if !ok {
+				return nil, in.NewExc("TypeError", "count argument must be str")
+			}
+			return IntV(strings.Count(str, string(sub))), nil
+		}), true
+	case "capitalize":
+		return method(name, func(in *Interp, a []Value, k map[string]Value) (Value, *PyErr) {
+			if str == "" {
+				return StrV(""), nil
+			}
+			return StrV(strings.ToUpper(str[:1]) + strings.ToLower(str[1:])), nil
+		}), true
+	case "title":
+		return method(name, func(in *Interp, a []Value, k map[string]Value) (Value, *PyErr) {
+			words := strings.Fields(str)
+			for i, w := range words {
+				if w != "" {
+					words[i] = strings.ToUpper(w[:1]) + strings.ToLower(w[1:])
+				}
+			}
+			return StrV(strings.Join(words, " ")), nil
+		}), true
+	case "isdigit":
+		return method(name, func(in *Interp, a []Value, k map[string]Value) (Value, *PyErr) {
+			if str == "" {
+				return BoolV(false), nil
+			}
+			for _, c := range str {
+				if c < '0' || c > '9' {
+					return BoolV(false), nil
+				}
+			}
+			return BoolV(true), nil
+		}), true
+	case "format":
+		return method(name, func(in *Interp, a []Value, k map[string]Value) (Value, *PyErr) {
+			// Positional {} substitution only.
+			var sb strings.Builder
+			ai := 0
+			for i := 0; i < len(str); i++ {
+				if str[i] == '{' && i+1 < len(str) && str[i+1] == '}' {
+					if ai >= len(a) {
+						return nil, in.NewExc("IndexError", "Replacement index %d out of range", ai)
+					}
+					sb.WriteString(Str(a[ai]))
+					ai++
+					i++
+					continue
+				}
+				sb.WriteByte(str[i])
+			}
+			return StrV(sb.String()), nil
+		}), true
+	}
+	return nil, false
+}
+
+// listMethod returns the bound builtin method name on list l.
+func listMethod(in *Interp, l *ListV, name string) (Value, bool) {
+	switch name {
+	case "append":
+		return method(name, func(in *Interp, a []Value, k map[string]Value) (Value, *PyErr) {
+			if len(a) != 1 {
+				return nil, in.NewExc("TypeError", "append() takes exactly one argument")
+			}
+			l.Elems = append(l.Elems, a[0])
+			in.Alloc.Alloc(8)
+			return None, nil
+		}), true
+	case "extend":
+		return method(name, func(in *Interp, a []Value, k map[string]Value) (Value, *PyErr) {
+			if len(a) != 1 {
+				return nil, in.NewExc("TypeError", "extend() takes exactly one argument")
+			}
+			items, err := in.iterate(a[0], pos0)
+			if err != nil {
+				return nil, err
+			}
+			l.Elems = append(l.Elems, items...)
+			in.Alloc.Alloc(int64(8 * len(items)))
+			return None, nil
+		}), true
+	case "pop":
+		return method(name, func(in *Interp, a []Value, k map[string]Value) (Value, *PyErr) {
+			if len(l.Elems) == 0 {
+				return nil, in.NewExc("IndexError", "pop from empty list")
+			}
+			idx := len(l.Elems) - 1
+			if len(a) > 0 {
+				iv, ok := asInt(a[0])
+				if !ok {
+					return nil, in.NewExc("TypeError", "pop index must be int")
+				}
+				idx = int(iv)
+				if idx < 0 {
+					idx += len(l.Elems)
+				}
+				if idx < 0 || idx >= len(l.Elems) {
+					return nil, in.NewExc("IndexError", "pop index out of range")
+				}
+			}
+			v := l.Elems[idx]
+			l.Elems = append(l.Elems[:idx], l.Elems[idx+1:]...)
+			return v, nil
+		}), true
+	case "insert":
+		return method(name, func(in *Interp, a []Value, k map[string]Value) (Value, *PyErr) {
+			if len(a) != 2 {
+				return nil, in.NewExc("TypeError", "insert() takes 2 arguments")
+			}
+			iv, ok := asInt(a[0])
+			if !ok {
+				return nil, in.NewExc("TypeError", "insert index must be int")
+			}
+			idx := clampIndex(int(iv), len(l.Elems))
+			l.Elems = append(l.Elems, nil)
+			copy(l.Elems[idx+1:], l.Elems[idx:])
+			l.Elems[idx] = a[1]
+			return None, nil
+		}), true
+	case "remove":
+		return method(name, func(in *Interp, a []Value, k map[string]Value) (Value, *PyErr) {
+			if len(a) != 1 {
+				return nil, in.NewExc("TypeError", "remove() takes exactly one argument")
+			}
+			for i, e := range l.Elems {
+				if Equal(e, a[0]) {
+					l.Elems = append(l.Elems[:i], l.Elems[i+1:]...)
+					return None, nil
+				}
+			}
+			return nil, in.NewExc("ValueError", "list.remove(x): x not in list")
+		}), true
+	case "index":
+		return method(name, func(in *Interp, a []Value, k map[string]Value) (Value, *PyErr) {
+			if len(a) != 1 {
+				return nil, in.NewExc("TypeError", "index() takes exactly one argument here")
+			}
+			for i, e := range l.Elems {
+				if Equal(e, a[0]) {
+					return IntV(i), nil
+				}
+			}
+			return nil, in.NewExc("ValueError", "%s is not in list", Repr(a[0]))
+		}), true
+	case "count":
+		return method(name, func(in *Interp, a []Value, k map[string]Value) (Value, *PyErr) {
+			if len(a) != 1 {
+				return nil, in.NewExc("TypeError", "count() takes exactly one argument")
+			}
+			n := 0
+			for _, e := range l.Elems {
+				if Equal(e, a[0]) {
+					n++
+				}
+			}
+			return IntV(n), nil
+		}), true
+	case "sort":
+		return method(name, func(in *Interp, a []Value, k map[string]Value) (Value, *PyErr) {
+			sortedV, err := biSorted(in, []Value{l}, k)
+			if err != nil {
+				return nil, err
+			}
+			l.Elems = sortedV.(*ListV).Elems
+			return None, nil
+		}), true
+	case "reverse":
+		return method(name, func(in *Interp, a []Value, k map[string]Value) (Value, *PyErr) {
+			for i, j := 0, len(l.Elems)-1; i < j; i, j = i+1, j-1 {
+				l.Elems[i], l.Elems[j] = l.Elems[j], l.Elems[i]
+			}
+			return None, nil
+		}), true
+	case "clear":
+		return method(name, func(in *Interp, a []Value, k map[string]Value) (Value, *PyErr) {
+			l.Elems = nil
+			return None, nil
+		}), true
+	case "copy":
+		return method(name, func(in *Interp, a []Value, k map[string]Value) (Value, *PyErr) {
+			out := make([]Value, len(l.Elems))
+			copy(out, l.Elems)
+			return &ListV{Elems: out}, nil
+		}), true
+	}
+	return nil, false
+}
+
+// dictMethod returns the bound builtin method name on dict d.
+func dictMethod(in *Interp, d *DictV, name string) (Value, bool) {
+	switch name {
+	case "get":
+		return method(name, func(in *Interp, a []Value, k map[string]Value) (Value, *PyErr) {
+			if len(a) < 1 || len(a) > 2 {
+				return nil, in.NewExc("TypeError", "get expected 1 or 2 arguments")
+			}
+			if v, ok := d.Get(a[0]); ok {
+				return v, nil
+			}
+			if len(a) == 2 {
+				return a[1], nil
+			}
+			return None, nil
+		}), true
+	case "keys":
+		return method(name, func(in *Interp, a []Value, k map[string]Value) (Value, *PyErr) {
+			items := d.Items()
+			out := make([]Value, len(items))
+			for i, kv := range items {
+				out[i] = kv[0]
+			}
+			return &ListV{Elems: out}, nil
+		}), true
+	case "values":
+		return method(name, func(in *Interp, a []Value, k map[string]Value) (Value, *PyErr) {
+			items := d.Items()
+			out := make([]Value, len(items))
+			for i, kv := range items {
+				out[i] = kv[1]
+			}
+			return &ListV{Elems: out}, nil
+		}), true
+	case "items":
+		return method(name, func(in *Interp, a []Value, k map[string]Value) (Value, *PyErr) {
+			items := d.Items()
+			out := make([]Value, len(items))
+			for i, kv := range items {
+				out[i] = &TupleV{Elems: []Value{kv[0], kv[1]}}
+			}
+			return &ListV{Elems: out}, nil
+		}), true
+	case "update":
+		return method(name, func(in *Interp, a []Value, k map[string]Value) (Value, *PyErr) {
+			if len(a) == 1 {
+				src, ok := a[0].(*DictV)
+				if !ok {
+					return nil, in.NewExc("TypeError", "update() argument must be a dict")
+				}
+				for _, kv := range src.Items() {
+					d.Set(kv[0], kv[1])
+				}
+			}
+			for _, key := range sortedKwargKeys(k) {
+				d.SetStr(key, k[key])
+			}
+			return None, nil
+		}), true
+	case "pop":
+		return method(name, func(in *Interp, a []Value, k map[string]Value) (Value, *PyErr) {
+			if len(a) < 1 || len(a) > 2 {
+				return nil, in.NewExc("TypeError", "pop expected 1 or 2 arguments")
+			}
+			if v, ok := d.Get(a[0]); ok {
+				d.Delete(a[0])
+				return v, nil
+			}
+			if len(a) == 2 {
+				return a[1], nil
+			}
+			return nil, in.NewExc("KeyError", "%s", Repr(a[0]))
+		}), true
+	case "setdefault":
+		return method(name, func(in *Interp, a []Value, k map[string]Value) (Value, *PyErr) {
+			if len(a) < 1 || len(a) > 2 {
+				return nil, in.NewExc("TypeError", "setdefault expected 1 or 2 arguments")
+			}
+			if v, ok := d.Get(a[0]); ok {
+				return v, nil
+			}
+			var def Value = None
+			if len(a) == 2 {
+				def = a[1]
+			}
+			d.Set(a[0], def)
+			return def, nil
+		}), true
+	case "clear":
+		return method(name, func(in *Interp, a []Value, k map[string]Value) (Value, *PyErr) {
+			*d = *NewDict()
+			return None, nil
+		}), true
+	case "copy":
+		return method(name, func(in *Interp, a []Value, k map[string]Value) (Value, *PyErr) {
+			out := NewDict()
+			for _, kv := range d.Items() {
+				out.Set(kv[0], kv[1])
+			}
+			return out, nil
+		}), true
+	}
+	return nil, false
+}

@@ -1,0 +1,563 @@
+package pyruntime
+
+import "testing"
+
+// Deeper language-semantics coverage: the behaviours the debloater's
+// correctness quietly depends on.
+
+func TestAugmentedAssignTargets(t *testing.T) {
+	expectOutput(t, `
+x = 1
+x += 2
+x *= 3
+x -= 1
+x //= 2
+print(x)
+
+class C:
+    pass
+c = C()
+c.n = 10
+c.n += 5
+print(c.n)
+
+d = {"k": 1}
+d["k"] += 9
+print(d["k"])
+
+l = [1, 2]
+l[0] += 100
+print(l)
+
+s = "ab"
+s += "cd"
+print(s)
+`, "4\n15\n10\n[101, 2]\nabcd\n")
+}
+
+func TestForElseWithBreak(t *testing.T) {
+	expectOutput(t, `
+for i in [1, 2, 3]:
+    if i == 2:
+        print("found")
+        break
+else:
+    print("not found")
+
+for i in [1, 3, 5]:
+    if i == 2:
+        break
+else:
+    print("exhausted")
+`, "found\nexhausted\n")
+}
+
+func TestTryElse(t *testing.T) {
+	expectOutput(t, `
+try:
+    x = 1
+except ValueError:
+    print("handler")
+else:
+    print("else ran")
+
+try:
+    raise ValueError("v")
+except ValueError:
+    print("caught")
+else:
+    print("must not run")
+`, "else ran\ncaught\n")
+}
+
+func TestFinallyOverridesControlFlow(t *testing.T) {
+	expectOutput(t, `
+def f():
+    try:
+        return "from try"
+    finally:
+        print("finally runs")
+
+print(f())
+
+def g():
+    try:
+        return "try"
+    finally:
+        return "finally wins"
+
+print(g())
+`, "finally runs\nfrom try\nfinally wins\n")
+}
+
+func TestNestedClosuresShareEnclosing(t *testing.T) {
+	expectOutput(t, `
+def counterish(start):
+    box = [start]
+    def bump():
+        box[0] += 1
+        return box[0]
+    def read():
+        return box[0]
+    return (bump, read)
+
+bump, read = counterish(10)
+bump()
+bump()
+print(read())
+`, "12\n")
+}
+
+func TestMethodResolutionOrder(t *testing.T) {
+	expectOutput(t, `
+class A:
+    def who(self):
+        return "A"
+    def describe(self):
+        return "I am " + self.who()
+
+class B(A):
+    def who(self):
+        return "B"
+
+print(A().describe())
+print(B().describe())
+`, "I am A\nI am B\n")
+}
+
+func TestExceptionSubclassCatching(t *testing.T) {
+	expectOutput(t, `
+class AppError(Exception):
+    pass
+
+class DBError(AppError):
+    pass
+
+try:
+    raise DBError("down")
+except AppError as e:
+    print("caught app error:", e.args[0])
+
+try:
+    raise DBError("down")
+except Exception:
+    print("caught as Exception")
+`, "caught app error: down\ncaught as Exception\n")
+}
+
+func TestRaiseClassWithoutArgs(t *testing.T) {
+	perr := runExpectErr(t, "raise ValueError")
+	if perr.ClassName() != "ValueError" {
+		t.Errorf("class = %s", perr.ClassName())
+	}
+}
+
+func TestRaiseNonExceptionFails(t *testing.T) {
+	perr := runExpectErr(t, "raise 42")
+	if perr.ClassName() != "TypeError" {
+		t.Errorf("class = %s", perr.ClassName())
+	}
+}
+
+func TestSliceEdgeCases(t *testing.T) {
+	expectOutput(t, `
+l = [0, 1, 2, 3, 4]
+print(l[1:3], l[:2], l[3:], l[:])
+print(l[-2:], l[:-3])
+print(l[4:2])
+print("hello"[1:4])
+t = (1, 2, 3)
+print(t[0:2])
+`, "[1, 2] [0, 1] [3, 4] [0, 1, 2, 3, 4]\n[3, 4] [0, 1]\n[]\nell\n(1, 2)\n")
+}
+
+func TestNegativeIndexing(t *testing.T) {
+	expectOutput(t, `
+l = [10, 20, 30]
+print(l[-1], l[-3])
+print("abc"[-1])
+`, "30 10\nc\n")
+	perr := runExpectErr(t, "[1, 2][-3]")
+	if perr.ClassName() != "IndexError" {
+		t.Errorf("class = %s", perr.ClassName())
+	}
+}
+
+func TestStringIterationAndMembership(t *testing.T) {
+	expectOutput(t, `
+for ch in "abc":
+    print(ch, end="")
+print()
+print("bc" in "abcd", "x" in "abcd", "x" not in "abcd")
+`, "abc\nTrue False True\n")
+}
+
+func TestDictIterationOrder(t *testing.T) {
+	expectOutput(t, `
+d = {"z": 1, "a": 2, "m": 3}
+for k in d:
+    print(k, d[k])
+`, "z 1\na 2\nm 3\n")
+}
+
+func TestIsAndIsNot(t *testing.T) {
+	expectOutput(t, `
+x = None
+print(x is None, x is not None)
+a = [1]
+b = [1]
+print(a is b, a == b, a is a)
+`, "True False\nFalse True True\n")
+}
+
+func TestDecoratorsApplyInOrder(t *testing.T) {
+	expectOutput(t, `
+def exclaim(fn):
+    def wrapped(x):
+        return fn(x) + "!"
+    return wrapped
+
+def shout(fn):
+    def wrapped(x):
+        return fn(x).upper()
+    return wrapped
+
+@exclaim
+@shout
+def greet(name):
+    return "hi " + name
+
+print(greet("bob"))
+`, "HI BOB!\n")
+}
+
+func TestLambdaClosures(t *testing.T) {
+	expectOutput(t, `
+fns = []
+for i in [1, 2, 3]:
+    fns.append(lambda x, i=i: x * i)
+print(fns[0](10), fns[1](10), fns[2](10))
+`, "10 20 30\n")
+}
+
+func TestDefaultArgumentsEvaluated(t *testing.T) {
+	expectOutput(t, `
+base = 10
+def f(x, y=base + 5):
+    return x + y
+print(f(1))
+print(f(1, 2))
+`, "16\n3\n")
+}
+
+func TestMultipleReturnValuesViaTuple(t *testing.T) {
+	expectOutput(t, `
+def divmod_(a, b):
+    return a // b, a % b
+
+q, r = divmod_(17, 5)
+print(q, r)
+`, "3 2\n")
+}
+
+func TestStarImportWithoutAll(t *testing.T) {
+	expectOutputFiles(t, `
+from lib import *
+print(visible())
+try:
+    _hidden()
+except NameError:
+    print("underscore names not exported")
+`, "v\nunderscore names not exported\n", map[string]string{
+		"site-packages/lib.py": `
+def visible():
+    return "v"
+def _hidden():
+    return "h"
+`})
+}
+
+func TestRelativeImports(t *testing.T) {
+	expectOutputFiles(t, `
+import pkg
+print(pkg.combined())
+`, "base+sibling\n", map[string]string{
+		"site-packages/pkg/__init__.py": `
+from .base import base_val
+from .sub import combined
+`,
+		"site-packages/pkg/base.py": `
+def base_val():
+    return "base"
+`,
+		"site-packages/pkg/sub.py": `
+from .base import base_val
+
+def combined():
+    return base_val() + "+sibling"
+`})
+}
+
+func TestCyclicImportPartialModule(t *testing.T) {
+	// a imports b which imports a back; b sees a's partially-initialized
+	// namespace, as in CPython.
+	expectOutputFiles(t, `
+import a
+print(a.finish())
+`, "a-early+b\n", map[string]string{
+		"site-packages/a.py": `
+early = "a-early"
+import b
+
+def finish():
+    return b.combined
+`,
+		"site-packages/b.py": `
+import a
+combined = a.early + "+b"
+`})
+}
+
+func TestModuleAttributeAssignment(t *testing.T) {
+	expectOutputFiles(t, `
+import cfg
+cfg.value = 99
+print(cfg.value)
+cfg.fresh = "new"
+print(cfg.fresh)
+del cfg.fresh
+print(hasattr(cfg, "fresh"))
+`, "99\nnew\nFalse\n", map[string]string{
+		"site-packages/cfg.py": "value = 1\n",
+	})
+}
+
+func TestDeepRecursionWithinLimit(t *testing.T) {
+	expectOutput(t, `
+def down(n):
+    if n == 0:
+        return 0
+    return 1 + down(n - 1)
+print(down(150))
+`, "150\n")
+}
+
+func TestIntegerFloatCoercion(t *testing.T) {
+	expectOutput(t, `
+print(1 + 2.5, 2.5 + 1)
+print(7 / 2, 7.0 // 2.0, 7.5 % 2)
+print(2 ** -1)
+print(10 % 3.0)
+print(True + True, True * 5)
+`, "3.5 3.5\n3.5 3.0 1.5\n0.5\n1.0\n2 5\n")
+}
+
+func TestComparisonChainsAndMixed(t *testing.T) {
+	expectOutput(t, `
+print(1 < 2 < 3, 1 < 2 > 3, 3 >= 3 >= 2)
+print([1, 2] < [1, 3], [1] < [1, 0], (2,) > (1, 9))
+print("abc" < "abd", "a" <= "a")
+`, "True False True\nTrue True True\nTrue True\n")
+}
+
+func TestUnsupportedOperandErrors(t *testing.T) {
+	cases := map[string]string{
+		`"a" + 1`:        "TypeError",
+		`{} + {}`:        "TypeError",
+		`1 < "a"`:        "TypeError",
+		`len(1)`:         "TypeError",
+		`None()`:         "TypeError",
+		`1 / 0`:          "ZeroDivisionError",
+		`1 // 0`:         "ZeroDivisionError",
+		`1 % 0`:          "ZeroDivisionError",
+		`1.0 / 0.0`:      "ZeroDivisionError",
+		`[1][5]`:         "IndexError",
+		`{}["k"]`:        "KeyError",
+		`undefined_name`: "NameError",
+	}
+	for src, wantClass := range cases {
+		perr := runExpectErr(t, src)
+		if perr.ClassName() != wantClass {
+			t.Errorf("%s raised %s, want %s", src, perr.ClassName(), wantClass)
+		}
+	}
+}
+
+func TestPercentFormattingEdges(t *testing.T) {
+	expectOutput(t, `
+print("100%%" % ())
+print("%s and %r" % ("plain", "quoted"))
+print("%.0f|%.3f" % (2.5, 1.0))
+print("%d" % 3.9)
+`, "100%\nplain and 'quoted'\n2|1.000\n3\n")
+}
+
+func TestPrintKwargs(t *testing.T) {
+	expectOutput(t, `
+print("a", "b", sep="-")
+print("x", end="")
+print("y")
+print()
+`, "a-b\nxy\n\n")
+}
+
+func TestImportStarBadAll(t *testing.T) {
+	perr := runExpectErrFiles(t, "from lib import *", map[string]string{
+		"site-packages/lib.py": "__all__ = [\"missing\"]\ndef present():\n    return 1\n",
+	})
+	if perr.ClassName() != "AttributeError" {
+		t.Errorf("bad __all__ raised %s", perr.ClassName())
+	}
+	perr = runExpectErrFiles(t, "from lib import *", map[string]string{
+		"site-packages/lib.py": "__all__ = [42]\n",
+	})
+	if perr.ClassName() != "TypeError" {
+		t.Errorf("non-string __all__ raised %s", perr.ClassName())
+	}
+}
+
+func TestFromImportMissingName(t *testing.T) {
+	perr := runExpectErrFiles(t, "from lib import nothing", map[string]string{
+		"site-packages/lib.py": "x = 1\n",
+	})
+	if perr.ClassName() != "ImportError" {
+		t.Errorf("missing name raised %s", perr.ClassName())
+	}
+}
+
+func TestRelativeImportBeyondTopLevel(t *testing.T) {
+	perr := runExpectErrFiles(t, "import lib", map[string]string{
+		"site-packages/lib.py": "from ...nowhere import thing\n",
+	})
+	if perr.ClassName() != "ImportError" {
+		t.Errorf("beyond-top relative import raised %s", perr.ClassName())
+	}
+}
+
+func TestSortedWithFailingKey(t *testing.T) {
+	perr := runExpectErr(t, `
+def bad(x):
+    raise ValueError("key exploded")
+sorted([3, 1], key=bad)
+`)
+	if perr.ClassName() != "ValueError" {
+		t.Errorf("failing key raised %s", perr.ClassName())
+	}
+	// Unorderable elements surface a TypeError.
+	perr = runExpectErr(t, `sorted([1, "a"])`)
+	if perr.ClassName() != "TypeError" {
+		t.Errorf("mixed sort raised %s", perr.ClassName())
+	}
+}
+
+func TestRangeNegativeStepMembership(t *testing.T) {
+	expectOutput(t, `
+r = range(10, 0, -2)
+print(10 in r, 9 in r, 2 in r, 0 in r)
+print(len(r))
+`, "True False True False\n5\n")
+}
+
+func TestRangeZeroStepError(t *testing.T) {
+	perr := runExpectErr(t, "range(1, 5, 0)")
+	if perr.ClassName() != "ValueError" {
+		t.Errorf("zero step raised %s", perr.ClassName())
+	}
+}
+
+func TestTupleSlicesAndConcat(t *testing.T) {
+	expectOutput(t, `
+t = (1, 2) + (3,)
+print(t, t[1:], len(t))
+print((1, 2) * 1 if False else "no tuple repeat needed")
+l = [0] * 3
+print(l, [1, 2] + [3])
+print("ab" * 0, 0 * "ab")
+`, "(1, 2, 3) (2, 3) 3\nno tuple repeat needed\n[0, 0, 0] [1, 2, 3]\n \n")
+}
+
+func TestMinMaxErrors(t *testing.T) {
+	if perr := runExpectErr(t, "min([])"); perr.ClassName() != "ValueError" {
+		t.Errorf("empty min raised %s", perr.ClassName())
+	}
+	if perr := runExpectErr(t, `max([1, "a"])`); perr.ClassName() != "TypeError" {
+		t.Errorf("mixed max raised %s", perr.ClassName())
+	}
+}
+
+func TestSumTypeError(t *testing.T) {
+	if perr := runExpectErr(t, `sum(["a"])`); perr.ClassName() != "TypeError" {
+		t.Errorf("sum of strings raised %s", perr.ClassName())
+	}
+}
+
+func TestFormatPercentErrors(t *testing.T) {
+	cases := map[string]string{
+		`"%d %d" % (1,)`: "TypeError",  // not enough args
+		`"%d" % "x"`:     "TypeError",  // wrong type
+		`"%q" % 1`:       "ValueError", // unknown verb
+		`"%" % 1`:        "ValueError", // dangling percent
+	}
+	for src, want := range cases {
+		perr := runExpectErr(t, src)
+		if perr.ClassName() != want {
+			t.Errorf("%s raised %s, want %s", src, perr.ClassName(), want)
+		}
+	}
+}
+
+func TestClassDecorator(t *testing.T) {
+	expectOutput(t, `
+def register(cls):
+    cls.registered = True
+    return cls
+
+@register
+class Service:
+    pass
+
+print(Service.registered)
+`, "True\n")
+}
+
+func TestInstanceCallableViaDunder(t *testing.T) {
+	expectOutput(t, `
+class Adder:
+    def __init__(self, n):
+        self.n = n
+    def __call__(self, x):
+        return x + self.n
+
+add3 = Adder(3)
+print(add3(4))
+`, "7\n")
+	perr := runExpectErr(t, `
+class NotCallable:
+    pass
+NotCallable()()
+`)
+	if perr.ClassName() != "TypeError" {
+		t.Errorf("non-callable instance raised %s", perr.ClassName())
+	}
+}
+
+func TestWhileElseSkippedOnBreak(t *testing.T) {
+	expectOutput(t, `
+n = 0
+while n < 5:
+    n += 1
+    if n == 3:
+        break
+else:
+    print("never")
+print(n)
+`, "3\n")
+}
+
+func TestNestedTupleUnpack(t *testing.T) {
+	expectOutput(t, `
+pairs = [(1, "a"), (2, "b")]
+for n, s in pairs:
+    print(n, s)
+`, "1 a\n2 b\n")
+}

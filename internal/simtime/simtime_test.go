@@ -1,0 +1,129 @@
+package simtime
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestClockAdvance(t *testing.T) {
+	c := NewClock()
+	if c.Now() != 0 {
+		t.Errorf("fresh clock reads %v", c.Now())
+	}
+	c.Advance(5 * time.Millisecond)
+	c.Advance(250 * time.Microsecond)
+	if c.Now() != 5*time.Millisecond+250*time.Microsecond {
+		t.Errorf("clock = %v", c.Now())
+	}
+	c.Reset()
+	if c.Now() != 0 {
+		t.Error("reset failed")
+	}
+}
+
+func TestClockNegativeAdvancePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("negative advance should panic")
+		}
+	}()
+	NewClock().Advance(-time.Nanosecond)
+}
+
+func TestAllocatorAccounting(t *testing.T) {
+	a := NewAllocator()
+	a.Alloc(100)
+	a.Alloc(50)
+	if a.Used() != 150 || a.Peak() != 150 {
+		t.Errorf("used=%d peak=%d", a.Used(), a.Peak())
+	}
+	a.Free(120)
+	if a.Used() != 30 {
+		t.Errorf("used after free = %d", a.Used())
+	}
+	if a.Peak() != 150 {
+		t.Errorf("peak should persist: %d", a.Peak())
+	}
+	a.Alloc(40)
+	if a.Peak() != 150 {
+		t.Errorf("peak moved unexpectedly: %d", a.Peak())
+	}
+	a.Alloc(200)
+	if a.Peak() != 270 {
+		t.Errorf("peak = %d, want 270", a.Peak())
+	}
+}
+
+func TestAllocatorFreeClamps(t *testing.T) {
+	a := NewAllocator()
+	a.Alloc(10)
+	a.Free(100)
+	if a.Used() != 0 {
+		t.Errorf("over-free should clamp at 0, got %d", a.Used())
+	}
+}
+
+func TestAllocatorNegativeAllocPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("negative alloc should panic")
+		}
+	}()
+	NewAllocator().Alloc(-1)
+}
+
+func TestMBf(t *testing.T) {
+	if MBf(MB) != 1 || MBf(3*MB/2) != 1.5 {
+		t.Errorf("MBf conversions wrong: %f %f", MBf(MB), MBf(3*MB/2))
+	}
+}
+
+// Property: Peak is always >= Used, and Used equals the running sum of
+// allocs minus frees (clamped at zero).
+func TestQuickAllocatorInvariants(t *testing.T) {
+	f := func(ops []int16) bool {
+		a := NewAllocator()
+		model := int64(0)
+		for _, op := range ops {
+			n := int64(op) // widen before negating: int16 min would overflow
+			if n >= 0 {
+				a.Alloc(n)
+				model += n
+			} else {
+				a.Free(-n)
+				model -= -n
+				if model < 0 {
+					model = 0
+				}
+			}
+			if a.Used() != model || a.Peak() < a.Used() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the clock is monotone under any sequence of non-negative
+// advances.
+func TestQuickClockMonotone(t *testing.T) {
+	f := func(deltas []uint16) bool {
+		c := NewClock()
+		prev := c.Now()
+		for _, d := range deltas {
+			c.Advance(time.Duration(d))
+			if c.Now() < prev {
+				return false
+			}
+			prev = c.Now()
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

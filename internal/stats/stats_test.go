@@ -1,0 +1,166 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestMean(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Error("empty mean should be 0")
+	}
+	if !almostEq(Mean([]float64{1, 2, 3, 4}), 2.5) {
+		t.Errorf("mean = %f", Mean([]float64{1, 2, 3, 4}))
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if !almostEq(GeoMean([]float64{1, 4}), 2) {
+		t.Errorf("geomean = %f", GeoMean([]float64{1, 4}))
+	}
+	if GeoMean([]float64{1, 0}) != 0 {
+		t.Error("geomean with zero should be 0")
+	}
+	if GeoMean(nil) != 0 {
+		t.Error("empty geomean should be 0")
+	}
+}
+
+func TestMedianAndPercentile(t *testing.T) {
+	xs := []float64{5, 1, 3, 2, 4}
+	if !almostEq(Median(xs), 3) {
+		t.Errorf("median = %f", Median(xs))
+	}
+	if !almostEq(Percentile(xs, 0), 1) || !almostEq(Percentile(xs, 100), 5) {
+		t.Error("percentile extremes wrong")
+	}
+	if !almostEq(Percentile([]float64{1, 2}, 50), 1.5) {
+		t.Errorf("interpolated median = %f", Percentile([]float64{1, 2}, 50))
+	}
+	if Percentile(nil, 50) != 0 {
+		t.Error("empty percentile should be 0")
+	}
+}
+
+func TestMinMaxSum(t *testing.T) {
+	xs := []float64{3, -1, 7}
+	if Min(xs) != -1 || Max(xs) != 7 || Sum(xs) != 9 {
+		t.Errorf("min/max/sum = %f %f %f", Min(xs), Max(xs), Sum(xs))
+	}
+	if Min(nil) != 0 || Max(nil) != 0 || Sum(nil) != 0 {
+		t.Error("empty aggregates should be 0")
+	}
+}
+
+func TestCDF(t *testing.T) {
+	points := CDF([]float64{3, 1, 2})
+	if len(points) != 3 {
+		t.Fatalf("cdf points = %d", len(points))
+	}
+	if points[0].X != 1 || !almostEq(points[0].P, 1.0/3) {
+		t.Errorf("first point = %+v", points[0])
+	}
+	if points[2].X != 3 || points[2].P != 1 {
+		t.Errorf("last point = %+v", points[2])
+	}
+	if CDFAt(points, 0.5) != 0 {
+		t.Error("CDFAt below min should be 0")
+	}
+	if !almostEq(CDFAt(points, 2.5), 2.0/3) {
+		t.Errorf("CDFAt(2.5) = %f", CDFAt(points, 2.5))
+	}
+	if CDFAt(points, 10) != 1 {
+		t.Error("CDFAt above max should be 1")
+	}
+}
+
+func TestImprovementAndSpeedup(t *testing.T) {
+	if !almostEq(Improvement(100, 75), 0.25) {
+		t.Errorf("improvement = %f", Improvement(100, 75))
+	}
+	if Improvement(0, 5) != 0 {
+		t.Error("zero-old improvement should be 0")
+	}
+	if !almostEq(Speedup(10, 5), 2) {
+		t.Errorf("speedup = %f", Speedup(10, 5))
+	}
+	if Speedup(10, 0) != 0 {
+		t.Error("zero-new speedup should be 0")
+	}
+}
+
+// Property: percentiles are monotone in p and bounded by min/max.
+func TestQuickPercentileMonotone(t *testing.T) {
+	f := func(raw []float64, aRaw, bRaw uint8) bool {
+		var xs []float64
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) {
+				xs = append(xs, x)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		a := float64(aRaw) / 255 * 100
+		b := float64(bRaw) / 255 * 100
+		if a > b {
+			a, b = b, a
+		}
+		pa, pb := Percentile(xs, a), Percentile(xs, b)
+		return pa <= pb+1e-9 && pa >= Min(xs)-1e-9 && pb <= Max(xs)+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: a CDF is non-decreasing in both coordinates and ends at P=1.
+func TestQuickCDFMonotone(t *testing.T) {
+	f := func(raw []float64) bool {
+		var xs []float64
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) {
+				xs = append(xs, x)
+			}
+		}
+		points := CDF(xs)
+		if len(xs) == 0 {
+			return points == nil
+		}
+		for i := 1; i < len(points); i++ {
+			if points[i].X < points[i-1].X || points[i].P < points[i-1].P {
+				return false
+			}
+		}
+		return points[len(points)-1].P == 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Median matches the sorted middle within interpolation.
+func TestQuickMedianBetweenNeighbours(t *testing.T) {
+	f := func(raw []float64) bool {
+		var xs []float64
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) {
+				xs = append(xs, x)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		m := Median(xs)
+		sorted := append([]float64(nil), xs...)
+		sort.Float64s(sorted)
+		return m >= sorted[0]-1e-9 && m <= sorted[len(sorted)-1]+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

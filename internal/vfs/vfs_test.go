@@ -1,0 +1,142 @@
+package vfs
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestWriteReadRemove(t *testing.T) {
+	fs := New()
+	fs.Write("a/b.py", "content")
+	got, err := fs.Read("a/b.py")
+	if err != nil || got != "content" {
+		t.Fatalf("read = %q, %v", got, err)
+	}
+	if !fs.Exists("a/b.py") {
+		t.Error("file should exist")
+	}
+	if err := fs.Remove("a/b.py"); err != nil {
+		t.Fatal(err)
+	}
+	if fs.Exists("a/b.py") {
+		t.Error("file should be gone")
+	}
+	if err := fs.Remove("a/b.py"); err == nil {
+		t.Error("double remove should fail")
+	}
+	if _, err := fs.Read("missing"); err == nil {
+		t.Error("reading missing file should fail")
+	}
+}
+
+func TestCleanNormalization(t *testing.T) {
+	cases := map[string]string{
+		"./a/b.py": "a/b.py",
+		"/a/b.py":  "a/b.py",
+		"a//b.py":  "a/b.py",
+		"a/./b.py": "a/b.py",
+		"a/b.py":   "a/b.py",
+	}
+	for in, want := range cases {
+		if got := Clean(in); got != want {
+			t.Errorf("Clean(%q) = %q, want %q", in, got, want)
+		}
+	}
+	// All spellings address the same file.
+	fs := New()
+	fs.Write("./x/y.py", "v")
+	if got, _ := fs.Read("/x/y.py"); got != "v" {
+		t.Error("path normalization broken")
+	}
+}
+
+func TestListAndListDir(t *testing.T) {
+	fs := New()
+	fs.Write("b.py", "1")
+	fs.Write("a/x.py", "2")
+	fs.Write("a/y.py", "3")
+	fs.Write("c/z.py", "4")
+
+	all := fs.List()
+	if len(all) != 4 || all[0] != "a/x.py" {
+		t.Errorf("List = %v", all)
+	}
+	sub := fs.ListDir("a")
+	if len(sub) != 2 || sub[0] != "a/x.py" || sub[1] != "a/y.py" {
+		t.Errorf("ListDir = %v", sub)
+	}
+}
+
+func TestCloneIsolation(t *testing.T) {
+	fs := New()
+	fs.Write("f.py", "original")
+	clone := fs.Clone()
+	clone.Write("f.py", "modified")
+	clone.Write("new.py", "extra")
+
+	if got, _ := fs.Read("f.py"); got != "original" {
+		t.Error("clone mutation leaked into original")
+	}
+	if fs.Exists("new.py") {
+		t.Error("clone write leaked into original")
+	}
+	if got, _ := clone.Read("f.py"); got != "modified" {
+		t.Error("clone lost its own write")
+	}
+}
+
+func TestTotalSizeAndLen(t *testing.T) {
+	fs := New()
+	fs.Write("a", "12345")
+	fs.Write("b", "678")
+	if fs.TotalSize() != 8 {
+		t.Errorf("TotalSize = %d", fs.TotalSize())
+	}
+	if fs.Len() != 2 {
+		t.Errorf("Len = %d", fs.Len())
+	}
+}
+
+// Property: writing then reading any path/content pair returns the content.
+func TestQuickWriteRead(t *testing.T) {
+	f := func(path, content string) bool {
+		if Clean(path) == "" {
+			return true // empty paths normalize away; skip
+		}
+		fs := New()
+		fs.Write(path, content)
+		got, err := fs.Read(path)
+		return err == nil && got == content
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: List is always sorted and Clone preserves TotalSize.
+func TestQuickCloneInvariants(t *testing.T) {
+	f := func(names []string) bool {
+		fs := New()
+		for i, n := range names {
+			if Clean(n) == "" {
+				continue
+			}
+			fs.Write(n, strings.Repeat("x", i%7))
+		}
+		clone := fs.Clone()
+		if clone.TotalSize() != fs.TotalSize() || clone.Len() != fs.Len() {
+			return false
+		}
+		list := fs.List()
+		for i := 1; i < len(list); i++ {
+			if list[i-1] >= list[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
