@@ -1,0 +1,25 @@
+GO ?= go
+
+.PHONY: check fmt vet build test bench experiments
+
+## check: everything CI would run — formatting, vet, build, race-enabled tests
+check: fmt vet build test
+
+fmt:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench . -benchtime 1x -run xxx .
+
+experiments:
+	$(GO) run ./cmd/experiments

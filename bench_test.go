@@ -441,3 +441,28 @@ func BenchmarkTable2Ext_MeasuredBaselines(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkReliability_FaultedReplay measures the failure-semantics
+// extension: a full trace replay with OOM enforcement, timeouts, fault
+// injection, and client retries across all three deployments. The metrics
+// report the bare debloated deployment's exposure (post-retry failure
+// rate) and the fleet-wide retry amplification the faults induce.
+func BenchmarkReliability_FaultedReplay(b *testing.B) {
+	s := suite(b)
+	var failRate, retryAmp float64
+	for i := 0; i < b.N; i++ {
+		r, err := s.Reliability()
+		if err != nil {
+			b.Fatal(err)
+		}
+		failRate, retryAmp = 0, 0
+		for _, row := range r.Rows {
+			retryAmp += row.RetryAmplification() / float64(len(r.Rows))
+			if row.Deployment == "debloated" {
+				failRate = row.FailureRate()
+			}
+		}
+	}
+	b.ReportMetric(100*failRate, "debloated_fail_%")
+	b.ReportMetric(retryAmp, "retry_amplification_x")
+}

@@ -2,7 +2,7 @@
 //
 // Usage:
 //
-//	experiments [fig1|table1|fig2|fig8|table2|fig9|table3|fig10|fig11|fig12|fig13|fig14|table4|all]
+//	experiments [fig1|table1|fig2|fig8|table2|fig9|table3|fig10|fig11|fig12|fig13|fig14|table4|reliability|all]
 //
 // With no argument it runs everything (a few seconds: the corpus is
 // debloated once and reused across figures).
@@ -23,32 +23,33 @@ func main() {
 	if len(targets) == 0 || (len(targets) == 1 && targets[0] == "all") {
 		targets = []string{"fig1", "table1", "fig2", "fig8", "table2", "table2x",
 			"fig9", "table3", "fig10", "fig11", "fig12", "fig13", "fig14", "table4",
-			"ext-tune"}
+			"ext-tune", "reliability"}
 	}
 
 	suite := experiments.NewSuite()
 	drivers := map[string]func() (renderer, error){
-		"fig1":    func() (renderer, error) { return suite.Figure1() },
-		"table1":  func() (renderer, error) { return suite.Table1() },
-		"fig2":    func() (renderer, error) { return suite.Figure2() },
-		"fig8":    func() (renderer, error) { return suite.Figure8() },
-		"table2":  func() (renderer, error) { return suite.Table2() },
-		"fig9":    func() (renderer, error) { return suite.Figure9() },
-		"table3":  func() (renderer, error) { return suite.Table3() },
-		"fig10":   func() (renderer, error) { return suite.Figure10() },
-		"fig11":   func() (renderer, error) { return suite.Figure11() },
-		"fig12":   func() (renderer, error) { return suite.Figure12() },
-		"fig13":   func() (renderer, error) { return suite.Figure13() },
-		"fig14":   func() (renderer, error) { return suite.Figure14() },
-		"table4":  func() (renderer, error) { return suite.Table4() },
-		"table2x":  func() (renderer, error) { return suite.Table2Ext() },
-		"ext-tune": func() (renderer, error) { return suite.ExtPowerTune() },
+		"fig1":        func() (renderer, error) { return suite.Figure1() },
+		"table1":      func() (renderer, error) { return suite.Table1() },
+		"fig2":        func() (renderer, error) { return suite.Figure2() },
+		"fig8":        func() (renderer, error) { return suite.Figure8() },
+		"table2":      func() (renderer, error) { return suite.Table2() },
+		"fig9":        func() (renderer, error) { return suite.Figure9() },
+		"table3":      func() (renderer, error) { return suite.Table3() },
+		"fig10":       func() (renderer, error) { return suite.Figure10() },
+		"fig11":       func() (renderer, error) { return suite.Figure11() },
+		"fig12":       func() (renderer, error) { return suite.Figure12() },
+		"fig13":       func() (renderer, error) { return suite.Figure13() },
+		"fig14":       func() (renderer, error) { return suite.Figure14() },
+		"table4":      func() (renderer, error) { return suite.Table4() },
+		"table2x":     func() (renderer, error) { return suite.Table2Ext() },
+		"ext-tune":    func() (renderer, error) { return suite.ExtPowerTune() },
+		"reliability": func() (renderer, error) { return suite.Reliability() },
 	}
 
 	for _, target := range targets {
 		driver, ok := drivers[strings.ToLower(target)]
 		if !ok {
-			fmt.Fprintf(os.Stderr, "unknown target %q; known: fig1 table1 fig2 fig8 table2 table2x fig9 table3 fig10 fig11 fig12 fig13 fig14 table4\n", target)
+			fmt.Fprintf(os.Stderr, "unknown target %q; known: fig1 table1 fig2 fig8 table2 table2x fig9 table3 fig10 fig11 fig12 fig13 fig14 table4 ext-tune reliability\n", target)
 			os.Exit(2)
 		}
 		res, err := driver()

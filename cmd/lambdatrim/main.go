@@ -27,6 +27,7 @@ import (
 	"repro/internal/appcorpus"
 	"repro/internal/appspec"
 	"repro/internal/debloat"
+	"repro/internal/experiments"
 	"repro/internal/faas"
 	"repro/internal/imageio"
 	"repro/internal/powertune"
@@ -42,6 +43,8 @@ func main() {
 	dir := fs.String("dir", "", "load the application from this directory instead of the corpus")
 	out := fs.String("out", "", "export the optimized image to this directory")
 	tune := fs.Bool("tune", false, "power-tune memory configurations before and after debloating")
+	faults := fs.Bool("faults", false, "replay a faulted trace workload comparing original, debloated, and fallback deployments")
+	faultSeed := fs.Int64("fault-seed", 7, "seed for the trace generator and fault injector (with -faults)")
 	list := fs.Bool("list", false, "list corpus applications and exit")
 
 	args := os.Args[1:]
@@ -157,6 +160,22 @@ func main() {
 			}
 			fmt.Printf("\n[%s] %s", variant.label, sweep.Render())
 		}
+	}
+
+	if *faults {
+		// Reliability replay: OOM enforcement, timeouts, throttling, and
+		// injected transient faults over a bursty trace workload, with
+		// client-side retries — original vs. debloated vs. fallback.
+		rcfg := experiments.DefaultReliabilityConfig()
+		rcfg.App = appName
+		rcfg.Seed = *faultSeed
+		rel, err := experiments.ReliabilityCompare(res.Original, res.App, platform, rcfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "reliability replay: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println()
+		fmt.Print(rel.Render())
 	}
 
 	if *out != "" {

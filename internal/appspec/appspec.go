@@ -41,6 +41,16 @@ type App struct {
 	// image-transmission and checkpoint modeling (the synthetic library
 	// text is far smaller than the binaries it stands in for).
 	ImageSizeMB float64
+	// MemoryMB, when positive, is the operator-chosen memory configuration
+	// for this function. Zero means "configure from a profiling invocation
+	// at deploy time" (the platform rounds either choice up to a billable
+	// configuration).
+	MemoryMB int
+	// TimeoutMS, when positive, bounds an invocation's billed window
+	// (Function Initialization + Execution); the platform kills and bills
+	// the partial duration when it is exceeded. Zero defers to the
+	// platform's default timeout (which may itself be disabled).
+	TimeoutMS float64
 	// Tags carries corpus metadata (source benchmark suite, etc.).
 	Tags map[string]string
 }

@@ -10,8 +10,16 @@ import "sync"
 // complements) are tested concurrently with up to `workers` goroutines.
 // To keep results identical to the sequential algorithm, the round accepts
 // the *lowest-indexed* passing subset, regardless of goroutine completion
-// order; the extra oracle calls for higher-indexed subsets are the price
-// of the speedup (they are counted in Stats.Tests).
+// order; the extra oracle calls for higher-indexed subsets in the same
+// wave are the price of the speedup (they are counted in Stats.Tests).
+//
+// Candidates are launched in index-ordered waves of `workers`: once a wave
+// contains a passing candidate, no later wave is launched, so a passing
+// subset early in the round cancels the (potentially expensive) oracle
+// runs for everything beyond its wave. Because a wave always runs to
+// completion and wave boundaries depend only on `workers`, both the
+// accepted subset and Stats.Tests are deterministic for a fixed worker
+// count — never on goroutine scheduling.
 //
 // The oracle must be safe for concurrent invocation.
 func MinimizeParallel[T any](items []T, oracle Oracle[T], workers int) ([]T, Stats) {
@@ -46,25 +54,29 @@ func MinimizeParallel[T any](items []T, oracle Oracle[T], workers int) ([]T, Sta
 		return v
 	}
 
-	// firstPassing tests candidates concurrently and returns the index of
-	// the lowest-indexed one that passes, or -1.
+	// firstPassing tests candidates concurrently in index-ordered waves of
+	// `workers` and returns the lowest index that passes, or -1. Waves
+	// after the first passing one are never launched.
 	firstPassing := func(candidates [][]int) int {
-		results := make([]bool, len(candidates))
-		sem := make(chan struct{}, workers)
-		var wg sync.WaitGroup
-		for i := range candidates {
-			wg.Add(1)
-			sem <- struct{}{}
-			go func(i int) {
-				defer wg.Done()
-				defer func() { <-sem }()
-				results[i] = test(candidates[i])
-			}(i)
-		}
-		wg.Wait()
-		for i, ok := range results {
-			if ok {
-				return i
+		for start := 0; start < len(candidates); start += workers {
+			end := start + workers
+			if end > len(candidates) {
+				end = len(candidates)
+			}
+			results := make([]bool, end-start)
+			var wg sync.WaitGroup
+			for i := start; i < end; i++ {
+				wg.Add(1)
+				go func(i int) {
+					defer wg.Done()
+					results[i-start] = test(candidates[i])
+				}(i)
+			}
+			wg.Wait()
+			for i := start; i < end; i++ {
+				if results[i-start] {
+					return i
+				}
 			}
 		}
 		return -1

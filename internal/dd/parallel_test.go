@@ -1,6 +1,7 @@
 package dd
 
 import (
+	"sync"
 	"sync/atomic"
 	"testing"
 )
@@ -81,6 +82,81 @@ func TestParallelSingleWorkerFallsBack(t *testing.T) {
 	}
 	if stats.Tests != calls {
 		t.Errorf("tests=%d calls=%d", stats.Tests, calls)
+	}
+}
+
+// recordingOracle wraps an oracle and records every evaluated subset.
+func recordingOracle(needed []int) (Oracle[int], *map[string]bool) {
+	seen := make(map[string]bool)
+	var mu sync.Mutex
+	inner := subsetOracle(needed)
+	return func(keep []int) bool {
+		mu.Lock()
+		seen[indexKey(keep)] = true
+		mu.Unlock()
+		return inner(keep)
+	}, &seen
+}
+
+// Wave cancellation: once a lower-indexed candidate passes, candidates in
+// later waves are never launched. With items 0..7 and minimal set {0,7},
+// the n=4 complement round's second complement (index 1) passes inside the
+// first 2-worker wave, so complements 2 and 3 must never reach the oracle
+// — while a 4-worker run launches the whole round as one wave and does
+// evaluate complement 2.
+func TestParallelWaveCancellation(t *testing.T) {
+	needed := []int{0, 7}
+	skipped := []string{
+		indexKey([]int{0, 1, 2, 3, 6, 7}), // complement of {4,5}
+		indexKey([]int{0, 1, 2, 3, 4, 5}), // complement of {6,7}
+	}
+
+	oracle2, seen2 := recordingOracle(needed)
+	min2, _ := MinimizeParallel(seq(8), oracle2, 2)
+	if len(min2) != 2 || min2[0] != 0 || min2[1] != 7 {
+		t.Fatalf("minimized to %v, want [0 7]", min2)
+	}
+	for _, key := range skipped {
+		if (*seen2)[key] {
+			t.Errorf("workers=2 evaluated %q after a lower-indexed pass", key)
+		}
+	}
+
+	oracle4, seen4 := recordingOracle(needed)
+	min4, _ := MinimizeParallel(seq(8), oracle4, 4)
+	if len(min4) != 2 {
+		t.Fatalf("minimized to %v", min4)
+	}
+	if !(*seen4)[skipped[0]] {
+		t.Error("workers=4 should launch the whole round as one wave")
+	}
+}
+
+// Stats accounting must depend only on the worker count, never on
+// goroutine scheduling: repeated runs agree exactly, and the minimized
+// output matches sequential Minimize.
+func TestParallelStatsDeterministic(t *testing.T) {
+	items := seq(60)
+	needed := []int{3, 31, 32, 55}
+	seqMin, _ := Minimize(items, subsetOracle(needed))
+	var first Stats
+	for run := 0; run < 5; run++ {
+		parMin, stats := MinimizeParallel(items, subsetOracle(needed), 4)
+		if len(parMin) != len(seqMin) {
+			t.Fatalf("run %d: parallel %v vs sequential %v", run, parMin, seqMin)
+		}
+		for i := range seqMin {
+			if parMin[i] != seqMin[i] {
+				t.Fatalf("run %d: parallel %v vs sequential %v", run, parMin, seqMin)
+			}
+		}
+		if run == 0 {
+			first = stats
+			continue
+		}
+		if stats != first {
+			t.Fatalf("run %d stats %+v differ from first run %+v", run, stats, first)
+		}
 	}
 }
 

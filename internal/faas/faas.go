@@ -15,6 +15,7 @@ package faas
 import (
 	"fmt"
 	"math"
+	"math/rand"
 	"time"
 
 	"repro/internal/appspec"
@@ -68,13 +69,25 @@ func AzurePricing() Pricing {
 }
 
 // Cost computes Eq. 1 for a billed duration and configured memory.
+// Non-positive durations or memory configurations bill nothing (a killed
+// invocation that never reached a billable phase must not produce a
+// negative line item).
 func (p Pricing) Cost(billed time.Duration, memoryMB int) float64 {
+	if billed <= 0 || memoryMB <= 0 {
+		return 0
+	}
 	gb := float64(memoryMB) / 1024.0
 	return gb * billed.Seconds() * p.USDPerGBSecond
 }
 
 // BillDuration rounds a duration up to the billing granularity.
+// Non-positive durations round to zero. A Granularity <= 0 disables
+// rounding and passes the duration through unchanged — callers that model
+// exotic providers can rely on that pass-through.
 func (p Pricing) BillDuration(d time.Duration) time.Duration {
+	if d <= 0 {
+		return 0
+	}
 	if p.Granularity <= 0 {
 		return d
 	}
@@ -117,6 +130,23 @@ type Config struct {
 	// FallbackSetup is the wrapper's overhead when the fallback path
 	// triggers (~50 ms in §8.7).
 	FallbackSetup time.Duration
+
+	// EnforceMemory, when true, kills any invocation whose footprint
+	// exceeds the configured memory with an OOM error, billing the partial
+	// duration up to the kill (Lambda's "Runtime exited with error:
+	// signal: killed" semantics). Off by default so cost-only studies keep
+	// the permissive pre-failure-model behavior.
+	EnforceMemory bool
+	// DefaultTimeout bounds the billed window (Init+Exec) of functions
+	// that do not set their own appspec TimeoutMS. Zero disables the
+	// platform-wide timeout.
+	DefaultTimeout time.Duration
+	// FaultSeed seeds the deterministic fault injector and the retry
+	// jitter. The same seed, config, and invocation sequence reproduce
+	// byte-identical invocation logs.
+	FaultSeed int64
+	// Faults configures the injector; the zero value injects nothing.
+	Faults FaultConfig
 }
 
 // DefaultConfig mirrors the paper's AWS Lambda setup.
@@ -178,6 +208,23 @@ type Invocation struct {
 	Stdout string
 	// Err is set when the handler raised and no fallback absorbed it.
 	Err error
+	// Class classifies platform-level failures (OOM, timeout, throttle,
+	// init crash); FailureHandler marks application exceptions and
+	// FailureNone a successful invocation. For throttled records, Kind is
+	// meaningless (no instance was ever assigned).
+	Class FailureClass
+
+	// Attempt is this record's 1-based attempt index under a retrying
+	// client (zero when invoked directly).
+	Attempt int
+	// Attempts, AttemptCostsUSD and BackoffWait are set on the final
+	// record returned by InvokeWithRetry: total attempts made, the bill
+	// of each attempt (failed ones included — the client pays for every
+	// billed attempt), and the total client-side backoff wait. CostUSD,
+	// BilledDuration and E2E then aggregate across all attempts.
+	Attempts        int
+	AttemptCostsUSD []float64
+	BackoffWait     time.Duration
 	// FallbackUsed marks invocations served by the fallback original
 	// function after an AttributeError in the debloated one.
 	FallbackUsed bool
@@ -224,11 +271,17 @@ type deployment struct {
 	fallback  string // name of the fallback function, if any
 	snapstart *SnapStartConfig
 	instances []*instance
-	// configuredMB is fixed after the first invocation measures the peak
-	// footprint, as operators do with AWS Lambda Power Tuning.
+	// configuredMB is fixed at Deploy time — from the appspec's explicit
+	// MemoryMB or from a profiling invocation, as operators do with AWS
+	// Lambda Power Tuning. It never changes with invocation order.
 	configuredMB int
 	invocations  int
 	coldStarts   int
+	// Failure counters (per attempt, not per client-visible request).
+	oomKills    int
+	timeouts    int
+	throttles   int
+	initCrashes int
 }
 
 // Platform is the simulator. It is not safe for concurrent use.
@@ -237,11 +290,18 @@ type Platform struct {
 	now   time.Duration
 	fns   map[string]*deployment
 	order []string
+	// rng drives the fault injector and retry jitter; draws happen in a
+	// fixed order per invocation so a fixed FaultSeed reproduces runs.
+	rng *rand.Rand
 }
 
 // New creates a platform.
 func New(cfg Config) *Platform {
-	return &Platform{cfg: cfg, fns: make(map[string]*deployment)}
+	return &Platform{
+		cfg: cfg,
+		fns: make(map[string]*deployment),
+		rng: rand.New(rand.NewSource(cfg.FaultSeed)),
+	}
 }
 
 // Now returns the platform timeline.
@@ -257,11 +317,45 @@ func (p *Platform) Advance(d time.Duration) {
 // Deploy registers an app under its name. Redeploying replaces the function
 // and discards warm instances (AWS behaves the same on code updates — the
 // paper exploits this to force cold starts).
+//
+// The memory configuration is fixed here: from the appspec's explicit
+// MemoryMB if set, otherwise from a profiling invocation of the first
+// oracle event on a scratch interpreter (not billed, not counted in
+// FunctionStats). Configuring at deploy time — instead of latching the
+// first invocation's peak — keeps billing and OOM enforcement independent
+// of event arrival order.
 func (p *Platform) Deploy(app *appspec.App) {
 	if _, exists := p.fns[app.Name]; !exists {
 		p.order = append(p.order, app.Name)
 	}
-	p.fns[app.Name] = &deployment{app: app}
+	d := &deployment{app: app}
+	if app.MemoryMB > 0 {
+		d.configuredMB = p.cfg.Pricing.ConfigureMemory(float64(app.MemoryMB))
+	} else {
+		d.configuredMB = p.cfg.Pricing.ConfigureMemory(p.profilePeakMB(app))
+	}
+	p.fns[app.Name] = d
+}
+
+// profilePeakMB measures the app's peak footprint (runtime base included)
+// by importing the entry module and running the handler once with the
+// first oracle event on a throwaway interpreter. Errors are tolerated:
+// whatever peak was reached before the failure is what gets provisioned.
+func (p *Platform) profilePeakMB(app *appspec.App) float64 {
+	interp := pyruntime.New(app.Image)
+	mod, perr := interp.Import(app.Entry)
+	if perr == nil {
+		if handler, ok := mod.Dict.Get(app.Handler); ok {
+			event := map[string]any{}
+			if len(app.Oracle) > 0 {
+				event = app.Oracle[0].Event
+			}
+			if ev, err := pyruntime.FromGo(asAny(event)); err == nil {
+				interp.CallFunction(handler, []pyruntime.Value{ev, contextValue(app)})
+			}
+		}
+	}
+	return simtime.MBf(interp.Alloc.Peak()) + p.cfg.BaseRuntimeMB
 }
 
 // DeployWithFallback registers a debloated app plus its original as the
@@ -290,10 +384,21 @@ func (p *Platform) InvalidateWarm(name string) {
 	}
 }
 
-// Stats summarizes a deployment's lifetime counters.
+// Stats summarizes a deployment's lifetime counters. Failure counters are
+// per attempt: a request that throttles twice and then succeeds counts
+// three invocations and two throttles.
 type Stats struct {
 	Invocations int
 	ColdStarts  int
+	OOMKills    int
+	Timeouts    int
+	Throttles   int
+	InitCrashes int
+}
+
+// Failures is the total of all platform-level failure counters.
+func (s Stats) Failures() int {
+	return s.OOMKills + s.Timeouts + s.Throttles + s.InitCrashes
 }
 
 // FunctionStats returns counters for a deployed function.
@@ -302,16 +407,29 @@ func (p *Platform) FunctionStats(name string) (Stats, bool) {
 	if !ok {
 		return Stats{}, false
 	}
-	return Stats{Invocations: d.invocations, ColdStarts: d.coldStarts}, true
+	return Stats{
+		Invocations: d.invocations,
+		ColdStarts:  d.coldStarts,
+		OOMKills:    d.oomKills,
+		Timeouts:    d.timeouts,
+		Throttles:   d.throttles,
+		InitCrashes: d.initCrashes,
+	}, true
 }
 
 // Invoke sends an event to a function at the current platform time.
 func (p *Platform) Invoke(name string, event map[string]any) (*Invocation, error) {
+	return p.invokeNamed(name, event, true)
+}
+
+// invokeNamed resolves the deployment, invokes it, and serves the fallback
+// path when an AttributeError escapes a fallback-equipped function.
+func (p *Platform) invokeNamed(name string, event map[string]any, advanceClock bool) (*Invocation, error) {
 	d, ok := p.fns[name]
 	if !ok {
 		return nil, fmt.Errorf("faas: no function named %q", name)
 	}
-	inv, err := p.invoke(d, event, true)
+	inv, err := p.invoke(d, event, advanceClock)
 	if err != nil {
 		return nil, err
 	}
@@ -320,7 +438,7 @@ func (p *Platform) Invoke(name string, event map[string]any) (*Invocation, error
 	// original as an independent serverless function (§5.4, Table 4).
 	if inv.Err != nil && d.fallback != "" && isAttributeError(inv.Err) {
 		fb := p.fns[d.fallback]
-		fbInv, ferr := p.invoke(fb, event, true)
+		fbInv, ferr := p.invoke(fb, event, advanceClock)
 		if ferr != nil {
 			return nil, ferr
 		}
@@ -347,10 +465,28 @@ func isAttributeError(err error) bool {
 
 func (p *Platform) invoke(d *deployment, event map[string]any, advanceClock bool) (*Invocation, error) {
 	d.invocations++
-	inv := &Invocation{Function: d.app.Name}
+	inv := &Invocation{Function: d.app.Name, MemoryMB: d.configuredMB}
+
+	// Throttling: under a per-function concurrency limit, a request that
+	// arrives while that many instances are busy is rejected up front —
+	// never billed, never assigned an instance (Lambda's 429).
+	if lim := p.cfg.Faults.ConcurrencyLimit; p.cfg.Faults.Enabled && lim > 0 {
+		if p.busyInstances(d) >= lim {
+			d.throttles++
+			inv.Class = FailureThrottle
+			inv.Err = &FailureError{Class: FailureThrottle, Function: d.app.Name,
+				Detail: fmt.Sprintf("concurrency limit %d reached", lim)}
+			inv.E2E = p.cfg.RoutingOverhead
+			if advanceClock {
+				p.now += inv.E2E
+			}
+			return inv, nil
+		}
+	}
 
 	inst := p.warmInstance(d)
-	if inst == nil {
+	coldInstance := inst == nil
+	if coldInstance {
 		inst = &instance{}
 		inv.Kind = ColdStart
 		d.coldStarts++
@@ -368,6 +504,12 @@ func (p *Platform) invoke(d *deployment, event map[string]any, advanceClock bool
 				inv.ImageTransfer = time.Duration(d.app.ImageSizeMB / p.cfg.TransferRateMBps * float64(time.Second))
 			}
 		}
+		// Fault draw 1 (cold): a slow cold start stretches the
+		// provider-side phases (contended image cache / placement).
+		if p.faultFires(p.cfg.Faults.SlowColdRate) && p.cfg.Faults.SlowColdFactor > 1 {
+			inv.InstanceInit = time.Duration(float64(inv.InstanceInit) * p.cfg.Faults.SlowColdFactor)
+			inv.ImageTransfer = time.Duration(float64(inv.ImageTransfer) * p.cfg.Faults.SlowColdFactor)
+		}
 
 		// Function Initialization: import the entry module.
 		interp := pyruntime.New(d.app.Image)
@@ -376,6 +518,7 @@ func (p *Platform) invoke(d *deployment, event map[string]any, advanceClock bool
 		mod, perr := interp.Import(d.app.Entry)
 		if perr != nil {
 			inv.Err = perr
+			inv.Class = FailureHandler
 			inv.E2E = p.cfg.RoutingOverhead + inv.InstanceInit + inv.ImageTransfer + (interp.Clock.Now() - t0)
 			return inv, nil
 		}
@@ -397,7 +540,26 @@ func (p *Platform) invoke(d *deployment, event map[string]any, advanceClock bool
 			inv.SnapStartRestore = true
 			inv.RestoreFeeUSD = d.snapstart.RestoreFeeUSD
 		}
-		d.instances = append(d.instances, inst)
+		// Fault draw 2 (cold): a transient init crash kills the fresh
+		// environment at the end of initialization. The init duration is
+		// billed (Lambda bills a failed INIT phase) and the instance never
+		// joins the pool, so a client retry pays a fresh cold start.
+		if p.faultFires(p.cfg.Faults.InitCrashRate) {
+			d.initCrashes++
+			inv.Class = FailureInitCrash
+			inv.Err = &FailureError{Class: FailureInitCrash, Function: d.app.Name,
+				Detail: "transient crash during function initialization"}
+			inv.PeakMB = simtime.MBf(interp.Alloc.Peak()) + p.cfg.BaseRuntimeMB
+			if !inv.SnapStartRestore {
+				inv.BilledDuration = p.cfg.Pricing.BillDuration(inv.Init)
+			}
+			inv.CostUSD = p.cfg.Pricing.Cost(inv.BilledDuration, inv.MemoryMB) + inv.RestoreFeeUSD
+			inv.E2E = p.cfg.RoutingOverhead + inv.InstanceInit + inv.ImageTransfer + inv.Init
+			if advanceClock {
+				p.now += inv.E2E
+			}
+			return inv, nil
+		}
 	} else {
 		inv.Kind = WarmStart
 	}
@@ -416,16 +578,69 @@ func (p *Platform) invoke(d *deployment, event map[string]any, advanceClock bool
 	inv.Stdout = interp.OutputString()[out0:]
 	if perr != nil {
 		inv.Err = perr
+		inv.Class = FailureHandler
 	} else {
 		inv.Result = pyruntime.Repr(result)
 	}
 
-	// Footprint & billing.
+	// Footprint. Fault draw 3 (every attempt): an input-dependent memory
+	// spike inflates this invocation's footprint without changing the
+	// deployment's configuration.
 	inv.PeakMB = simtime.MBf(interp.Alloc.Peak()) + p.cfg.BaseRuntimeMB
-	if d.configuredMB == 0 {
-		d.configuredMB = p.cfg.Pricing.ConfigureMemory(inv.PeakMB)
+	if p.faultFires(p.cfg.Faults.MemorySpikeRate) && p.cfg.Faults.MemorySpikeMB > 0 {
+		inv.PeakMB += p.cfg.Faults.MemorySpikeMB
 	}
-	inv.MemoryMB = d.configuredMB
+
+	// Failure enforcement over the billed window, in chronological order:
+	// whichever of OOM (footprint crosses the configured memory, assumed
+	// to grow linearly across the window) and timeout strikes first kills
+	// the invocation; the partial duration up to the kill is billed.
+	window := inv.Exec
+	if inv.Kind == ColdStart && !inv.SnapStartRestore {
+		window += inv.Init
+	}
+	killAt := window
+	killClass := FailureNone
+	var killDetail string
+	if p.cfg.EnforceMemory && inv.MemoryMB > 0 && inv.PeakMB > float64(inv.MemoryMB) {
+		killAt = time.Duration(float64(window) * float64(inv.MemoryMB) / inv.PeakMB)
+		killClass = FailureOOM
+		killDetail = fmt.Sprintf("peak %.1f MB exceeds configured %d MB", inv.PeakMB, inv.MemoryMB)
+	}
+	if timeout := d.timeout(p.cfg); timeout > 0 && window > timeout && timeout < killAt {
+		killAt = timeout
+		killClass = FailureTimeout
+		killDetail = fmt.Sprintf("billed window %v exceeds timeout %v", window, timeout)
+	}
+
+	instanceDied := false
+	if killClass != FailureNone {
+		initBilled := window - inv.Exec // init share of the billed window
+		if killAt < initBilled {
+			// Killed while still initializing: the environment never
+			// became serviceable.
+			inv.Init = killAt
+			inv.Exec = 0
+			instanceDied = true
+		} else {
+			inv.Exec = killAt - initBilled
+		}
+		inv.Class = killClass
+		inv.Err = &FailureError{Class: killClass, Function: d.app.Name, Detail: killDetail}
+		inv.Result = ""
+		switch killClass {
+		case FailureOOM:
+			// An OOM kill tears the whole environment down.
+			d.oomKills++
+			instanceDied = true
+		case FailureTimeout:
+			// A timeout restarts the runtime but the environment is
+			// reused (unless it died during init above).
+			d.timeouts++
+		}
+	}
+
+	// Billing: partial duration up to the kill, full window otherwise.
 	billed := inv.Exec
 	if inv.Kind == ColdStart && !inv.SnapStartRestore {
 		billed += inv.Init
@@ -435,12 +650,63 @@ func (p *Platform) invoke(d *deployment, event map[string]any, advanceClock bool
 
 	inv.E2E = p.cfg.RoutingOverhead + inv.InstanceInit + inv.ImageTransfer + inv.Init + inv.Exec
 
-	inst.busyUntil = p.now + inv.E2E
-	inst.lastUsed = inst.busyUntil
+	if instanceDied {
+		if !coldInstance {
+			p.dropInstance(d, inst)
+		}
+	} else {
+		if coldInstance {
+			d.instances = append(d.instances, inst)
+		}
+		inst.busyUntil = p.now + inv.E2E
+		inst.lastUsed = inst.busyUntil
+	}
 	if advanceClock {
 		p.now += inv.E2E
 	}
 	return inv, nil
+}
+
+// timeout resolves the effective timeout for this deployment: the app's
+// own TimeoutMS, else the platform default, else none.
+func (d *deployment) timeout(cfg Config) time.Duration {
+	if d.app.TimeoutMS > 0 {
+		return time.Duration(d.app.TimeoutMS * float64(time.Millisecond))
+	}
+	return cfg.DefaultTimeout
+}
+
+// faultFires draws from the seeded injector stream. No draw is consumed
+// when the injector is disabled or the rate is zero, so fault-free runs
+// stay byte-identical to pre-failure-model behavior.
+func (p *Platform) faultFires(rate float64) bool {
+	if !p.cfg.Faults.Enabled || rate <= 0 {
+		return false
+	}
+	return p.rng.Float64() < rate
+}
+
+// busyInstances counts instances still serving a request at the current
+// platform time.
+func (p *Platform) busyInstances(d *deployment) int {
+	n := 0
+	for _, inst := range d.instances {
+		if inst.busyUntil > p.now {
+			n++
+		}
+	}
+	return n
+}
+
+// dropInstance removes a dead instance from the pool.
+func (p *Platform) dropInstance(d *deployment, dead *instance) {
+	live := d.instances[:0]
+	for _, inst := range d.instances {
+		if inst != dead {
+			live = append(live, inst)
+		}
+	}
+	d.instances = live
 }
 
 // warmInstance returns an idle live instance or nil, expiring stale ones.

@@ -330,6 +330,70 @@ func almost(a, b float64) bool {
 	return d < 1e-12
 }
 
+func TestBillingEdgeCases(t *testing.T) {
+	pr := AWSPricing()
+	// Non-positive durations bill nothing — a kill before any billable
+	// phase must not produce a negative line item.
+	if pr.BillDuration(-5*time.Millisecond) != 0 {
+		t.Error("negative duration should round to zero")
+	}
+	if pr.BillDuration(0) != 0 {
+		t.Error("zero duration should bill zero")
+	}
+	if pr.Cost(-time.Second, 1024) != 0 {
+		t.Error("negative billed duration should cost nothing")
+	}
+	if pr.Cost(time.Second, -128) != 0 || pr.Cost(time.Second, 0) != 0 {
+		t.Error("non-positive memory should cost nothing")
+	}
+	// Granularity <= 0 passes durations through unchanged (documented).
+	free := Pricing{USDPerGBSecond: 1, Granularity: 0}
+	if free.BillDuration(123*time.Microsecond) != 123*time.Microsecond {
+		t.Error("Granularity 0 must pass the duration through")
+	}
+	// Azure's 1 s rounding bills a 1 ms execution as a full second.
+	az := AzurePricing()
+	if az.BillDuration(time.Millisecond) != time.Second {
+		t.Error("Azure should round 1ms up to 1s")
+	}
+	if got, want := az.Cost(az.BillDuration(time.Millisecond), 1024), az.Cost(time.Second, 1024); got != want {
+		t.Errorf("1ms exec bills %.10f, want the full-second %.10f", got, want)
+	}
+}
+
+// Property: rounding is monotone — a longer execution never bills less.
+func TestQuickBillRoundingMonotone(t *testing.T) {
+	for _, pr := range []Pricing{AWSPricing(), GCPPricing(), AzurePricing()} {
+		f := func(aRaw, bRaw uint32) bool {
+			a := time.Duration(aRaw) * time.Microsecond
+			b := time.Duration(bRaw) * time.Microsecond
+			if a > b {
+				a, b = b, a
+			}
+			return pr.BillDuration(a) <= pr.BillDuration(b)
+		}
+		if err := quick.Check(f, nil); err != nil {
+			t.Errorf("granularity %v: %v", pr.Granularity, err)
+		}
+	}
+}
+
+// Property: cost is non-decreasing in both duration and memory.
+func TestQuickCostMonotone(t *testing.T) {
+	pr := AWSPricing()
+	f := func(msRaw uint16, extraMs uint16, memRaw uint16, extraMem uint16) bool {
+		d := time.Duration(msRaw) * time.Millisecond
+		mem := int(memRaw%8192) + 128
+		longer := d + time.Duration(extraMs)*time.Millisecond
+		bigger := mem + int(extraMem%4096)
+		return pr.Cost(pr.BillDuration(longer), mem) >= pr.Cost(pr.BillDuration(d), mem) &&
+			pr.Cost(pr.BillDuration(d), bigger) >= pr.Cost(pr.BillDuration(d), mem)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
 func TestSnapStartDeployment(t *testing.T) {
 	app := testApp("snap")
 	// Plain deployment for comparison.

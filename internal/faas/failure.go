@@ -1,0 +1,334 @@
+// Failure semantics for the platform simulator: a taxonomy of
+// platform-level failures (OOM kills, timeouts, throttles, transient init
+// crashes), a deterministic seed-driven fault injector, and a client-side
+// retry policy with exponential backoff and per-attempt cost accounting.
+//
+// The model follows AWS Lambda's behavior: an invocation whose footprint
+// exceeds the configured memory is killed and the partial duration billed;
+// a timeout kills the billed window at the configured bound; a request
+// over the concurrency limit is rejected up front (429) and never billed;
+// a failed initialization is billed and destroys the fresh environment.
+// Client retries are what the AWS SDKs do — capped exponential backoff
+// with jitter — and every billed attempt lands on the customer's invoice.
+package faas
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"time"
+
+	"repro/internal/pyruntime"
+)
+
+// FailureClass classifies how an invocation ended.
+type FailureClass int
+
+const (
+	// FailureNone marks a successful invocation.
+	FailureNone FailureClass = iota
+	// FailureHandler is an application-level exception (including the
+	// AttributeError a debloated function raises on an uncovered path).
+	// Retrying cannot help: the same input hits the same code.
+	FailureHandler
+	// FailureOOM is a kill for exceeding the configured memory.
+	FailureOOM
+	// FailureTimeout is a kill for exceeding the function timeout.
+	FailureTimeout
+	// FailureThrottle is an up-front rejection under the concurrency
+	// limit (never billed).
+	FailureThrottle
+	// FailureInitCrash is a transient crash during Function
+	// Initialization (billed; the environment is destroyed).
+	FailureInitCrash
+)
+
+func (c FailureClass) String() string {
+	switch c {
+	case FailureNone:
+		return "ok"
+	case FailureHandler:
+		return "handler-error"
+	case FailureOOM:
+		return "oom"
+	case FailureTimeout:
+		return "timeout"
+	case FailureThrottle:
+		return "throttle"
+	case FailureInitCrash:
+		return "init-crash"
+	}
+	return fmt.Sprintf("failure(%d)", int(c))
+}
+
+// FailureError is the error carried by an invocation the platform killed
+// or rejected.
+type FailureError struct {
+	Class    FailureClass
+	Function string
+	Detail   string
+}
+
+func (e *FailureError) Error() string {
+	return fmt.Sprintf("faas: %s: %s: %s", e.Function, e.Class, e.Detail)
+}
+
+// Classify maps an invocation error to its failure class: platform
+// failures keep their class, interpreter exceptions are handler errors.
+func Classify(err error) FailureClass {
+	if err == nil {
+		return FailureNone
+	}
+	if fe, ok := err.(*FailureError); ok {
+		return fe.Class
+	}
+	if _, ok := err.(*pyruntime.PyErr); ok {
+		return FailureHandler
+	}
+	return FailureHandler
+}
+
+// FaultConfig parameterizes the deterministic fault injector. All draws
+// come from the platform's FaultSeed stream in a fixed per-invocation
+// order (slow-cold, init-crash on cold starts; memory-spike on every
+// attempt), so a fixed seed and workload reproduce byte-identical logs.
+type FaultConfig struct {
+	// Enabled turns the injector on; the zero value injects nothing.
+	Enabled bool
+	// InitCrashRate is the probability a cold start's initialization
+	// transiently crashes (billed, environment destroyed, retryable).
+	InitCrashRate float64
+	// SlowColdRate and SlowColdFactor stretch the provider-side cold
+	// phases (instance init + image transfer) by the factor — the
+	// occasional pathological cold start.
+	SlowColdRate   float64
+	SlowColdFactor float64
+	// MemorySpikeRate and MemorySpikeMB inflate an invocation's footprint
+	// by an absolute amount, modeling input-dependent memory. With
+	// EnforceMemory on, a spike can push an otherwise-fitting invocation
+	// over its configured memory.
+	MemorySpikeRate float64
+	MemorySpikeMB   float64
+	// ConcurrencyLimit caps busy instances per function; requests beyond
+	// it are throttled. Zero means unlimited.
+	ConcurrencyLimit int
+}
+
+// RetryPolicy is a client-side retry loop: capped exponential backoff with
+// seeded jitter, retrying only the failure classes that can plausibly
+// clear (throttles, transient crashes, timeouts, spike-induced OOMs).
+type RetryPolicy struct {
+	// MaxAttempts bounds total attempts (first try included); values < 1
+	// behave as 1.
+	MaxAttempts int
+	// InitialBackoff is the base wait before the second attempt.
+	InitialBackoff time.Duration
+	// BackoffMultiplier grows the wait per attempt (2 = doubling).
+	BackoffMultiplier float64
+	// MaxBackoff caps a single wait.
+	MaxBackoff time.Duration
+	// Jitter in [0,1] randomizes that fraction of each wait, drawn from
+	// the platform's seeded stream (0 = fully deterministic waits).
+	Jitter float64
+	// RetryOn lists the retryable classes; nil means the default set
+	// (throttle, init-crash, timeout, OOM — everything but handler
+	// errors, which are deterministic).
+	RetryOn []FailureClass
+}
+
+// DefaultRetryPolicy mirrors the AWS SDK defaults: 3 attempts, 100 ms
+// base, doubling, 5 s cap, half-jitter.
+func DefaultRetryPolicy() RetryPolicy {
+	return RetryPolicy{
+		MaxAttempts:       3,
+		InitialBackoff:    100 * time.Millisecond,
+		BackoffMultiplier: 2,
+		MaxBackoff:        5 * time.Second,
+		Jitter:            0.5,
+	}
+}
+
+// retries reports whether the policy retries the class.
+func (rp RetryPolicy) retries(c FailureClass) bool {
+	if c == FailureNone {
+		return false
+	}
+	if rp.RetryOn == nil {
+		return c == FailureThrottle || c == FailureInitCrash ||
+			c == FailureTimeout || c == FailureOOM
+	}
+	for _, rc := range rp.RetryOn {
+		if rc == c {
+			return true
+		}
+	}
+	return false
+}
+
+// backoff computes the wait after the given (1-based) failed attempt.
+func (rp RetryPolicy) backoff(attempt int, rng *rand.Rand) time.Duration {
+	base := rp.InitialBackoff
+	if base <= 0 {
+		return 0
+	}
+	mult := rp.BackoffMultiplier
+	if mult < 1 {
+		mult = 1
+	}
+	wait := float64(base)
+	for i := 1; i < attempt; i++ {
+		wait *= mult
+		if rp.MaxBackoff > 0 && wait > float64(rp.MaxBackoff) {
+			wait = float64(rp.MaxBackoff)
+			break
+		}
+	}
+	if rp.MaxBackoff > 0 && wait > float64(rp.MaxBackoff) {
+		wait = float64(rp.MaxBackoff)
+	}
+	if rp.Jitter > 0 {
+		j := rp.Jitter
+		if j > 1 {
+			j = 1
+		}
+		wait = wait*(1-j) + wait*j*rng.Float64()
+	}
+	return time.Duration(wait)
+}
+
+// retryState accumulates one logical request across attempts.
+type retryState struct {
+	last    *Invocation
+	costs   []float64
+	billed  time.Duration
+	e2e     time.Duration
+	backoff time.Duration
+	done    bool
+}
+
+func (st *retryState) absorb(inv *Invocation, attempt int) {
+	inv.Attempt = attempt
+	st.last = inv
+	st.costs = append(st.costs, inv.CostUSD)
+	st.billed += inv.BilledDuration
+	st.e2e += inv.E2E
+}
+
+// finalize builds the aggregate client-visible record: the last attempt's
+// outcome with cost, billed duration and E2E summed across every attempt
+// plus the backoff waits.
+func (st *retryState) finalize() *Invocation {
+	out := *st.last
+	out.Attempts = len(st.costs)
+	out.AttemptCostsUSD = st.costs
+	out.BackoffWait = st.backoff
+	out.BilledDuration = st.billed
+	out.E2E = st.e2e + st.backoff
+	total := 0.0
+	for _, c := range st.costs {
+		total += c
+	}
+	out.CostUSD = total
+	return &out
+}
+
+// InvokeWithRetry sends an event and retries platform-transient failures
+// per the policy, advancing the platform clock through each backoff. The
+// returned record carries the final outcome with aggregate cost, billed
+// duration, E2E (attempts + waits) and the per-attempt bills.
+func (p *Platform) InvokeWithRetry(name string, event map[string]any, pol RetryPolicy) (*Invocation, error) {
+	maxA := pol.MaxAttempts
+	if maxA < 1 {
+		maxA = 1
+	}
+	var st retryState
+	for attempt := 1; attempt <= maxA; attempt++ {
+		inv, err := p.invokeNamed(name, event, true)
+		if err != nil {
+			return nil, err
+		}
+		st.absorb(inv, attempt)
+		if inv.Err == nil || !pol.retries(inv.Class) || attempt == maxA {
+			break
+		}
+		wait := pol.backoff(attempt, p.rng)
+		st.backoff += wait
+		p.Advance(wait)
+	}
+	return st.finalize(), nil
+}
+
+// InvokeGroupWithRetry delivers all events concurrently at the current
+// platform time (like InvokeBurst — this is what builds up the
+// concurrency that trips a throttle limit), then drives each failed
+// retryable request through the policy's sequential backoff-and-retry
+// loop. Records are returned in event order with the same per-attempt
+// accounting as InvokeWithRetry.
+func (p *Platform) InvokeGroupWithRetry(name string, events []map[string]any, pol RetryPolicy) ([]*Invocation, error) {
+	if len(events) == 0 {
+		return nil, nil
+	}
+	maxA := pol.MaxAttempts
+	if maxA < 1 {
+		maxA = 1
+	}
+	states := make([]retryState, len(events))
+	var maxE2E time.Duration
+	for i, ev := range events {
+		inv, err := p.invokeNamed(name, ev, false)
+		if err != nil {
+			return nil, err
+		}
+		st := &states[i]
+		st.absorb(inv, 1)
+		st.done = inv.Err == nil || !pol.retries(inv.Class) || maxA == 1
+		if inv.E2E > maxE2E {
+			maxE2E = inv.E2E
+		}
+	}
+	p.now += maxE2E
+
+	// Stragglers retry sequentially, in event order.
+	for i := range states {
+		st := &states[i]
+		for !st.done {
+			wait := pol.backoff(len(st.costs), p.rng)
+			st.backoff += wait
+			p.Advance(wait)
+			inv, err := p.invokeNamed(name, events[i], true)
+			if err != nil {
+				return nil, err
+			}
+			st.absorb(inv, len(st.costs)+1)
+			st.done = inv.Err == nil || !pol.retries(inv.Class) || len(st.costs) >= maxA
+		}
+	}
+
+	out := make([]*Invocation, len(events))
+	for i := range states {
+		out[i] = states[i].finalize()
+	}
+	return out, nil
+}
+
+// LogLine renders the invocation as one canonical, fully-deterministic
+// log record — the unit of the "same seed ⇒ byte-identical logs"
+// guarantee.
+func (inv *Invocation) LogLine() string {
+	attempts := inv.Attempts
+	if attempts == 0 {
+		attempts = 1
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "fn=%s kind=%s class=%s attempts=%d", inv.Function, inv.Kind, inv.Class, attempts)
+	fmt.Fprintf(&b, " init_us=%d exec_us=%d e2e_us=%d billed_us=%d",
+		inv.Init.Microseconds(), inv.Exec.Microseconds(), inv.E2E.Microseconds(), inv.BilledDuration.Microseconds())
+	fmt.Fprintf(&b, " mem_mb=%d peak_mb=%.3f cost_usd=%.12f", inv.MemoryMB, inv.PeakMB, inv.CostUSD)
+	if inv.FallbackUsed {
+		fmt.Fprintf(&b, " fallback=%s", inv.FallbackKind)
+	}
+	if inv.Err != nil {
+		fmt.Fprintf(&b, " err=%q", inv.Err.Error())
+	}
+	return b.String()
+}
