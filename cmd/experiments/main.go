@@ -2,61 +2,114 @@
 //
 // Usage:
 //
-//	experiments [fig1|table1|fig2|fig8|table2|fig9|table3|fig10|fig11|fig12|fig13|fig14|table4|reliability|all]
+//	experiments [flags] [target ...]
+//	experiments -list
 //
-// With no argument it runs everything (a few seconds: the corpus is
-// debloated once and reused across figures).
+// Targets are listed by -list; with no target (or "all") every driver runs
+// in presentation order (a few seconds: the corpus is debloated once and
+// reused across figures). Flags must precede targets.
+//
+// With -trace/-events/-metrics, the run records deterministic telemetry
+// over simulated time and writes it to the given files (Chrome trace-event
+// JSON, JSONL event log, and a metrics snapshot respectively).
 package main
 
 import (
+	"flag"
 	"fmt"
 	"os"
 	"strings"
 
 	"repro/internal/experiments"
+	"repro/internal/obs"
 )
 
 type renderer interface{ Render() string }
 
+// drivers maps each target to its suite method, in presentation order.
+// This slice is the single source of truth: the usage string, -list, and
+// the default "all" set all derive from it.
+var drivers = []struct {
+	name string
+	desc string
+	run  func(*experiments.Suite) (renderer, error)
+}{
+	{"fig1", "cold/warm start latency anatomy", func(s *experiments.Suite) (renderer, error) { return s.Figure1() }},
+	{"table1", "corpus applications", func(s *experiments.Suite) (renderer, error) { return s.Table1() }},
+	{"fig2", "cost breakdown per application", func(s *experiments.Suite) (renderer, error) { return s.Figure2() }},
+	{"fig8", "initialization time reduction", func(s *experiments.Suite) (renderer, error) { return s.Figure8() }},
+	{"table2", "debloating outcomes", func(s *experiments.Suite) (renderer, error) { return s.Table2() }},
+	{"table2x", "debloating outcomes (extended)", func(s *experiments.Suite) (renderer, error) { return s.Table2Ext() }},
+	{"fig9", "scoring-method ablation", func(s *experiments.Suite) (renderer, error) { return s.Figure9() }},
+	{"table3", "debloating cost", func(s *experiments.Suite) (renderer, error) { return s.Table3() }},
+	{"fig10", "memory footprint reduction", func(s *experiments.Suite) (renderer, error) { return s.Figure10() }},
+	{"fig11", "monetary cost reduction", func(s *experiments.Suite) (renderer, error) { return s.Figure11() }},
+	{"fig12", "K sensitivity", func(s *experiments.Suite) (renderer, error) { return s.Figure12() }},
+	{"fig13", "granularity ablation", func(s *experiments.Suite) (renderer, error) { return s.Figure13() }},
+	{"fig14", "call-graph protection ablation", func(s *experiments.Suite) (renderer, error) { return s.Figure14() }},
+	{"table4", "SnapStart comparison", func(s *experiments.Suite) (renderer, error) { return s.Table4() }},
+	{"ext-tune", "power-tuning extension", func(s *experiments.Suite) (renderer, error) { return s.ExtPowerTune() }},
+	{"reliability", "faulted replay comparison", func(s *experiments.Suite) (renderer, error) { return s.Reliability() }},
+}
+
+func targetNames() []string {
+	names := make([]string, len(drivers))
+	for i, d := range drivers {
+		names[i] = d.name
+	}
+	return names
+}
+
 func main() {
-	targets := os.Args[1:]
+	list := flag.Bool("list", false, "list experiment targets and exit")
+	trace := flag.String("trace", "", "write a Chrome trace-event JSON file of the run")
+	events := flag.String("events", "", "write the JSONL event log of the run")
+	metrics := flag.String("metrics", "", "write a JSON metrics snapshot of the run")
+	flag.Parse()
+
+	if *list {
+		fmt.Println("experiment targets:")
+		for _, d := range drivers {
+			fmt.Printf("  %-12s %s\n", d.name, d.desc)
+		}
+		return
+	}
+
+	targets := flag.Args()
 	if len(targets) == 0 || (len(targets) == 1 && targets[0] == "all") {
-		targets = []string{"fig1", "table1", "fig2", "fig8", "table2", "table2x",
-			"fig9", "table3", "fig10", "fig11", "fig12", "fig13", "fig14", "table4",
-			"ext-tune", "reliability"}
+		targets = targetNames()
 	}
 
+	var tr *obs.Tracer
+	if *trace != "" || *events != "" || *metrics != "" {
+		tr = obs.New()
+	}
 	suite := experiments.NewSuite()
-	drivers := map[string]func() (renderer, error){
-		"fig1":        func() (renderer, error) { return suite.Figure1() },
-		"table1":      func() (renderer, error) { return suite.Table1() },
-		"fig2":        func() (renderer, error) { return suite.Figure2() },
-		"fig8":        func() (renderer, error) { return suite.Figure8() },
-		"table2":      func() (renderer, error) { return suite.Table2() },
-		"fig9":        func() (renderer, error) { return suite.Figure9() },
-		"table3":      func() (renderer, error) { return suite.Table3() },
-		"fig10":       func() (renderer, error) { return suite.Figure10() },
-		"fig11":       func() (renderer, error) { return suite.Figure11() },
-		"fig12":       func() (renderer, error) { return suite.Figure12() },
-		"fig13":       func() (renderer, error) { return suite.Figure13() },
-		"fig14":       func() (renderer, error) { return suite.Figure14() },
-		"table4":      func() (renderer, error) { return suite.Table4() },
-		"table2x":     func() (renderer, error) { return suite.Table2Ext() },
-		"ext-tune":    func() (renderer, error) { return suite.ExtPowerTune() },
-		"reliability": func() (renderer, error) { return suite.Reliability() },
-	}
+	suite.Platform.Tracer = tr
 
+	byName := make(map[string]func(*experiments.Suite) (renderer, error), len(drivers))
+	for _, d := range drivers {
+		byName[d.name] = d.run
+	}
 	for _, target := range targets {
-		driver, ok := drivers[strings.ToLower(target)]
+		driver, ok := byName[strings.ToLower(target)]
 		if !ok {
-			fmt.Fprintf(os.Stderr, "unknown target %q; known: fig1 table1 fig2 fig8 table2 table2x fig9 table3 fig10 fig11 fig12 fig13 fig14 table4 ext-tune reliability\n", target)
+			fmt.Fprintf(os.Stderr, "unknown target %q; known: %s\n",
+				target, strings.Join(append(targetNames(), "all"), " "))
 			os.Exit(2)
 		}
-		res, err := driver()
+		res, err := driver(suite)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", target, err)
 			os.Exit(1)
 		}
 		fmt.Println(res.Render())
+	}
+
+	if tr != nil {
+		if err := tr.WriteFiles(*trace, *events, *metrics); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
 	}
 }

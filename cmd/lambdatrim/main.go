@@ -12,10 +12,17 @@
 // site-packages/ + oracle.json, the paper's input format); -out exports the
 // optimized image for deployment.
 //
+// With -trace/-events/-metrics/-trace-summary, the run records a
+// deterministic span tree and metrics over simulated time — the pipeline
+// stages (analyze, profile, per-module DD) and every platform measurement
+// (deploys, cold/warm invocations) — and exports it as Chrome trace-event
+// JSON, a JSONL event log, a metrics snapshot, or a text digest.
+//
 // Example:
 //
 //	lambdatrim resnet -k 20
 //	lambdatrim -dir ./myapp -out ./myapp-trimmed
+//	lambdatrim markdown -trace t.json -metrics m.json
 package main
 
 import (
@@ -30,6 +37,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/faas"
 	"repro/internal/imageio"
+	"repro/internal/obs"
 	"repro/internal/powertune"
 	"repro/internal/profiler"
 )
@@ -46,6 +54,10 @@ func main() {
 	faults := fs.Bool("faults", false, "replay a faulted trace workload comparing original, debloated, and fallback deployments")
 	faultSeed := fs.Int64("fault-seed", 7, "seed for the trace generator and fault injector (with -faults)")
 	list := fs.Bool("list", false, "list corpus applications and exit")
+	trace := fs.String("trace", "", "write a Chrome trace-event JSON file of the run (pipeline + platform spans over sim-time)")
+	events := fs.String("events", "", "write the JSONL event log of the run")
+	metrics := fs.String("metrics", "", "write a JSON metrics snapshot of the run")
+	traceSummary := fs.Bool("trace-summary", false, "print a text digest of the recorded trace (top spans, phase percentiles)")
 
 	args := os.Args[1:]
 	var appName string
@@ -101,6 +113,14 @@ func main() {
 	}
 	cfg.Workers = *workers
 
+	// One tracer spans the whole run: the debloat pipeline on its virtual
+	// timeline, then every platform measurement on the platform clock.
+	var tr *obs.Tracer
+	if *trace != "" || *events != "" || *metrics != "" || *traceSummary {
+		tr = obs.New()
+	}
+	cfg.Tracer = tr
+
 	fmt.Printf("λ-trim: debloating %s (K=%d, scoring=%s, granularity=%s)\n\n",
 		appName, cfg.K, cfg.Scoring, cfg.Granularity)
 
@@ -129,6 +149,7 @@ func main() {
 		res.OracleRuns, res.DebloatTime.Seconds())
 
 	platform := faas.DefaultConfig()
+	platform.Tracer = tr
 	before, err := faas.MeasureColdStart(res.Original, platform)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "measuring original: %v\n", err)
@@ -139,10 +160,21 @@ func main() {
 		fmt.Fprintf(os.Stderr, "measuring optimized: %v\n", err)
 		os.Exit(1)
 	}
+	warmBefore, err := faas.MeasureWarmStart(res.Original, platform)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "measuring original warm: %v\n", err)
+		os.Exit(1)
+	}
+	warmAfter, err := faas.MeasureWarmStart(res.App, platform)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "measuring optimized warm: %v\n", err)
+		os.Exit(1)
+	}
 	fmt.Println("\ncold-start comparison (original -> optimized):")
 	fmt.Printf("  function init  %8.3fs -> %8.3fs\n", before.Init.Seconds(), after.Init.Seconds())
 	fmt.Printf("  E2E latency    %8.3fs -> %8.3fs  (%.2fx)\n",
 		before.E2E.Seconds(), after.E2E.Seconds(), before.E2E.Seconds()/after.E2E.Seconds())
+	fmt.Printf("  warm E2E       %8.3fs -> %8.3fs\n", warmBefore.E2E.Seconds(), warmAfter.E2E.Seconds())
 	fmt.Printf("  memory         %7.1fMB -> %7.1fMB\n", before.PeakMB, after.PeakMB)
 	fmt.Printf("  cost / 100K    %8.2f$ -> %8.2f$\n", before.CostUSD*1e5, after.CostUSD*1e5)
 
@@ -184,5 +216,16 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("\noptimized image exported to %s\n", *out)
+	}
+
+	if tr != nil {
+		if *traceSummary {
+			fmt.Println()
+			fmt.Print(tr.Summary())
+		}
+		if err := tr.WriteFiles(*trace, *events, *metrics); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
 	}
 }

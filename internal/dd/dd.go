@@ -40,13 +40,29 @@ type Stats struct {
 // Indices into the original item list are used internally so memoization
 // keys are stable and the returned subset preserves original order.
 func Minimize[T any](items []T, oracle Oracle[T]) ([]T, Stats) {
+	return MinimizeWith(items, oracle, Options{})
+}
+
+// MinimizeWith runs DD with explicit options: worker count (parallel
+// oracle evaluation) and an optional tracer recording rounds, oracle
+// calls, and waves over the caller's simulated clock.
+func MinimizeWith[T any](items []T, oracle Oracle[T], opts Options) ([]T, Stats) {
+	if opts.Workers > 1 {
+		return minimizeParallel(items, oracle, opts)
+	}
+	return minimize(items, oracle, opts)
+}
+
+func minimize[T any](items []T, oracle Oracle[T], opts Options) ([]T, Stats) {
 	var stats Stats
 	memo := make(map[string]bool)
+	t := newTrace(opts, len(items))
 
 	test := func(keep []int) bool {
 		key := indexKey(keep)
 		if v, ok := memo[key]; ok {
 			stats.CacheHits++
+			t.cacheHit()
 			return v
 		}
 		subset := make([]T, len(keep))
@@ -54,7 +70,7 @@ func Minimize[T any](items []T, oracle Oracle[T]) ([]T, Stats) {
 			subset[i] = items[idx]
 		}
 		stats.Tests++
-		v := oracle(subset)
+		v := t.oracleCall(len(keep), func() bool { return oracle(subset) })
 		memo[key] = v
 		return v
 	}
@@ -66,19 +82,23 @@ func Minimize[T any](items []T, oracle Oracle[T]) ([]T, Stats) {
 
 	// Degenerate cases.
 	if len(items) == 0 {
+		t.finish(0, stats)
 		return nil, stats
 	}
 	if !test(all) {
+		t.finish(len(items), stats)
 		return items, stats
 	}
 	// Fast path: if the empty set passes, everything is removable.
 	if test(nil) {
 		stats.Reductions++
+		t.finish(0, stats)
 		return nil, stats
 	}
 
 	current := all
 	n := 2
+	round := 0
 	for {
 		if n > len(current) {
 			n = len(current)
@@ -86,6 +106,8 @@ func Minimize[T any](items []T, oracle Oracle[T]) ([]T, Stats) {
 		if stats.MaxGranularity < n {
 			stats.MaxGranularity = n
 		}
+		round++
+		rs := t.startRound(round, n, len(current))
 		parts := split(current, n)
 
 		// Step 1: does some partition alone satisfy the oracle?
@@ -116,6 +138,7 @@ func Minimize[T any](items []T, oracle Oracle[T]) ([]T, Stats) {
 				}
 			}
 		}
+		t.endRound(rs, reduced, len(current))
 
 		// Step 3: refine granularity or stop.
 		if !reduced {
@@ -142,6 +165,7 @@ func Minimize[T any](items []T, oracle Oracle[T]) ([]T, Stats) {
 	for i, idx := range current {
 		out[i] = items[idx]
 	}
+	t.finish(len(out), stats)
 	return out, stats
 }
 

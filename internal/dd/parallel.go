@@ -23,12 +23,21 @@ import "sync"
 //
 // The oracle must be safe for concurrent invocation.
 func MinimizeParallel[T any](items []T, oracle Oracle[T], workers int) ([]T, Stats) {
+	return MinimizeWith(items, oracle, Options{Workers: workers})
+}
+
+func minimizeParallel[T any](items []T, oracle Oracle[T], opts Options) ([]T, Stats) {
+	workers := opts.Workers
 	if workers <= 1 {
-		return Minimize(items, oracle)
+		return minimize(items, oracle, opts)
 	}
 	var stats Stats
 	var mu sync.Mutex
 	memo := make(map[string]bool)
+	// Tracing records rounds and waves only: a wave's boundaries are the
+	// run's deterministic synchronization points, while per-oracle timing
+	// inside a wave depends on goroutine scheduling.
+	t := newTrace(opts, len(items))
 
 	// test evaluates one subset, consulting/updating the memo table.
 	test := func(keep []int) bool {
@@ -64,17 +73,20 @@ func MinimizeParallel[T any](items []T, oracle Oracle[T], workers int) ([]T, Sta
 				end = len(candidates)
 			}
 			results := make([]bool, end-start)
-			var wg sync.WaitGroup
-			for i := start; i < end; i++ {
-				wg.Add(1)
-				go func(i int) {
-					defer wg.Done()
-					results[i-start] = test(candidates[i])
-				}(i)
-			}
-			wg.Wait()
+			t.wave(start, end-start, func() {
+				var wg sync.WaitGroup
+				for i := start; i < end; i++ {
+					wg.Add(1)
+					go func(i int) {
+						defer wg.Done()
+						results[i-start] = test(candidates[i])
+					}(i)
+				}
+				wg.Wait()
+			})
 			for i := start; i < end; i++ {
 				if results[i-start] {
+					t.waveCancel(len(candidates) - end)
 					return i
 				}
 			}
@@ -87,18 +99,22 @@ func MinimizeParallel[T any](items []T, oracle Oracle[T], workers int) ([]T, Sta
 		all[i] = i
 	}
 	if len(items) == 0 {
+		t.finish(0, stats)
 		return nil, stats
 	}
 	if !test(all) {
+		t.finish(len(items), stats)
 		return items, stats
 	}
 	if test(nil) {
 		stats.Reductions++
+		t.finish(0, stats)
 		return nil, stats
 	}
 
 	current := all
 	n := 2
+	round := 0
 	for {
 		if n > len(current) {
 			n = len(current)
@@ -106,6 +122,8 @@ func MinimizeParallel[T any](items []T, oracle Oracle[T], workers int) ([]T, Sta
 		if stats.MaxGranularity < n {
 			stats.MaxGranularity = n
 		}
+		round++
+		rs := t.startRound(round, n, len(current))
 		parts := split(current, n)
 
 		reduced := false
@@ -130,6 +148,7 @@ func MinimizeParallel[T any](items []T, oracle Oracle[T], workers int) ([]T, Sta
 				stats.Reductions++
 			}
 		}
+		t.endRound(rs, reduced, len(current))
 		if !reduced {
 			if n >= len(current) {
 				break
@@ -152,5 +171,6 @@ func MinimizeParallel[T any](items []T, oracle Oracle[T], workers int) ([]T, Sta
 	for i, idx := range current {
 		out[i] = items[idx]
 	}
+	t.finish(len(out), stats)
 	return out, stats
 }

@@ -8,6 +8,7 @@ import (
 	"repro/internal/analyzer"
 	"repro/internal/appspec"
 	"repro/internal/dd"
+	"repro/internal/obs"
 	"repro/internal/profiler"
 	"repro/internal/pylang"
 	"repro/internal/pyparser"
@@ -34,6 +35,12 @@ type Config struct {
 	// identical to sequential DD (the round accepts the lowest-indexed
 	// passing subset).
 	Workers int
+	// Tracer, when non-nil, records the pipeline as a span tree on the
+	// debloating virtual timeline (profiling first, then accumulated
+	// oracle time): analyze → profile → golden → per-module DD →
+	// materialize → verify. Nil disables tracing with no behavioral
+	// change.
+	Tracer *obs.Tracer
 }
 
 // DefaultConfig mirrors the paper's evaluation settings (§8: "we use K = 20
@@ -94,21 +101,37 @@ func Run(app *appspec.App, cfg Config) (*Result, error) {
 	if cfg.K <= 0 {
 		cfg.K = 20
 	}
+	tr := cfg.Tracer
+	root := tr.Start("debloat "+app.Name, "pipeline", 0)
 
+	// Static analysis consumes no simulated time: a zero-duration span
+	// marks the stage on the timeline.
 	report, err := analyzer.Analyze(app.Image, app.Entry, app.Handler)
 	if err != nil {
+		tr.End(root, 0)
 		return nil, err
 	}
+	tr.StartChild(root, "analyze", "pipeline", 0).Finish(0)
+
 	prof, err := profiler.Run(app.Image, app.Entry, profiler.Options{
-		Scoring: cfg.Scoring, Seed: cfg.Seed,
+		Scoring: cfg.Scoring, Seed: cfg.Seed, Tracer: tr,
 	})
 	if err != nil {
+		tr.End(root, 0)
 		return nil, err
 	}
 
-	run, err := newRunner(app)
+	// Everything downstream of profiling rides the runner's virtual
+	// clock, offset by the profiling time already spent.
+	run, err := newTracedRunner(app, tr, prof.TotalTime)
 	if err != nil {
+		tr.End(root, prof.TotalTime)
 		return nil, err
+	}
+	if tr != nil {
+		tr.StartChild(root, "golden", "pipeline", prof.TotalTime).
+			Add(obs.Int("cases", int64(len(app.Oracle)))).
+			Finish(run.nowVirtual())
 	}
 
 	res := &Result{
@@ -126,6 +149,7 @@ func Run(app *appspec.App, cfg Config) (*Result, error) {
 	// Materialize the optimized image: print each accepted reduction back
 	// to its file (the paper copies the rewritten __init__.py back into
 	// site-packages before building the deployment container).
+	matAt := run.nowVirtual()
 	optimized := app.Clone()
 	for name, ast := range run.overrides {
 		path, ok := moduleFile(app, name)
@@ -133,6 +157,11 @@ func Run(app *appspec.App, cfg Config) (*Result, error) {
 			continue
 		}
 		optimized.Image.Write(path, pylang.Print(ast))
+	}
+	if tr != nil {
+		tr.StartChild(root, "materialize", "pipeline", matAt).
+			Add(obs.Int("rewritten", int64(len(run.overrides)))).
+			Finish(matAt)
 	}
 	optimized.Name = app.Name
 	res.App = optimized
@@ -143,13 +172,27 @@ func Run(app *appspec.App, cfg Config) (*Result, error) {
 	// source, not the in-memory ASTs) must still pass the oracle.
 	final, err := newRunner(optimized)
 	if err != nil {
+		tr.End(root, matAt)
 		return nil, fmt.Errorf("debloat: optimized app fails verification: %w", err)
+	}
+	if tr != nil {
+		tr.StartChild(root, "verify", "pipeline", matAt).Finish(matAt + final.virtual)
 	}
 	for i := range final.golden {
 		if final.golden[i].stdout != run.golden[i].stdout ||
 			final.golden[i].result != run.golden[i].result {
+			tr.End(root, matAt+final.virtual)
 			return nil, fmt.Errorf("debloat: optimized app diverges on oracle case %d", i)
 		}
+	}
+	if tr != nil {
+		root.Add(
+			obs.Int("oracle_runs", int64(res.OracleRuns)),
+			obs.Int("removed_attrs", int64(res.TotalRemoved())),
+			obs.DurationUS("debloat_us", res.DebloatTime),
+		)
+		tr.End(root, matAt+final.virtual)
+		tr.Metrics().Inc("debloat.runs", 1)
 	}
 	return res, nil
 }
@@ -157,6 +200,28 @@ func Run(app *appspec.App, cfg Config) (*Result, error) {
 // debloatModule runs attribute-granularity DD over one module.
 func debloatModule(run *runner, report *analyzer.Report, name string, cfg Config) ModuleResult {
 	mr := ModuleResult{Module: name}
+
+	// The module span is pushed on the tracer stack so the DD run's own
+	// spans nest under it.
+	sp := run.tr.Start("module "+name, "debloat", run.nowVirtual())
+	defer func() {
+		if run.tr == nil {
+			return
+		}
+		sp.Add(
+			obs.Int("candidates_removed", int64(len(mr.Removed))),
+			obs.Int("oracle_tests", int64(mr.DD.Tests)),
+		)
+		if mr.Skipped != "" {
+			sp.Add(obs.String("skipped", mr.Skipped))
+		}
+		run.tr.End(sp, run.nowVirtual())
+		run.tr.Metrics().Inc("debloat.modules", 1)
+		run.tr.Metrics().Inc("debloat.removed_attrs", int64(len(mr.Removed)))
+		if mr.Skipped != "" {
+			run.tr.Metrics().Inc("debloat.modules_skipped", 1)
+		}
+	}()
 
 	path, ok := moduleFile(run.app, name)
 	if !ok {
@@ -214,7 +279,8 @@ func debloatModule(run *runner, report *analyzer.Report, name string, cfg Config
 	}
 
 	if cfg.Granularity == StmtGranularity {
-		return debloatModuleStmts(run, name, ast, candidates, mr, cfg)
+		mr = debloatModuleStmts(run, name, ast, candidates, mr, cfg)
+		return mr
 	}
 
 	// Step 4: DD over the candidate attributes.
@@ -229,7 +295,7 @@ func debloatModule(run *runner, report *analyzer.Report, name string, cfg Config
 		candidate := &pylang.Module{Name: name, Body: rewriteWithoutAttrs(ast.Body, removed)}
 		return run.test(name, candidate)
 	}
-	keep, stats := minimize(candidates, oracle, cfg)
+	keep, stats := minimize(run, candidates, oracle, cfg)
 	mr.DD = stats
 
 	removed := make(map[string]bool, len(candidates))
@@ -247,12 +313,14 @@ func debloatModule(run *runner, report *analyzer.Report, name string, cfg Config
 	return mr
 }
 
-// minimize dispatches to sequential or parallel DD per the configuration.
-func minimize[T any](items []T, oracle dd.Oracle[T], cfg Config) ([]T, dd.Stats) {
-	if cfg.Workers > 1 {
-		return dd.MinimizeParallel(items, oracle, cfg.Workers)
-	}
-	return dd.Minimize(items, oracle)
+// minimize dispatches DD with the run's worker count, tracer, and virtual
+// clock.
+func minimize[T any](run *runner, items []T, oracle dd.Oracle[T], cfg Config) ([]T, dd.Stats) {
+	return dd.MinimizeWith(items, oracle, dd.Options{
+		Workers: cfg.Workers,
+		Tracer:  run.tr,
+		Now:     run.nowVirtual,
+	})
 }
 
 // debloatModuleStmts is the statement-granularity ablation arm.
@@ -264,7 +332,7 @@ func debloatModuleStmts(run *runner, name string, ast *pylang.Module, candidates
 			idxs = append(idxs, i)
 		}
 	}
-	keep, stats := minimize(idxs, func(keepIdxs []int) bool {
+	keep, stats := minimize(run, idxs, func(keepIdxs []int) bool {
 		keepSet := make(map[int]bool, len(keepIdxs))
 		for _, i := range keepIdxs {
 			keepSet[i] = true

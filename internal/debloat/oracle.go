@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/appspec"
+	"repro/internal/obs"
 	"repro/internal/pylang"
 	"repro/internal/pyruntime"
 )
@@ -40,22 +41,52 @@ type runner struct {
 	mu      sync.Mutex
 	virtual time.Duration
 	runs    int
+
+	// tr and base place the runner on the pipeline's virtual timeline:
+	// nowVirtual() = base (time already spent upstream, i.e. profiling)
+	// + accumulated oracle time. Both are set once by Run before any
+	// traced work; a nil tr disables tracing entirely.
+	tr   *obs.Tracer
+	base time.Duration
 }
 
 // account records one oracle run's simulated duration.
 func (r *runner) account(d time.Duration) {
 	r.mu.Lock()
-	defer r.mu.Unlock()
 	r.virtual += d + SpawnOverhead
 	r.runs++
+	r.mu.Unlock()
+	if r.tr != nil {
+		reg := r.tr.Metrics()
+		reg.Inc("debloat.oracle_runs", 1)
+		reg.Observe("debloat.oracle.seconds", (d + SpawnOverhead).Seconds())
+	}
+}
+
+// nowVirtual is the runner's position on the pipeline timeline; it is the
+// span clock for everything downstream of profiling. Reads are only
+// deterministic at sequential points (between oracle runs, or at parallel
+// DD's wave boundaries, where the accumulated sum is schedule-independent).
+func (r *runner) nowVirtual() time.Duration {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.base + r.virtual
 }
 
 // newRunner records the golden behaviour of the unmodified application.
 func newRunner(app *appspec.App) (*runner, error) {
+	return newTracedRunner(app, nil, 0)
+}
+
+// newTracedRunner is newRunner on the pipeline timeline: the golden runs
+// it performs are already metered into tr's registry.
+func newTracedRunner(app *appspec.App, tr *obs.Tracer, base time.Duration) (*runner, error) {
 	r := &runner{
 		app:       app,
 		astCache:  pyruntime.NewASTCache(),
 		overrides: make(map[string]*pylang.Module),
+		tr:        tr,
+		base:      base,
 	}
 	if len(app.Oracle) == 0 {
 		return nil, fmt.Errorf("debloat: app %s has an empty oracle set", app.Name)

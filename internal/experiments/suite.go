@@ -59,7 +59,9 @@ func (s *Suite) Debloat(name string) (*debloat.Result, error) {
 	s.mu.Unlock()
 
 	app := s.App(name).Clone()
-	res, err := debloat.Run(app, debloat.DefaultConfig())
+	cfg := debloat.DefaultConfig()
+	cfg.Tracer = s.Platform.Tracer
+	res, err := debloat.Run(app, cfg)
 	if err != nil {
 		return nil, fmt.Errorf("debloat %s: %w", name, err)
 	}

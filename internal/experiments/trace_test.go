@@ -1,0 +1,79 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// replayTelemetry debloats markdown and replays the reliability experiment
+// under a tracer, returning both telemetry renderings.
+func replayTelemetry(t *testing.T, seed int64) (chrome, jsonl []byte) {
+	t.Helper()
+	tr := obs.New()
+	s := NewSuite()
+	s.Platform.Tracer = tr
+
+	res, err := s.Debloat("markdown")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultReliabilityConfig()
+	cfg.App = "markdown"
+	cfg.Seed = seed
+	cfg.MaxRequests = 40
+	if _, err := ReliabilityCompare(res.Original, res.App, s.Platform, cfg); err != nil {
+		t.Fatal(err)
+	}
+
+	chrome, err = tr.ChromeTrace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return chrome, tr.EventLogJSONL()
+}
+
+// The telemetry determinism guarantee, end to end: a fixed fault seed
+// reproduces the full trace byte-for-byte — spans, events, ordering, and
+// formatting — while a different seed perturbs it.
+func TestReplayTelemetryGoldenDeterminism(t *testing.T) {
+	chromeA, jsonlA := replayTelemetry(t, 7)
+	chromeB, jsonlB := replayTelemetry(t, 7)
+	if !bytes.Equal(chromeA, chromeB) {
+		t.Error("same seed produced different Chrome traces")
+	}
+	if !bytes.Equal(jsonlA, jsonlB) {
+		t.Error("same seed produced different JSONL event logs")
+	}
+
+	chromeC, jsonlC := replayTelemetry(t, 1007)
+	if bytes.Equal(chromeA, chromeC) {
+		t.Error("different seeds produced identical Chrome traces")
+	}
+	if bytes.Equal(jsonlA, jsonlC) {
+		t.Error("different seeds produced identical JSONL event logs")
+	}
+
+	// The trace must be loadable Chrome trace-event JSON with the
+	// platform's failure events present.
+	var doc struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Ph   string `json:"ph"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(chromeA, &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	seen := map[string]bool{}
+	for _, e := range doc.TraceEvents {
+		seen[e.Name] = true
+	}
+	for _, want := range []string{"invoke markdown", "request markdown", "invocation", "faas.fault-injected"} {
+		if !seen[want] {
+			t.Errorf("trace missing %q events", want)
+		}
+	}
+}

@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"repro/internal/appspec"
+	"repro/internal/obs"
 	"repro/internal/pyruntime"
 	"repro/internal/simtime"
 )
@@ -147,6 +148,12 @@ type Config struct {
 	FaultSeed int64
 	// Faults configures the injector; the zero value injects nothing.
 	Faults FaultConfig
+
+	// Tracer, when set, records every deployment and invocation as a span
+	// tree over the platform's simulated clock plus a metrics stream
+	// (per-phase latency histograms, fault counters, retry totals). Nil
+	// (the default) disables tracing with no behavioral or billing change.
+	Tracer *obs.Tracer
 }
 
 // DefaultConfig mirrors the paper's AWS Lambda setup.
@@ -335,6 +342,12 @@ func (p *Platform) Deploy(app *appspec.App) {
 		d.configuredMB = p.cfg.Pricing.ConfigureMemory(p.profilePeakMB(app))
 	}
 	p.fns[app.Name] = d
+	if tr := p.cfg.Tracer; tr != nil {
+		tr.StartChild(nil, "deploy "+app.Name, "faas", p.now).
+			Add(obs.Int("memory_mb", int64(d.configuredMB))).
+			Finish(p.now)
+		tr.Metrics().Inc("faas.deploys", 1)
+	}
 }
 
 // profilePeakMB measures the app's peak footprint (runtime base included)
@@ -419,17 +432,19 @@ func (p *Platform) FunctionStats(name string) (Stats, bool) {
 
 // Invoke sends an event to a function at the current platform time.
 func (p *Platform) Invoke(name string, event map[string]any) (*Invocation, error) {
-	return p.invokeNamed(name, event, true)
+	return p.invokeNamed(name, event, true, nil)
 }
 
 // invokeNamed resolves the deployment, invokes it, and serves the fallback
-// path when an AttributeError escapes a fallback-equipped function.
-func (p *Platform) invokeNamed(name string, event map[string]any, advanceClock bool) (*Invocation, error) {
+// path when an AttributeError escapes a fallback-equipped function. The
+// parent span, when tracing, groups the primary and fallback (or retry)
+// invocations under one client-visible request.
+func (p *Platform) invokeNamed(name string, event map[string]any, advanceClock bool, parent *obs.Span) (*Invocation, error) {
 	d, ok := p.fns[name]
 	if !ok {
 		return nil, fmt.Errorf("faas: no function named %q", name)
 	}
-	inv, err := p.invoke(d, event, advanceClock)
+	inv, err := p.invoke(d, event, advanceClock, parent)
 	if err != nil {
 		return nil, err
 	}
@@ -437,8 +452,13 @@ func (p *Platform) invokeNamed(name string, event map[string]any, advanceClock b
 	// Fallback path: AttributeError in a debloated function re-invokes the
 	// original as an independent serverless function (§5.4, Table 4).
 	if inv.Err != nil && d.fallback != "" && isAttributeError(inv.Err) {
+		if tr := p.cfg.Tracer; tr != nil {
+			tr.Emit("faas.fallback", p.now,
+				obs.String("fn", name), obs.String("to", d.fallback))
+			tr.Metrics().Inc("faas.fallbacks", 1)
+		}
 		fb := p.fns[d.fallback]
-		fbInv, ferr := p.invoke(fb, event, advanceClock)
+		fbInv, ferr := p.invoke(fb, event, advanceClock, parent)
 		if ferr != nil {
 			return nil, ferr
 		}
@@ -463,9 +483,10 @@ func isAttributeError(err error) bool {
 	return ok && pe.ClassName() == "AttributeError"
 }
 
-func (p *Platform) invoke(d *deployment, event map[string]any, advanceClock bool) (*Invocation, error) {
+func (p *Platform) invoke(d *deployment, event map[string]any, advanceClock bool, parent *obs.Span) (*Invocation, error) {
 	d.invocations++
 	inv := &Invocation{Function: d.app.Name, MemoryMB: d.configuredMB}
+	start := p.now
 
 	// Throttling: under a per-function concurrency limit, a request that
 	// arrives while that many instances are busy is rejected up front —
@@ -480,6 +501,7 @@ func (p *Platform) invoke(d *deployment, event map[string]any, advanceClock bool
 			if advanceClock {
 				p.now += inv.E2E
 			}
+			p.recordInvocation(parent, start, inv)
 			return inv, nil
 		}
 	}
@@ -509,6 +531,7 @@ func (p *Platform) invoke(d *deployment, event map[string]any, advanceClock bool
 		if p.faultFires(p.cfg.Faults.SlowColdRate) && p.cfg.Faults.SlowColdFactor > 1 {
 			inv.InstanceInit = time.Duration(float64(inv.InstanceInit) * p.cfg.Faults.SlowColdFactor)
 			inv.ImageTransfer = time.Duration(float64(inv.ImageTransfer) * p.cfg.Faults.SlowColdFactor)
+			p.emitFault("slow-cold", d.app.Name)
 		}
 
 		// Function Initialization: import the entry module.
@@ -520,6 +543,7 @@ func (p *Platform) invoke(d *deployment, event map[string]any, advanceClock bool
 			inv.Err = perr
 			inv.Class = FailureHandler
 			inv.E2E = p.cfg.RoutingOverhead + inv.InstanceInit + inv.ImageTransfer + (interp.Clock.Now() - t0)
+			p.recordInvocation(parent, start, inv)
 			return inv, nil
 		}
 		handler, ok := mod.Dict.Get(d.app.Handler)
@@ -545,6 +569,7 @@ func (p *Platform) invoke(d *deployment, event map[string]any, advanceClock bool
 		// billed (Lambda bills a failed INIT phase) and the instance never
 		// joins the pool, so a client retry pays a fresh cold start.
 		if p.faultFires(p.cfg.Faults.InitCrashRate) {
+			p.emitFault("init-crash", d.app.Name)
 			d.initCrashes++
 			inv.Class = FailureInitCrash
 			inv.Err = &FailureError{Class: FailureInitCrash, Function: d.app.Name,
@@ -558,6 +583,7 @@ func (p *Platform) invoke(d *deployment, event map[string]any, advanceClock bool
 			if advanceClock {
 				p.now += inv.E2E
 			}
+			p.recordInvocation(parent, start, inv)
 			return inv, nil
 		}
 	} else {
@@ -589,6 +615,7 @@ func (p *Platform) invoke(d *deployment, event map[string]any, advanceClock bool
 	inv.PeakMB = simtime.MBf(interp.Alloc.Peak()) + p.cfg.BaseRuntimeMB
 	if p.faultFires(p.cfg.Faults.MemorySpikeRate) && p.cfg.Faults.MemorySpikeMB > 0 {
 		inv.PeakMB += p.cfg.Faults.MemorySpikeMB
+		p.emitFault("memory-spike", d.app.Name)
 	}
 
 	// Failure enforcement over the billed window, in chronological order:
@@ -664,6 +691,7 @@ func (p *Platform) invoke(d *deployment, event map[string]any, advanceClock bool
 	if advanceClock {
 		p.now += inv.E2E
 	}
+	p.recordInvocation(parent, start, inv)
 	return inv, nil
 }
 
@@ -745,7 +773,7 @@ func (p *Platform) InvokeBurst(name string, event map[string]any, n int) ([]*Inv
 	out := make([]*Invocation, 0, n)
 	var maxE2E time.Duration
 	for i := 0; i < n; i++ {
-		inv, err := p.invoke(d, event, false)
+		inv, err := p.invoke(d, event, false, nil)
 		if err != nil {
 			return nil, err
 		}

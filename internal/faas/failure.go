@@ -15,9 +15,10 @@ package faas
 import (
 	"fmt"
 	"math/rand"
-	"strings"
+	"strconv"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/pyruntime"
 )
 
@@ -204,6 +205,7 @@ type retryState struct {
 	e2e     time.Duration
 	backoff time.Duration
 	done    bool
+	span    *obs.Span // "request" span grouping the attempts (nil untraced)
 }
 
 func (st *retryState) absorb(inv *Invocation, attempt int) {
@@ -241,21 +243,60 @@ func (p *Platform) InvokeWithRetry(name string, event map[string]any, pol RetryP
 	if maxA < 1 {
 		maxA = 1
 	}
+	tr := p.cfg.Tracer
 	var st retryState
+	if tr != nil {
+		st.span = tr.StartChild(nil, "request "+name, "faas", p.now)
+	}
 	for attempt := 1; attempt <= maxA; attempt++ {
-		inv, err := p.invokeNamed(name, event, true)
+		inv, err := p.invokeNamed(name, event, true, st.span)
 		if err != nil {
 			return nil, err
 		}
 		st.absorb(inv, attempt)
+		tr.Metrics().Inc("faas.retry.attempts", 1)
 		if inv.Err == nil || !pol.retries(inv.Class) || attempt == maxA {
 			break
 		}
 		wait := pol.backoff(attempt, p.rng)
 		st.backoff += wait
+		p.recordBackoff(st.span, attempt, wait)
 		p.Advance(wait)
 	}
-	return st.finalize(), nil
+	out := st.finalize()
+	st.close(p, out, p.now)
+	return out, nil
+}
+
+// recordBackoff records one backoff wait as a child span of the request,
+// starting at the current platform time, plus the aggregate wait counter.
+func (p *Platform) recordBackoff(req *obs.Span, attempt int, wait time.Duration) {
+	tr := p.cfg.Tracer
+	if tr == nil {
+		return
+	}
+	tr.StartChild(req, "backoff", "faas", p.now).
+		Add(obs.Int("after_attempt", int64(attempt))).
+		Finish(p.now + wait)
+}
+
+// close finishes the request span at the request's completion time with the
+// aggregate outcome, and counts requests that needed more than one attempt.
+func (st *retryState) close(p *Platform, out *Invocation, end time.Duration) {
+	tr := p.cfg.Tracer
+	if tr == nil {
+		return
+	}
+	tr.Metrics().Inc("faas.retry.requests", 1)
+	tr.Metrics().Inc("faas.retry.backoff_wait_us", out.BackoffWait.Microseconds())
+	if out.Attempts > 1 {
+		tr.Metrics().Inc("faas.retry.retried_requests", 1)
+	}
+	st.span.Add(
+		obs.Int("attempts", int64(out.Attempts)),
+		obs.String("class", out.Class.String()),
+		obs.DurationUS("backoff_us", out.BackoffWait),
+	).Finish(end)
 }
 
 // InvokeGroupWithRetry delivers all events concurrently at the current
@@ -272,15 +313,22 @@ func (p *Platform) InvokeGroupWithRetry(name string, events []map[string]any, po
 	if maxA < 1 {
 		maxA = 1
 	}
+	tr := p.cfg.Tracer
+	groupStart := p.now
 	states := make([]retryState, len(events))
 	var maxE2E time.Duration
 	for i, ev := range events {
-		inv, err := p.invokeNamed(name, ev, false)
+		st := &states[i]
+		if tr != nil {
+			st.span = tr.StartChild(nil, "request "+name, "faas", groupStart)
+			st.span.Add(obs.Int("group_index", int64(i)))
+		}
+		inv, err := p.invokeNamed(name, ev, false, st.span)
 		if err != nil {
 			return nil, err
 		}
-		st := &states[i]
 		st.absorb(inv, 1)
+		tr.Metrics().Inc("faas.retry.attempts", 1)
 		st.done = inv.Err == nil || !pol.retries(inv.Class) || maxA == 1
 		if inv.E2E > maxE2E {
 			maxE2E = inv.E2E
@@ -289,46 +337,68 @@ func (p *Platform) InvokeGroupWithRetry(name string, events []map[string]any, po
 	p.now += maxE2E
 
 	// Stragglers retry sequentially, in event order.
+	ends := make([]time.Duration, len(events))
 	for i := range states {
 		st := &states[i]
+		ends[i] = groupStart + st.e2e
 		for !st.done {
 			wait := pol.backoff(len(st.costs), p.rng)
 			st.backoff += wait
+			p.recordBackoff(st.span, len(st.costs), wait)
 			p.Advance(wait)
-			inv, err := p.invokeNamed(name, events[i], true)
+			inv, err := p.invokeNamed(name, events[i], true, st.span)
 			if err != nil {
 				return nil, err
 			}
 			st.absorb(inv, len(st.costs)+1)
+			tr.Metrics().Inc("faas.retry.attempts", 1)
 			st.done = inv.Err == nil || !pol.retries(inv.Class) || len(st.costs) >= maxA
+			ends[i] = p.now
 		}
 	}
 
 	out := make([]*Invocation, len(events))
 	for i := range states {
 		out[i] = states[i].finalize()
+		states[i].close(p, out[i], ends[i])
 	}
 	return out, nil
 }
 
-// LogLine renders the invocation as one canonical, fully-deterministic
-// log record — the unit of the "same seed ⇒ byte-identical logs"
-// guarantee.
-func (inv *Invocation) LogLine() string {
+// logAttrs builds the invocation's canonical attribute list — the single
+// source of truth behind both the k=v log line and the JSONL event log.
+// Values are pre-formatted strings so every rendering agrees byte-for-byte.
+func (inv *Invocation) logAttrs() []obs.Attr {
 	attempts := inv.Attempts
 	if attempts == 0 {
 		attempts = 1
 	}
-	var b strings.Builder
-	fmt.Fprintf(&b, "fn=%s kind=%s class=%s attempts=%d", inv.Function, inv.Kind, inv.Class, attempts)
-	fmt.Fprintf(&b, " init_us=%d exec_us=%d e2e_us=%d billed_us=%d",
-		inv.Init.Microseconds(), inv.Exec.Microseconds(), inv.E2E.Microseconds(), inv.BilledDuration.Microseconds())
-	fmt.Fprintf(&b, " mem_mb=%d peak_mb=%.3f cost_usd=%.12f", inv.MemoryMB, inv.PeakMB, inv.CostUSD)
+	attrs := []obs.Attr{
+		obs.String("fn", inv.Function),
+		obs.String("kind", inv.Kind.String()),
+		obs.String("class", inv.Class.String()),
+		obs.Int("attempts", int64(attempts)),
+		obs.DurationUS("init_us", inv.Init),
+		obs.DurationUS("exec_us", inv.Exec),
+		obs.DurationUS("e2e_us", inv.E2E),
+		obs.DurationUS("billed_us", inv.BilledDuration),
+		obs.Int("mem_mb", int64(inv.MemoryMB)),
+		{Key: "peak_mb", Val: strconv.FormatFloat(inv.PeakMB, 'f', 3, 64)},
+		{Key: "cost_usd", Val: strconv.FormatFloat(inv.CostUSD, 'f', 12, 64)},
+	}
 	if inv.FallbackUsed {
-		fmt.Fprintf(&b, " fallback=%s", inv.FallbackKind)
+		attrs = append(attrs, obs.String("fallback", inv.FallbackKind.String()))
 	}
 	if inv.Err != nil {
-		fmt.Fprintf(&b, " err=%q", inv.Err.Error())
+		attrs = append(attrs, obs.String("err", inv.Err.Error()))
 	}
-	return b.String()
+	return attrs
+}
+
+// LogLine renders the invocation as one canonical, fully-deterministic
+// log record — the unit of the "same seed ⇒ byte-identical logs"
+// guarantee. It is the k=v rendering of logAttrs; the JSONL event log is
+// the structured rendering of the same attributes.
+func (inv *Invocation) LogLine() string {
+	return obs.LogLineFromAttrs(inv.logAttrs())
 }

@@ -1,0 +1,227 @@
+package faas
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// The k=v log line must keep its pre-observability byte format: it is the
+// unit of the replay-determinism guarantee and appears in golden outputs.
+func TestLogLineExactFormat(t *testing.T) {
+	inv := &Invocation{
+		Function:       "fn",
+		Kind:           ColdStart,
+		Class:          FailureOOM,
+		Attempts:       2,
+		Init:           1500 * time.Microsecond,
+		Exec:           2500 * time.Microsecond,
+		E2E:            7 * time.Millisecond,
+		BilledDuration: 4 * time.Millisecond,
+		MemoryMB:       128,
+		PeakMB:         301.25,
+		CostUSD:        0.000001234567,
+		FallbackUsed:   true,
+		FallbackKind:   WarmStart,
+		Err:            errors.New("faas: fn: oom: peak 301.2 MB exceeds 128 MB"),
+	}
+	want := `fn=fn kind=cold class=oom attempts=2 init_us=1500 exec_us=2500 ` +
+		`e2e_us=7000 billed_us=4000 mem_mb=128 peak_mb=301.250 ` +
+		`cost_usd=0.000001234567 fallback=warm ` +
+		`err="faas: fn: oom: peak 301.2 MB exceeds 128 MB"`
+	if got := inv.LogLine(); got != want {
+		t.Errorf("LogLine:\n got %s\nwant %s", got, want)
+	}
+}
+
+// tracedWorkload reruns the canonical fault-heavy workload with a tracer
+// attached, returning the tracer plus the client-visible records.
+func tracedWorkload(seed int64) (*obs.Tracer, *Platform, []*Invocation) {
+	tr := obs.New()
+	cfg := DefaultConfig()
+	cfg.EnforceMemory = true
+	cfg.FaultSeed = seed
+	cfg.Faults = FaultConfig{
+		Enabled:          true,
+		InitCrashRate:    0.3,
+		SlowColdRate:     0.3,
+		SlowColdFactor:   3,
+		MemorySpikeRate:  0.25,
+		MemorySpikeMB:    150,
+		ConcurrencyLimit: 2,
+	}
+	cfg.Tracer = tr
+	p := New(cfg)
+	p.Deploy(memApp("fn"))
+	pol := DefaultRetryPolicy()
+
+	var records []*Invocation
+	for i := 0; i < 30; i++ {
+		ev := lightEvent
+		if i%7 == 3 {
+			ev = heavyEvent
+		}
+		if i%5 == 4 {
+			invs, err := p.InvokeGroupWithRetry("fn", []map[string]any{ev, lightEvent, lightEvent}, pol)
+			if err != nil {
+				panic(err)
+			}
+			records = append(records, invs...)
+		} else {
+			inv, err := p.InvokeWithRetry("fn", ev, pol)
+			if err != nil {
+				panic(err)
+			}
+			records = append(records, inv)
+		}
+		p.Advance(time.Duration(i%3) * 20 * time.Second)
+	}
+	return tr, p, records
+}
+
+// The metrics registry and the platform's own lifetime counters are
+// independent accountings of the same run; they must agree exactly.
+func TestTraceMetricsCrossCheckStats(t *testing.T) {
+	tr, p, records := tracedWorkload(42)
+	reg := tr.Metrics()
+	st, ok := p.FunctionStats("fn")
+	if !ok {
+		t.Fatal("fn not deployed")
+	}
+
+	checks := []struct {
+		metric string
+		want   int64
+	}{
+		{"faas.invocations", int64(st.Invocations)},
+		{"faas.cold_starts", int64(st.ColdStarts)},
+		{"faas.fault.oom", int64(st.OOMKills)},
+		{"faas.fault.timeout", int64(st.Timeouts)},
+		{"faas.fault.throttle", int64(st.Throttles)},
+		{"faas.fault.init-crash", int64(st.InitCrashes)},
+	}
+	for _, c := range checks {
+		if got := reg.Counter(c.metric); got != c.want {
+			t.Errorf("%s = %d, want %d (platform stats)", c.metric, got, c.want)
+		}
+	}
+	if reg.Counter("faas.fault.throttle") == 0 && reg.Counter("faas.fault.init-crash") == 0 {
+		t.Error("fault-heavy workload should record injected faults in metrics")
+	}
+
+	// Retry accounting: attempts and backoff waits must match the
+	// client-visible aggregate records.
+	var attempts, backoffUS int64
+	for _, inv := range records {
+		attempts += int64(inv.Attempts)
+		backoffUS += inv.BackoffWait.Microseconds()
+	}
+	if got := reg.Counter("faas.retry.attempts"); got != attempts {
+		t.Errorf("faas.retry.attempts = %d, want %d", got, attempts)
+	}
+	if got := reg.Counter("faas.retry.backoff_wait_us"); got != backoffUS {
+		t.Errorf("faas.retry.backoff_wait_us = %d, want %d", got, backoffUS)
+	}
+	if got := reg.Counter("faas.retry.requests"); got != int64(len(records)) {
+		t.Errorf("faas.retry.requests = %d, want %d", got, len(records))
+	}
+
+	// The e2e histogram sees every platform invocation (attempts, not
+	// aggregated requests).
+	if h := reg.Histogram("faas.e2e.seconds"); h == nil || h.Count() != uint64(st.Invocations) {
+		t.Errorf("faas.e2e.seconds count = %v, want %d", h, st.Invocations)
+	}
+}
+
+// The "invocation" events in the tracer's log are the same records the
+// LogLine API renders: one source of truth, two renderings.
+func TestEventLogMatchesLogLines(t *testing.T) {
+	tr, _, _ := tracedWorkload(42)
+	var eventLines []string
+	for _, e := range tr.Events() {
+		if e.Name == "invocation" {
+			eventLines = append(eventLines, obs.LogLineFromAttrs(e.Attrs))
+		}
+	}
+	if len(eventLines) == 0 {
+		t.Fatal("no invocation events recorded")
+	}
+	// Per-attempt records: at least one per client request, and every
+	// line must parse as the canonical format.
+	for _, line := range eventLines {
+		if !strings.HasPrefix(line, "fn=fn kind=") || !strings.Contains(line, " cost_usd=") {
+			t.Fatalf("malformed invocation event line: %s", line)
+		}
+	}
+}
+
+// Span-tree shape: a cold invocation decomposes into the platform's
+// phases, nested under its request span.
+func TestInvocationSpanPhases(t *testing.T) {
+	tr := obs.New()
+	cfg := DefaultConfig()
+	cfg.Tracer = tr
+	p := New(cfg)
+	p.Deploy(memApp("fn"))
+
+	if _, err := p.InvokeWithRetry("fn", lightEvent, DefaultRetryPolicy()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.InvokeWithRetry("fn", lightEvent, DefaultRetryPolicy()); err != nil {
+		t.Fatal(err)
+	}
+
+	roots := tr.Roots()
+	// deploy + profiling invocation happen under Deploy; then two requests.
+	var requests []*obs.Span
+	for _, r := range roots {
+		if strings.HasPrefix(r.Name, "request ") {
+			requests = append(requests, r)
+		}
+	}
+	if len(requests) != 2 {
+		t.Fatalf("want 2 request roots, got %d (roots=%d)", len(requests), len(roots))
+	}
+
+	phaseNames := func(req *obs.Span) []string {
+		if len(req.Children) != 1 {
+			t.Fatalf("request should hold 1 invoke span, got %d", len(req.Children))
+		}
+		inv := req.Children[0]
+		if !strings.HasPrefix(inv.Name, "invoke ") {
+			t.Fatalf("child span = %q", inv.Name)
+		}
+		var names []string
+		for _, c := range inv.Children {
+			names = append(names, c.Name)
+		}
+		return names
+	}
+
+	cold := phaseNames(requests[0])
+	want := []string{"routing", "instance-init", "image-transfer", "init", "handler"}
+	if strings.Join(cold, ",") != strings.Join(want, ",") {
+		t.Errorf("cold phases = %v, want %v", cold, want)
+	}
+	warm := phaseNames(requests[1])
+	if strings.Join(warm, ",") != "routing,handler" {
+		t.Errorf("warm phases = %v", warm)
+	}
+
+	// Phases tile the invoke span: children are contiguous and end at the
+	// parent's end.
+	invSpan := requests[0].Children[0]
+	cur := invSpan.Start
+	for _, c := range invSpan.Children {
+		if c.Start != cur {
+			t.Errorf("phase %s starts at %v, want %v", c.Name, c.Start, cur)
+		}
+		cur = c.End
+	}
+	if cur != invSpan.End {
+		t.Errorf("phases end at %v, invoke span ends at %v", cur, invSpan.End)
+	}
+}

@@ -1,0 +1,233 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Exporters. All three outputs are deterministic functions of the recorded
+// trace: span order is creation order (itself deterministic), event order
+// is emission order, and every map is sorted before rendering.
+
+// chromeEvent is one Chrome trace-event ("X" complete span or "i" instant).
+// Field order is fixed by the struct, and encoding/json sorts the Args map,
+// so marshaling is byte-stable.
+type chromeEvent struct {
+	Name  string            `json:"name"`
+	Cat   string            `json:"cat"`
+	Ph    string            `json:"ph"`
+	Ts    float64           `json:"ts"` // microseconds of simulated time
+	Dur   *float64          `json:"dur,omitempty"`
+	Pid   int               `json:"pid"`
+	Tid   int               `json:"tid"`
+	Scope string            `json:"s,omitempty"`
+	Args  map[string]string `json:"args,omitempty"`
+}
+
+func usFloat(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e3 }
+
+func attrArgs(attrs []Attr) map[string]string {
+	if len(attrs) == 0 {
+		return nil
+	}
+	m := make(map[string]string, len(attrs))
+	for _, a := range attrs {
+		m[a.Key] = a.Val
+	}
+	return m
+}
+
+// ChromeTrace renders the trace tree plus instant events as Chrome
+// trace-event JSON ({"traceEvents": [...]}), loadable in Perfetto or
+// chrome://tracing. Spans are emitted depth-first so nesting reconstructs
+// on one track. Safe on a nil tracer (empty trace).
+func (t *Tracer) ChromeTrace() ([]byte, error) {
+	events := []chromeEvent{}
+	t.Walk(func(s *Span, depth int) {
+		dur := usFloat(s.Dur())
+		events = append(events, chromeEvent{
+			Name: s.Name, Cat: s.Cat, Ph: "X",
+			Ts: usFloat(s.Start), Dur: &dur,
+			Pid: 1, Tid: 1,
+			Args: attrArgs(s.Attrs),
+		})
+	})
+	for _, e := range t.Events() {
+		events = append(events, chromeEvent{
+			Name: e.Name, Cat: "event", Ph: "i",
+			Ts: usFloat(e.Time), Pid: 1, Tid: 1, Scope: "t",
+			Args: attrArgs(e.Attrs),
+		})
+	}
+	var buf bytes.Buffer
+	buf.WriteString("{\"traceEvents\":[\n")
+	for i, e := range events {
+		b, err := json.Marshal(e)
+		if err != nil {
+			return nil, err
+		}
+		buf.Write(b)
+		if i < len(events)-1 {
+			buf.WriteByte(',')
+		}
+		buf.WriteByte('\n')
+	}
+	buf.WriteString("]}\n")
+	return buf.Bytes(), nil
+}
+
+// EventLogJSONL renders the event log as one JSON object per line, keys in
+// emission order: {"ts_us":..., "name":..., <attr>:..., ...}. Attribute
+// values are written as JSON strings (they are pre-formatted). This is the
+// structured superset of the k=v invocation log lines.
+func (t *Tracer) EventLogJSONL() []byte {
+	var b strings.Builder
+	for _, e := range t.Events() {
+		b.WriteString("{\"ts_us\":")
+		b.WriteString(strconv.FormatInt(e.Time.Microseconds(), 10))
+		b.WriteString(",\"name\":")
+		b.WriteString(strconv.Quote(e.Name))
+		for _, a := range e.Attrs {
+			b.WriteByte(',')
+			b.WriteString(strconv.Quote(a.Key))
+			b.WriteByte(':')
+			b.WriteString(strconv.Quote(a.Val))
+		}
+		b.WriteString("}\n")
+	}
+	return []byte(b.String())
+}
+
+// LogLineFromAttrs renders an attribute list in the canonical k=v log-line
+// format: values containing spaces or quotes are quoted with %q, everything
+// else is written bare. The invocation log lines and the JSONL event log
+// share their attribute builders, making this the single rendering of the
+// "same seed ⇒ byte-identical logs" guarantee.
+func LogLineFromAttrs(attrs []Attr) string {
+	var b strings.Builder
+	for i, a := range attrs {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		b.WriteString(a.Key)
+		b.WriteByte('=')
+		if strings.ContainsAny(a.Val, " \"") {
+			b.WriteString(strconv.Quote(a.Val))
+		} else {
+			b.WriteString(a.Val)
+		}
+	}
+	return b.String()
+}
+
+// WriteFiles exports the recorded telemetry to the requested paths (an
+// empty path skips that exporter): Chrome trace-event JSON, the JSONL
+// event log, and a JSON metrics snapshot.
+func (t *Tracer) WriteFiles(tracePath, eventsPath, metricsPath string) error {
+	if tracePath != "" {
+		b, err := t.ChromeTrace()
+		if err != nil {
+			return fmt.Errorf("rendering trace: %w", err)
+		}
+		if err := os.WriteFile(tracePath, b, 0o644); err != nil {
+			return fmt.Errorf("writing trace: %w", err)
+		}
+	}
+	if eventsPath != "" {
+		if err := os.WriteFile(eventsPath, t.EventLogJSONL(), 0o644); err != nil {
+			return fmt.Errorf("writing event log: %w", err)
+		}
+	}
+	if metricsPath != "" {
+		b, err := t.Metrics().Snapshot().JSON()
+		if err != nil {
+			return fmt.Errorf("rendering metrics: %w", err)
+		}
+		if err := os.WriteFile(metricsPath, b, 0o644); err != nil {
+			return fmt.Errorf("writing metrics: %w", err)
+		}
+	}
+	return nil
+}
+
+// Summary renders a text digest: span counts, the top spans by cumulative
+// simulated time (aggregated by span name), and per-phase latency
+// percentiles from the registry's histograms.
+func (t *Tracer) Summary() string {
+	if t == nil {
+		return "trace: disabled\n"
+	}
+	type agg struct {
+		name  string
+		cat   string
+		count int
+		total time.Duration
+		max   time.Duration
+	}
+	byName := make(map[string]*agg)
+	spans := 0
+	t.Walk(func(s *Span, depth int) {
+		spans++
+		key := s.Cat + "\x00" + s.Name
+		a, ok := byName[key]
+		if !ok {
+			a = &agg{name: s.Name, cat: s.Cat}
+			byName[key] = a
+		}
+		a.count++
+		a.total += s.Dur()
+		if s.Dur() > a.max {
+			a.max = s.Dur()
+		}
+	})
+	aggs := make([]*agg, 0, len(byName))
+	for _, a := range byName {
+		aggs = append(aggs, a)
+	}
+	sort.Slice(aggs, func(i, j int) bool {
+		if aggs[i].total != aggs[j].total {
+			return aggs[i].total > aggs[j].total
+		}
+		if aggs[i].name != aggs[j].name {
+			return aggs[i].name < aggs[j].name
+		}
+		return aggs[i].cat < aggs[j].cat
+	})
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "trace summary: %d spans, %d events\n", spans, len(t.Events()))
+	b.WriteString("top spans by cumulative sim-time:\n")
+	limit := 20
+	if len(aggs) < limit {
+		limit = len(aggs)
+	}
+	for _, a := range aggs[:limit] {
+		mean := time.Duration(0)
+		if a.count > 0 {
+			mean = a.total / time.Duration(a.count)
+		}
+		fmt.Fprintf(&b, "  %-32s %-10s n=%-6d total=%-14s mean=%-12s max=%s\n",
+			a.name, a.cat, a.count, a.total, mean, a.max)
+	}
+	snap := t.Metrics().Snapshot()
+	if len(snap.Histograms) > 0 {
+		b.WriteString("phase latency percentiles (seconds):\n")
+		for _, h := range snap.Histograms {
+			fmt.Fprintf(&b, "  %-32s n=%-6d p50=%-12.6f p95=%-12.6f p99=%-12.6f max=%.6f\n",
+				h.Name, h.Count, h.P50, h.P95, h.P99, h.Max)
+		}
+	}
+	if len(snap.Counters) > 0 {
+		b.WriteString("counters:\n")
+		for _, c := range snap.Counters {
+			fmt.Fprintf(&b, "  %-32s %d\n", c.Name, c.Value)
+		}
+	}
+	return b.String()
+}

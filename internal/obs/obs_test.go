@@ -1,0 +1,212 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestNilTracerIsNoop(t *testing.T) {
+	var tr *Tracer
+	sp := tr.Start("a", "cat", 0)
+	if sp != nil {
+		t.Fatal("nil tracer should return nil spans")
+	}
+	sp.Add(Int("k", 1)) // must not panic
+	tr.End(sp, time.Second)
+	tr.Emit("e", 0, String("k", "v"))
+	child := tr.StartChild(nil, "b", "cat", 0)
+	child.Finish(time.Second)
+	if tr.Current() != nil || tr.Roots() != nil || tr.Events() != nil {
+		t.Error("nil tracer accessors should return nil")
+	}
+	tr.Metrics().Inc("c", 1)
+	tr.Metrics().Observe("h", 1)
+	if tr.Metrics().Counter("c") != 0 {
+		t.Error("nil registry counter should read 0")
+	}
+	if s := tr.Summary(); !strings.Contains(s, "disabled") {
+		t.Errorf("nil summary = %q", s)
+	}
+	if out, err := tr.ChromeTrace(); err != nil || !json.Valid(out) {
+		t.Errorf("nil ChromeTrace should still be valid JSON: %v", err)
+	}
+}
+
+func TestSpanStackNesting(t *testing.T) {
+	tr := New()
+	root := tr.Start("root", "test", 0)
+	child := tr.Start("child", "test", 10*time.Millisecond)
+	grand := tr.Start("grand", "test", 20*time.Millisecond)
+	tr.End(grand, 30*time.Millisecond)
+	tr.End(child, 40*time.Millisecond)
+	if tr.Current() != root {
+		t.Fatal("stack should have unwound to root")
+	}
+	tr.End(root, 50*time.Millisecond)
+	if tr.Current() != nil {
+		t.Fatal("stack should be empty")
+	}
+
+	roots := tr.Roots()
+	if len(roots) != 1 || roots[0] != root {
+		t.Fatalf("roots = %v", roots)
+	}
+	if len(root.Children) != 1 || root.Children[0] != child {
+		t.Fatal("child should nest under root")
+	}
+	if len(child.Children) != 1 || child.Children[0] != grand {
+		t.Fatal("grand should nest under child")
+	}
+	if grand.Dur() != 10*time.Millisecond {
+		t.Errorf("grand duration = %v", grand.Dur())
+	}
+}
+
+func TestStartChildExplicitParent(t *testing.T) {
+	tr := New()
+	root := tr.Start("root", "test", 0)
+	a := tr.StartChild(root, "a", "test", 0)
+	b := tr.StartChild(root, "b", "test", time.Millisecond)
+	a.Finish(2 * time.Millisecond)
+	b.Finish(3 * time.Millisecond)
+	// StartChild must not disturb the stack.
+	if tr.Current() != root {
+		t.Fatal("StartChild must not push onto the stack")
+	}
+	tr.End(root, 4*time.Millisecond)
+	if len(root.Children) != 2 || root.Children[0] != a || root.Children[1] != b {
+		t.Fatalf("children order = %v", root.Children)
+	}
+	// Nil parent falls back to the stack top, then to a new root.
+	orphan := tr.StartChild(nil, "orphan", "test", 0)
+	orphan.Finish(time.Millisecond)
+	if len(tr.Roots()) != 2 {
+		t.Fatalf("orphan should become a root, roots = %d", len(tr.Roots()))
+	}
+}
+
+func TestEndOutOfOrderPopsThrough(t *testing.T) {
+	tr := New()
+	root := tr.Start("root", "test", 0)
+	tr.Start("inner", "test", 0) // never explicitly ended
+	tr.End(root, time.Second)
+	if tr.Current() != nil {
+		t.Error("ending an outer span should pop inner spans too")
+	}
+}
+
+func TestChromeTraceShape(t *testing.T) {
+	tr := New()
+	root := tr.Start("root", "pipeline", 0)
+	root.Add(Int("k", 42))
+	tr.Start("child", "pipeline", 100*time.Microsecond)
+	tr.End(tr.Current(), 300*time.Microsecond)
+	tr.End(root, time.Millisecond)
+	tr.Emit("fault", 200*time.Microsecond, String("class", "oom"))
+
+	out, err := tr.ChromeTrace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(out, &doc); err != nil {
+		t.Fatalf("not valid JSON: %v\n%s", err, out)
+	}
+	if len(doc.TraceEvents) != 3 {
+		t.Fatalf("want 3 events, got %d", len(doc.TraceEvents))
+	}
+	first := doc.TraceEvents[0]
+	if first["name"] != "root" || first["ph"] != "X" || first["dur"].(float64) != 1000 {
+		t.Errorf("root event = %v", first)
+	}
+	if args, ok := first["args"].(map[string]any); !ok || args["k"] != "42" {
+		t.Errorf("root args = %v", first["args"])
+	}
+	inst := doc.TraceEvents[2]
+	if inst["ph"] != "i" || inst["name"] != "fault" {
+		t.Errorf("instant event = %v", inst)
+	}
+}
+
+func TestEventLogJSONL(t *testing.T) {
+	tr := New()
+	tr.Emit("invocation", 1500*time.Microsecond,
+		String("fn", "app"), String("err", `faas: "quoted" detail`))
+	tr.Emit("second", 2*time.Millisecond)
+	out := tr.EventLogJSONL()
+	lines := bytes.Split(bytes.TrimSpace(out), []byte("\n"))
+	if len(lines) != 2 {
+		t.Fatalf("want 2 lines, got %d", len(lines))
+	}
+	var rec map[string]any
+	if err := json.Unmarshal(lines[0], &rec); err != nil {
+		t.Fatalf("line 0 not JSON: %v", err)
+	}
+	if rec["ts_us"].(float64) != 1500 || rec["name"] != "invocation" || rec["fn"] != "app" {
+		t.Errorf("line 0 = %v", rec)
+	}
+	if rec["err"] != `faas: "quoted" detail` {
+		t.Errorf("err round-trip = %q", rec["err"])
+	}
+}
+
+func TestLogLineFromAttrs(t *testing.T) {
+	attrs := []Attr{
+		{Key: "fn", Val: "app"},
+		{Key: "n", Val: "3"},
+		{Key: "err", Val: "faas: app: oom: peak exceeds"},
+	}
+	got := LogLineFromAttrs(attrs)
+	want := `fn=app n=3 err="faas: app: oom: peak exceeds"`
+	if got != want {
+		t.Errorf("LogLineFromAttrs = %q, want %q", got, want)
+	}
+}
+
+func TestRegistrySnapshotDeterministic(t *testing.T) {
+	reg := NewRegistry()
+	reg.Inc("b.counter", 2)
+	reg.Inc("a.counter", 1)
+	reg.SetGauge("g", 1.5)
+	for i := 1; i <= 100; i++ {
+		reg.Observe("lat.seconds", float64(i)/100)
+	}
+	snap := reg.Snapshot()
+	if len(snap.Counters) != 2 || snap.Counters[0].Name != "a.counter" {
+		t.Fatalf("counters not sorted: %v", snap.Counters)
+	}
+	h := snap.Histograms[0]
+	if h.Count != 100 || h.Min != 0.01 || h.Max != 1 {
+		t.Errorf("histogram snapshot = %+v", h)
+	}
+	if h.P50 <= 0 || h.P50 >= h.P99 || h.P99 > h.Max {
+		t.Errorf("percentiles out of order: %+v", h)
+	}
+	j1, err := snap.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	j2, _ := reg.Snapshot().JSON()
+	if !bytes.Equal(j1, j2) {
+		t.Error("snapshot JSON not byte-stable")
+	}
+}
+
+func TestSummaryContents(t *testing.T) {
+	tr := New()
+	s := tr.Start("invoke app", "faas", 0)
+	tr.End(s, 100*time.Millisecond)
+	tr.Metrics().Observe("faas.e2e.seconds", 0.1)
+	tr.Metrics().Inc("faas.invocations", 1)
+	sum := tr.Summary()
+	for _, want := range []string{"invoke app", "faas.e2e.seconds", "faas.invocations", "1 spans"} {
+		if !strings.Contains(sum, want) {
+			t.Errorf("summary missing %q:\n%s", want, sum)
+		}
+	}
+}

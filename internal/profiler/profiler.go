@@ -16,8 +16,10 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+	"strconv"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/pyruntime"
 	"repro/internal/simtime"
 	"repro/internal/vfs"
@@ -98,6 +100,7 @@ type importHook struct {
 	stack []frameMark
 	out   map[string]ModuleProfile
 	order int
+	tr    *obs.Tracer
 }
 
 type frameMark struct {
@@ -105,11 +108,19 @@ type frameMark struct {
 	t0    time.Duration
 	mem0  int64
 	order int
+	sp    *obs.Span
 }
 
 func (h *importHook) BeforeModuleExec(name string) {
+	// The span nests under the enclosing module's span, mirroring the
+	// import structure; the outermost import parents to the profile span.
+	var parent *obs.Span
+	if len(h.stack) > 0 {
+		parent = h.stack[len(h.stack)-1].sp
+	}
+	sp := h.tr.StartChild(parent, "import "+name, "profiler", h.clock.Now())
 	h.stack = append(h.stack, frameMark{
-		name: name, t0: h.clock.Now(), mem0: h.alloc.Used(), order: h.order,
+		name: name, t0: h.clock.Now(), mem0: h.alloc.Used(), order: h.order, sp: sp,
 	})
 	h.order++
 }
@@ -117,12 +128,23 @@ func (h *importHook) BeforeModuleExec(name string) {
 func (h *importHook) AfterModuleExec(name string, err error) {
 	top := h.stack[len(h.stack)-1]
 	h.stack = h.stack[:len(h.stack)-1]
+	now := h.clock.Now()
+	if top.sp != nil {
+		top.sp.Add(
+			obs.DurationUS("marginal_us", now-top.t0),
+			obs.Attr{Key: "marginal_mb", Val: strconv.FormatFloat(simtime.MBf(h.alloc.Used()-top.mem0), 'f', 3, 64)},
+		)
+		if err != nil {
+			top.sp.Add(obs.String("error", err.Error()))
+		}
+		top.sp.Finish(now)
+	}
 	if err != nil {
 		return
 	}
 	h.out[name] = ModuleProfile{
 		Name:       name,
-		ImportTime: h.clock.Now() - top.t0,
+		ImportTime: now - top.t0,
 		MemoryMB:   simtime.MBf(h.alloc.Used() - top.mem0),
 		Order:      top.order,
 	}
@@ -136,6 +158,11 @@ type Options struct {
 	// Exclude lists module names never considered candidates (the entry
 	// module is always excluded).
 	Exclude []string
+	// Tracer, when non-nil, records the profiling run as a span tree on
+	// the profiling interpreter's clock: one "profile" span holding one
+	// span per module execution, nested by import structure, each
+	// carrying its marginal time and memory.
+	Tracer *obs.Tracer
 }
 
 // Run imports the entry module in a fresh, isolated interpreter (the
@@ -147,12 +174,15 @@ func Run(image *vfs.FS, entry string, opts Options) (*Profile, error) {
 		clock: in.Clock,
 		alloc: in.Alloc,
 		out:   make(map[string]ModuleProfile),
+		tr:    opts.Tracer,
 	}
 	in.AddImportHook(hook)
 
 	t0 := in.Clock.Now()
 	m0 := in.Alloc.Used()
+	sp := opts.Tracer.Start("profile "+entry, "profiler", t0)
 	if _, err := in.Import(entry); err != nil {
+		opts.Tracer.End(sp, in.Clock.Now())
 		return nil, fmt.Errorf("profiler: initialization failed: %s", err.Error())
 	}
 	prof := &Profile{
@@ -160,6 +190,12 @@ func Run(image *vfs.FS, entry string, opts Options) (*Profile, error) {
 		TotalTime:  in.Clock.Now() - t0,
 		TotalMemMB: simtime.MBf(in.Alloc.Used() - m0),
 	}
+	sp.Add(
+		obs.DurationUS("total_us", prof.TotalTime),
+		obs.Attr{Key: "total_mem_mb", Val: strconv.FormatFloat(prof.TotalMemMB, 'f', 3, 64)},
+	)
+	opts.Tracer.End(sp, in.Clock.Now())
+	opts.Tracer.Metrics().Observe("profiler.init.seconds", prof.TotalTime.Seconds())
 
 	excluded := map[string]bool{entry: true}
 	for _, e := range opts.Exclude {
@@ -186,6 +222,7 @@ func Run(image *vfs.FS, entry string, opts Options) (*Profile, error) {
 		}
 		return prof.Modules[i].Name < prof.Modules[j].Name
 	})
+	opts.Tracer.Metrics().Inc("profiler.modules", int64(len(prof.Modules)))
 	return prof, nil
 }
 

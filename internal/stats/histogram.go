@@ -1,0 +1,155 @@
+package stats
+
+import "math"
+
+// Histogram bucket layout. The layout is fixed so that any two Histograms
+// are mergeable by bucket-wise addition: buckets are log-scale with
+// histBucketsPerDecade buckets per decade, spanning 10^histMinDecade up to
+// 10^histMaxDecade. Values are unit-agnostic; the observability layer
+// observes latencies in seconds, so the range covers nanoseconds up to
+// ~31 years with a relative bucket width of 10^(1/8) ≈ 1.33.
+const (
+	histBucketsPerDecade = 8
+	histMinDecade        = -9
+	histMaxDecade        = 12
+
+	// HistogramBuckets is the fixed bucket count of every Histogram.
+	HistogramBuckets = (histMaxDecade - histMinDecade) * histBucketsPerDecade
+)
+
+// Histogram is a fixed-layout log-scale histogram with approximate
+// quantiles. The zero value is ready to use. It is not safe for concurrent
+// use; the metrics registry serializes access.
+//
+// Quantile estimates carry the bucket's relative error (≤ 10^(1/8)-1 ≈ 33%
+// in the worst case, typically much less), which is the usual trade for
+// mergeability and O(1) observation. Exact extremes are tracked separately,
+// so Quantile(0) and Quantile(1) are exact.
+type Histogram struct {
+	counts [HistogramBuckets]uint64
+	// zeros counts non-positive observations (they have no log bucket).
+	zeros uint64
+	count uint64
+	sum   float64
+	min   float64
+	max   float64
+}
+
+// NewHistogram returns an empty histogram.
+func NewHistogram() *Histogram { return &Histogram{} }
+
+// histBucket maps a positive value to its bucket index, clamping values
+// outside the representable range into the edge buckets.
+func histBucket(v float64) int {
+	idx := int(math.Floor((math.Log10(v) - histMinDecade) * histBucketsPerDecade))
+	if idx < 0 {
+		return 0
+	}
+	if idx >= HistogramBuckets {
+		return HistogramBuckets - 1
+	}
+	return idx
+}
+
+// bucketValue is the representative (geometric midpoint) of bucket i.
+func bucketValue(i int) float64 {
+	return math.Pow(10, float64(histMinDecade)+(float64(i)+0.5)/histBucketsPerDecade)
+}
+
+// Observe records one value. Non-positive values are counted (they show up
+// in Count, Sum, Min) but occupy a dedicated zero bucket.
+func (h *Histogram) Observe(v float64) {
+	if h.count == 0 || v < h.min {
+		h.min = v
+	}
+	if h.count == 0 || v > h.max {
+		h.max = v
+	}
+	h.count++
+	h.sum += v
+	if v <= 0 {
+		h.zeros++
+		return
+	}
+	h.counts[histBucket(v)]++
+}
+
+// Merge folds o into h bucket-wise. A nil or empty o is a no-op.
+func (h *Histogram) Merge(o *Histogram) {
+	if o == nil || o.count == 0 {
+		return
+	}
+	if h.count == 0 || o.min < h.min {
+		h.min = o.min
+	}
+	if h.count == 0 || o.max > h.max {
+		h.max = o.max
+	}
+	h.count += o.count
+	h.sum += o.sum
+	h.zeros += o.zeros
+	for i := range h.counts {
+		h.counts[i] += o.counts[i]
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count }
+
+// Sum returns the total of all observed values.
+func (h *Histogram) Sum() float64 { return h.sum }
+
+// Mean returns the arithmetic mean (0 when empty).
+func (h *Histogram) Mean() float64 {
+	if h.count == 0 {
+		return 0
+	}
+	return h.sum / float64(h.count)
+}
+
+// Min returns the smallest observation (0 when empty).
+func (h *Histogram) Min() float64 { return h.min }
+
+// Max returns the largest observation (0 when empty).
+func (h *Histogram) Max() float64 { return h.max }
+
+// Quantile estimates the q-th quantile, q in [0, 1]. The estimate is the
+// geometric midpoint of the bucket holding the target rank, clamped to the
+// exact observed [Min, Max]. Empty histograms yield 0.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h.count == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return h.min
+	}
+	if q >= 1 {
+		return h.max
+	}
+	target := q * float64(h.count)
+	cum := float64(h.zeros)
+	if cum >= target {
+		// The rank falls among the non-positive observations.
+		return h.clamp(0)
+	}
+	for i, c := range h.counts {
+		if c == 0 {
+			continue
+		}
+		cum += float64(c)
+		if cum >= target {
+			return h.clamp(bucketValue(i))
+		}
+	}
+	return h.max
+}
+
+func (h *Histogram) clamp(v float64) float64 {
+	if v < h.min {
+		return h.min
+	}
+	if v > h.max {
+		return h.max
+	}
+	return v
+}

@@ -1,0 +1,149 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestHistogramEmpty(t *testing.T) {
+	var h Histogram
+	if h.Count() != 0 || h.Sum() != 0 || h.Mean() != 0 {
+		t.Error("empty histogram should report zeros")
+	}
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if got := h.Quantile(q); got != 0 {
+			t.Errorf("Quantile(%v) = %v on empty histogram", q, got)
+		}
+	}
+}
+
+func TestHistogramBasicStats(t *testing.T) {
+	var h Histogram
+	for _, v := range []float64{1, 2, 3, 4} {
+		h.Observe(v)
+	}
+	if h.Count() != 4 {
+		t.Errorf("Count = %d", h.Count())
+	}
+	if h.Sum() != 10 {
+		t.Errorf("Sum = %v", h.Sum())
+	}
+	if h.Mean() != 2.5 {
+		t.Errorf("Mean = %v", h.Mean())
+	}
+	if h.Min() != 1 || h.Max() != 4 {
+		t.Errorf("Min/Max = %v/%v", h.Min(), h.Max())
+	}
+}
+
+// relErr is the worst-case relative bucket error: one bucket spans a factor
+// of 10^(1/8), so the geometric midpoint is within a factor of 10^(1/16).
+var relErr = math.Pow(10, 1.0/16) - 1
+
+func TestHistogramQuantileAccuracy(t *testing.T) {
+	var h Histogram
+	rng := rand.New(rand.NewSource(1))
+	xs := make([]float64, 0, 10000)
+	for i := 0; i < 10000; i++ {
+		// Log-uniform over ~4 decades around typical latencies.
+		v := math.Pow(10, -3+3*rng.Float64())
+		xs = append(xs, v)
+		h.Observe(v)
+	}
+	for _, p := range []float64{10, 50, 90, 95, 99} {
+		exact := Percentile(xs, p)
+		est := h.Quantile(p / 100)
+		if math.Abs(est-exact)/exact > relErr+0.01 {
+			t.Errorf("p%v: estimate %v vs exact %v (rel err %.3f)",
+				p, est, exact, math.Abs(est-exact)/exact)
+		}
+	}
+	// Extremes are exact.
+	if h.Quantile(0) != Min(xs) || h.Quantile(1) != Max(xs) {
+		t.Error("Quantile(0)/Quantile(1) should be the exact extremes")
+	}
+}
+
+func TestHistogramQuantileMonotone(t *testing.T) {
+	var h Histogram
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 1000; i++ {
+		h.Observe(rng.ExpFloat64())
+	}
+	prev := math.Inf(-1)
+	for q := 0.0; q <= 1.0; q += 0.01 {
+		v := h.Quantile(q)
+		if v < prev {
+			t.Fatalf("quantile not monotone at q=%v: %v < %v", q, v, prev)
+		}
+		prev = v
+	}
+}
+
+func TestHistogramZerosAndNegatives(t *testing.T) {
+	var h Histogram
+	h.Observe(0)
+	h.Observe(-5)
+	h.Observe(10)
+	if h.Count() != 3 {
+		t.Errorf("Count = %d", h.Count())
+	}
+	if h.Min() != -5 || h.Max() != 10 {
+		t.Errorf("Min/Max = %v/%v", h.Min(), h.Max())
+	}
+	// Two of three observations are non-positive: the median is in the
+	// zero bucket, clamped to the observed range.
+	if got := h.Quantile(0.5); got != 0 {
+		t.Errorf("median = %v, want 0", got)
+	}
+}
+
+func TestHistogramOutOfRangeClamps(t *testing.T) {
+	var h Histogram
+	h.Observe(1e-30) // below the smallest bucket
+	h.Observe(1e30)  // above the largest bucket
+	if h.Count() != 2 {
+		t.Errorf("Count = %d", h.Count())
+	}
+	// Quantiles clamp to exact extremes, so out-of-range values round-trip.
+	if h.Quantile(0) != 1e-30 || h.Quantile(1) != 1e30 {
+		t.Errorf("extremes = %v/%v", h.Quantile(0), h.Quantile(1))
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	var a, b, whole Histogram
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 500; i++ {
+		v := rng.Float64() * 100
+		whole.Observe(v)
+		if i%2 == 0 {
+			a.Observe(v)
+		} else {
+			b.Observe(v)
+		}
+	}
+	a.Merge(&b)
+	if a.Count() != whole.Count() {
+		t.Fatalf("merged count %d != %d", a.Count(), whole.Count())
+	}
+	if math.Abs(a.Sum()-whole.Sum()) > 1e-9 {
+		t.Errorf("merged sum %v != %v", a.Sum(), whole.Sum())
+	}
+	if a.Min() != whole.Min() || a.Max() != whole.Max() {
+		t.Errorf("merged min/max %v/%v != %v/%v", a.Min(), a.Max(), whole.Min(), whole.Max())
+	}
+	for _, q := range []float64{0.25, 0.5, 0.9, 0.99} {
+		if a.Quantile(q) != whole.Quantile(q) {
+			t.Errorf("q=%v: merged %v != whole %v", q, a.Quantile(q), whole.Quantile(q))
+		}
+	}
+	// Merging nil and empty histograms is a no-op.
+	before := a.Count()
+	a.Merge(nil)
+	a.Merge(NewHistogram())
+	if a.Count() != before {
+		t.Error("nil/empty merge changed the histogram")
+	}
+}
