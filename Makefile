@@ -1,6 +1,11 @@
 GO ?= go
 
-.PHONY: check fmt vet build test bench experiments
+.PHONY: check fmt vet build test bench bench-smoke race experiments
+
+## race: the race-detector sweep CI runs on the concurrency-bearing
+## packages (parallel DD, the corpus scheduler, the shared snapshot cache)
+race:
+	$(GO) test -race -short ./internal/debloat/... ./internal/dd/... ./internal/experiments/...
 
 ## check: everything CI would run — formatting, vet, build, race-enabled tests
 check: fmt vet build test
@@ -18,8 +23,17 @@ build:
 test:
 	$(GO) test -race ./...
 
+# bench: full benchmark sweep, 3 samples each, machine-readable output in
+# BENCH_<date>.json. Recover a benchstat-ready table with:
+#   jq -r 'select(.Action=="output").Output' BENCH_<date>.json | benchstat -
+BENCH_OUT ?= BENCH_$(shell date +%Y-%m-%d).json
 bench:
-	$(GO) test -bench . -benchtime 1x -run xxx .
+	$(GO) test -bench . -benchmem -benchtime 1x -count 3 -run xxx -json . > $(BENCH_OUT)
+	@echo "benchmark log written to $(BENCH_OUT)"
+
+# bench-smoke: one fast iteration of the cheap benchmarks (CI).
+bench-smoke:
+	$(GO) test -short -bench . -benchtime 1x -run xxx .
 
 experiments:
 	$(GO) run ./cmd/experiments

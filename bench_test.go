@@ -15,6 +15,7 @@ package repro
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 	"testing"
 
@@ -34,12 +35,11 @@ func suite(b *testing.B) *experiments.Suite {
 	b.Helper()
 	suiteOnce.Do(func() {
 		sharedSuite = experiments.NewSuite()
-		// Prime the shared debloat cache so per-figure benches measure
-		// regeneration, not the one-time pipeline.
-		for _, name := range experiments.AllNames() {
-			if _, err := sharedSuite.Debloat(name); err != nil {
-				panic(err)
-			}
+		// Prime the shared debloat cache on the worker pool so per-figure
+		// benches measure regeneration, not the one-time pipeline. The
+		// results are schedule-independent (see Suite.DebloatAll).
+		if err := sharedSuite.DebloatAll(runtime.GOMAXPROCS(0)); err != nil {
+			panic(err)
 		}
 	})
 	return sharedSuite
@@ -204,20 +204,56 @@ func BenchmarkTable4_Fallback(b *testing.B) {
 // ---------------------------------------------------------------------------
 
 // BenchmarkPipeline_FullDebloat measures λ-trim's full pipeline from
-// scratch on representative apps of increasing size.
+// scratch on representative apps of increasing size, with and without
+// import-snapshot memoization (the memo arm is the default configuration;
+// both arms produce byte-identical results — only wall-clock differs).
 func BenchmarkPipeline_FullDebloat(b *testing.B) {
-	for _, name := range []string{"markdown", "lightgbm", "spacy", "resnet"} {
-		b.Run(name, func(b *testing.B) {
-			var oracleRuns int
+	apps := []string{"markdown", "lightgbm", "spacy", "resnet"}
+	if testing.Short() {
+		apps = apps[:2]
+	}
+	for _, name := range apps {
+		for _, arm := range []struct {
+			label       string
+			disableMemo bool
+		}{{"memo", false}, {"nomemo", true}} {
+			b.Run(name+"/"+arm.label, func(b *testing.B) {
+				var oracleRuns int
+				for i := 0; i < b.N; i++ {
+					app := appcorpus.MustBuild(name)
+					cfg := debloat.DefaultConfig()
+					cfg.DisableMemo = arm.disableMemo
+					res, err := debloat.Run(app, cfg)
+					if err != nil {
+						b.Fatal(err)
+					}
+					oracleRuns = res.OracleRuns
+				}
+				b.ReportMetric(float64(oracleRuns), "oracle_runs")
+			})
+		}
+	}
+}
+
+// BenchmarkPipeline_SuitePriming measures the up-front corpus debloat every
+// full experiments run performs: sequential vs the bounded worker pool,
+// each iteration from a cold suite (fresh caches).
+func BenchmarkPipeline_SuitePriming(b *testing.B) {
+	if testing.Short() {
+		b.Skip("full-corpus priming is too slow for -short")
+	}
+	pool := []int{1}
+	if n := runtime.GOMAXPROCS(0); n > 1 {
+		pool = append(pool, n)
+	}
+	for _, workers := range pool {
+		b.Run(fmt.Sprintf("workers_%d", workers), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				app := appcorpus.MustBuild(name)
-				res, err := debloat.Run(app, debloat.DefaultConfig())
-				if err != nil {
+				s := experiments.NewSuite()
+				if err := s.DebloatAll(workers); err != nil {
 					b.Fatal(err)
 				}
-				oracleRuns = res.OracleRuns
 			}
-			b.ReportMetric(float64(oracleRuns), "oracle_runs")
 		})
 	}
 }

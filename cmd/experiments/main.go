@@ -9,15 +9,26 @@
 // in presentation order (a few seconds: the corpus is debloated once and
 // reused across figures). Flags must precede targets.
 //
+// When the full target set runs, the corpus is debloated up front on
+// -workers goroutines (default: GOMAXPROCS). Parallelism and the shared
+// import-memoization caches only change real wall-clock time: the rendered
+// tables, traces, and metrics are byte-identical to a sequential, uncached
+// run (see DESIGN.md §9). -memo=false disables memoization, e.g. to verify
+// that invariant or to profile the uncached pipeline.
+//
 // With -trace/-events/-metrics, the run records deterministic telemetry
 // over simulated time and writes it to the given files (Chrome trace-event
-// JSON, JSONL event log, and a metrics snapshot respectively).
+// JSON, JSONL event log, and a metrics snapshot respectively). With
+// -cpuprofile/-memprofile, real-clock pprof profiles of the run itself are
+// written (go tool pprof).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"repro/internal/experiments"
@@ -61,10 +72,18 @@ func targetNames() []string {
 }
 
 func main() {
+	os.Exit(run())
+}
+
+func run() int {
 	list := flag.Bool("list", false, "list experiment targets and exit")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "worker goroutines for the up-front corpus debloat (full runs only)")
+	memo := flag.Bool("memo", true, "memoize module imports across oracle runs (off: re-interpret everything; output is identical either way)")
 	trace := flag.String("trace", "", "write a Chrome trace-event JSON file of the run")
 	events := flag.String("events", "", "write the JSONL event log of the run")
 	metrics := flag.String("metrics", "", "write a JSON metrics snapshot of the run")
+	cpuprofile := flag.String("cpuprofile", "", "write a real-clock CPU profile of the run to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile (post-GC) at exit to this file")
 	flag.Parse()
 
 	if *list {
@@ -72,11 +91,42 @@ func main() {
 		for _, d := range drivers {
 			fmt.Printf("  %-12s %s\n", d.name, d.desc)
 		}
-		return
+		return 0
+	}
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+			}
+		}()
 	}
 
 	targets := flag.Args()
-	if len(targets) == 0 || (len(targets) == 1 && targets[0] == "all") {
+	full := len(targets) == 0 || (len(targets) == 1 && targets[0] == "all")
+	if full {
 		targets = targetNames()
 	}
 
@@ -86,6 +136,16 @@ func main() {
 	}
 	suite := experiments.NewSuite()
 	suite.Platform.Tracer = tr
+	suite.DisableMemo = !*memo
+
+	// A full run needs every app debloated anyway, so prime the result
+	// cache on the worker pool before the (sequential) drivers render.
+	if full {
+		if err := suite.DebloatAll(*workers); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+	}
 
 	byName := make(map[string]func(*experiments.Suite) (renderer, error), len(drivers))
 	for _, d := range drivers {
@@ -96,12 +156,12 @@ func main() {
 		if !ok {
 			fmt.Fprintf(os.Stderr, "unknown target %q; known: %s\n",
 				target, strings.Join(append(targetNames(), "all"), " "))
-			os.Exit(2)
+			return 2
 		}
 		res, err := driver(suite)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", target, err)
-			os.Exit(1)
+			return 1
 		}
 		fmt.Println(res.Render())
 	}
@@ -109,7 +169,8 @@ func main() {
 	if tr != nil {
 		if err := tr.WriteFiles(*trace, *events, *metrics); err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return 1
 		}
 	}
+	return 0
 }

@@ -5,8 +5,14 @@
 // Usage:
 //
 //	lambdatrim <app> [-k N] [-scoring combined|time|memory|random] [-granularity attr|stmt]
+//	lambdatrim -all [-workers N]
 //	lambdatrim -dir path/to/app [-out path/to/optimized] ...
 //	lambdatrim -list
+//
+// With -all, every corpus application is debloated under the default
+// configuration on a bounded worker pool (-workers, default GOMAXPROCS) and
+// a before/after cold-start summary table is printed. Parallelism only
+// changes wall-clock time; all simulated results are schedule-independent.
 //
 // With -dir, the application is loaded from a real directory (handler.py +
 // site-packages/ + oracle.json, the paper's input format); -out exports the
@@ -29,6 +35,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 
 	"repro/internal/appcorpus"
@@ -47,7 +54,8 @@ func main() {
 	k := fs.Int("k", 20, "number of top-ranked modules to debloat")
 	scoring := fs.String("scoring", "combined", "profiler scoring: combined|time|memory|random")
 	granularity := fs.String("granularity", "attr", "DD granularity: attr|stmt")
-	workers := fs.Int("workers", 1, "concurrent oracle evaluations per DD round")
+	workers := fs.Int("workers", 1, "concurrent oracle evaluations per DD round (with -all: corpus worker pool, default GOMAXPROCS)")
+	all := fs.Bool("all", false, "debloat the entire corpus in parallel and print a summary table")
 	dir := fs.String("dir", "", "load the application from this directory instead of the corpus")
 	out := fs.String("out", "", "export the optimized image to this directory")
 	tune := fs.Bool("tune", false, "power-tune memory configurations before and after debloating")
@@ -66,6 +74,31 @@ func main() {
 		args = args[1:]
 	}
 	fs.Parse(args)
+
+	if *all {
+		corpusWorkers := runtime.GOMAXPROCS(0)
+		fs.Visit(func(f *flag.Flag) {
+			if f.Name == "workers" {
+				corpusWorkers = *workers
+			}
+		})
+		var tr *obs.Tracer
+		if *trace != "" || *events != "" || *metrics != "" || *traceSummary {
+			tr = obs.New()
+		}
+		code := runCorpus(corpusWorkers, tr)
+		if tr != nil && code == 0 {
+			if *traceSummary {
+				fmt.Println()
+				fmt.Print(tr.Summary())
+			}
+			if err := tr.WriteFiles(*trace, *events, *metrics); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				code = 1
+			}
+		}
+		os.Exit(code)
+	}
 
 	if *list || (appName == "" && *dir == "") {
 		fmt.Println("corpus applications:")
@@ -228,4 +261,43 @@ func main() {
 			os.Exit(1)
 		}
 	}
+}
+
+// runCorpus is the -all mode: debloat the whole corpus on a worker pool and
+// print a before/after cold-start summary in Table 1 order.
+func runCorpus(workers int, tr *obs.Tracer) int {
+	suite := experiments.NewSuite()
+	suite.Platform.Tracer = tr
+
+	fmt.Printf("λ-trim: debloating the full corpus (%d workers, default configuration)\n\n", workers)
+	if err := suite.DebloatAll(workers); err != nil {
+		fmt.Fprintf(os.Stderr, "corpus debloat: %v\n", err)
+		return 1
+	}
+
+	fmt.Printf("%-18s %9s %9s %10s %10s %9s %9s\n",
+		"Application", "Init", "→Init", "ColdE2E", "→ColdE2E", "Mem(MB)", "→Mem(MB)")
+	for _, name := range experiments.AllNames() {
+		res, err := suite.Debloat(name)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+			return 1
+		}
+		before, err := faas.MeasureColdStart(res.Original, suite.Platform)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "measuring %s original: %v\n", name, err)
+			return 1
+		}
+		after, err := faas.MeasureColdStart(res.App, suite.Platform)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "measuring %s optimized: %v\n", name, err)
+			return 1
+		}
+		fmt.Printf("%-18s %8.2fs %8.2fs %9.2fs %9.2fs %9.1f %9.1f\n",
+			name,
+			before.Init.Seconds(), after.Init.Seconds(),
+			before.E2E.Seconds(), after.E2E.Seconds(),
+			before.PeakMB, after.PeakMB)
+	}
+	return 0
 }

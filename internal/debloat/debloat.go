@@ -41,6 +41,20 @@ type Config struct {
 	// materialize → verify. Nil disables tracing with no behavioral
 	// change.
 	Tracer *obs.Tracer
+	// Snapshots, when non-nil, is a shared content-addressed import
+	// snapshot cache: oracle runs replay the recorded virtual cost and
+	// namespace of untouched modules instead of re-interpreting them.
+	// When nil (and DisableMemo is false) the run uses a private cache, so
+	// memoization is on by default. Caching never changes any simulated
+	// observable — virtual clocks, Stats, traces and results are
+	// byte-identical with it on or off (DESIGN.md §9).
+	Snapshots *pyruntime.SnapshotCache
+	// ASTCache, when non-nil, shares a parse cache across runs (the suite
+	// passes one cache for the whole corpus); nil uses a private cache.
+	ASTCache *pyruntime.ASTCache
+	// DisableMemo turns snapshot memoization off entirely (the uncached
+	// arm of the golden determinism test and of the memo benchmarks).
+	DisableMemo bool
 }
 
 // DefaultConfig mirrors the paper's evaluation settings (§8: "we use K = 20
@@ -101,6 +115,17 @@ func Run(app *appspec.App, cfg Config) (*Result, error) {
 	if cfg.K <= 0 {
 		cfg.K = 20
 	}
+	snap := cfg.Snapshots
+	if cfg.DisableMemo {
+		snap = nil
+	} else if snap == nil {
+		snap = pyruntime.NewSnapshotCache()
+	}
+	astc := cfg.ASTCache
+	if astc == nil {
+		astc = pyruntime.NewASTCache()
+	}
+	memoBefore := snap.Stats()
 	tr := cfg.Tracer
 	root := tr.Start("debloat "+app.Name, "pipeline", 0)
 
@@ -123,7 +148,7 @@ func Run(app *appspec.App, cfg Config) (*Result, error) {
 
 	// Everything downstream of profiling rides the runner's virtual
 	// clock, offset by the profiling time already spent.
-	run, err := newTracedRunner(app, tr, prof.TotalTime)
+	run, err := newTracedRunner(app, tr, prof.TotalTime, snap, astc)
 	if err != nil {
 		tr.End(root, prof.TotalTime)
 		return nil, err
@@ -156,7 +181,7 @@ func Run(app *appspec.App, cfg Config) (*Result, error) {
 		if !ok {
 			continue
 		}
-		optimized.Image.Write(path, pylang.Print(ast))
+		optimized.Image.Write(path, pylang.PrintCached(ast))
 	}
 	if tr != nil {
 		tr.StartChild(root, "materialize", "pipeline", matAt).
@@ -169,8 +194,10 @@ func Run(app *appspec.App, cfg Config) (*Result, error) {
 	res.OracleRuns = run.runs
 
 	// Final safety check: the optimized image (parsed from the printed
-	// source, not the in-memory ASTs) must still pass the oracle.
-	final, err := newRunner(optimized)
+	// source, not the in-memory ASTs) must still pass the oracle. The
+	// caches are shared: the rewritten modules hash to new keys while the
+	// untouched library chain still replays.
+	final, err := newTracedRunner(optimized, nil, 0, snap, astc)
 	if err != nil {
 		tr.End(root, matAt)
 		return nil, fmt.Errorf("debloat: optimized app fails verification: %w", err)
@@ -193,6 +220,14 @@ func Run(app *appspec.App, cfg Config) (*Result, error) {
 		)
 		tr.End(root, matAt+final.virtual)
 		tr.Metrics().Inc("debloat.runs", 1)
+		if snap != nil {
+			// Real-clock observability only. With a suite-shared cache and
+			// parallel scheduling these deltas are schedule-dependent; they
+			// are excluded from the byte-identity invariant (DESIGN.md §9).
+			memoAfter := snap.Stats()
+			tr.Metrics().Inc("memo.snapshot.hits", memoAfter.Hits-memoBefore.Hits)
+			tr.Metrics().Inc("memo.snapshot.misses", memoAfter.Misses-memoBefore.Misses)
+		}
 	}
 	return res, nil
 }
@@ -367,6 +402,9 @@ func debloatModuleStmts(run *runner, name string, ast *pylang.Module, candidates
 func loadAttrs(run *runner, name string) ([]string, bool) {
 	in := pyruntime.New(run.app.Image)
 	in.SetASTCache(run.astCache)
+	if run.snap != nil {
+		in.SetSnapshots(run.snap)
+	}
 	for n, ast := range run.overrides {
 		in.SetOverride(n, ast)
 	}

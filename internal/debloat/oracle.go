@@ -32,6 +32,7 @@ type goldenRecord struct {
 type runner struct {
 	app       *appspec.App
 	astCache  *pyruntime.ASTCache
+	snap      *pyruntime.SnapshotCache // nil disables import memoization
 	overrides map[string]*pylang.Module
 	golden    []goldenRecord
 
@@ -75,15 +76,22 @@ func (r *runner) nowVirtual() time.Duration {
 
 // newRunner records the golden behaviour of the unmodified application.
 func newRunner(app *appspec.App) (*runner, error) {
-	return newTracedRunner(app, nil, 0)
+	return newTracedRunner(app, nil, 0, nil, nil)
 }
 
 // newTracedRunner is newRunner on the pipeline timeline: the golden runs
-// it performs are already metered into tr's registry.
-func newTracedRunner(app *appspec.App, tr *obs.Tracer, base time.Duration) (*runner, error) {
+// it performs are already metered into tr's registry. snap and astc are the
+// (possibly suite-shared) snapshot and parse caches; a nil snap disables
+// import memoization and a nil astc falls back to a private parse cache.
+// Neither cache affects any simulated observable — see DESIGN.md §9.
+func newTracedRunner(app *appspec.App, tr *obs.Tracer, base time.Duration, snap *pyruntime.SnapshotCache, astc *pyruntime.ASTCache) (*runner, error) {
+	if astc == nil {
+		astc = pyruntime.NewASTCache()
+	}
 	r := &runner{
 		app:       app,
-		astCache:  pyruntime.NewASTCache(),
+		astCache:  astc,
+		snap:      snap,
 		overrides: make(map[string]*pylang.Module),
 		tr:        tr,
 		base:      base,
@@ -135,11 +143,18 @@ func (r *runner) test(extraName string, extraAST *pylang.Module) bool {
 func (r *runner) execute(tc appspec.TestCase, extraName string, extraAST *pylang.Module) (goldenRecord, bool, time.Duration) {
 	in := pyruntime.New(r.app.Image)
 	in.SetASTCache(r.astCache)
+	if r.snap != nil {
+		in.SetSnapshots(r.snap)
+	}
 	for name, ast := range r.overrides {
 		in.SetOverride(name, ast)
 	}
 	if extraAST != nil {
 		in.SetOverride(extraName, extraAST)
+		// The candidate overlay changes on every DD probe; recording import
+		// windows around it would only fill the snapshot cache with entries
+		// that can never validate again.
+		in.SetVolatile(extraName)
 	}
 
 	mod, perr := in.Import(r.app.Entry)

@@ -1,0 +1,179 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/debloat"
+	"repro/internal/obs"
+	"repro/internal/pyruntime"
+)
+
+// goldenRenderer matches every driver's Render method.
+type goldenRenderer interface{ Render() string }
+
+// goldenDrivers lists every table and figure, in presentation order —
+// the same set cmd/experiments renders for "all".
+var goldenDrivers = []struct {
+	name string
+	run  func(*Suite) (goldenRenderer, error)
+}{
+	{"fig1", func(s *Suite) (goldenRenderer, error) { return s.Figure1() }},
+	{"table1", func(s *Suite) (goldenRenderer, error) { return s.Table1() }},
+	{"fig2", func(s *Suite) (goldenRenderer, error) { return s.Figure2() }},
+	{"fig8", func(s *Suite) (goldenRenderer, error) { return s.Figure8() }},
+	{"table2", func(s *Suite) (goldenRenderer, error) { return s.Table2() }},
+	{"table2x", func(s *Suite) (goldenRenderer, error) { return s.Table2Ext() }},
+	{"fig9", func(s *Suite) (goldenRenderer, error) { return s.Figure9() }},
+	{"table3", func(s *Suite) (goldenRenderer, error) { return s.Table3() }},
+	{"fig10", func(s *Suite) (goldenRenderer, error) { return s.Figure10() }},
+	{"fig11", func(s *Suite) (goldenRenderer, error) { return s.Figure11() }},
+	{"fig12", func(s *Suite) (goldenRenderer, error) { return s.Figure12() }},
+	{"fig13", func(s *Suite) (goldenRenderer, error) { return s.Figure13() }},
+	{"fig14", func(s *Suite) (goldenRenderer, error) { return s.Figure14() }},
+	{"table4", func(s *Suite) (goldenRenderer, error) { return s.Table4() }},
+	{"ext-tune", func(s *Suite) (goldenRenderer, error) { return s.ExtPowerTune() }},
+	{"reliability", func(s *Suite) (goldenRenderer, error) { return s.Reliability() }},
+}
+
+func renderEverything(t *testing.T, s *Suite) string {
+	t.Helper()
+	var b strings.Builder
+	for _, d := range goldenDrivers {
+		r, err := d.run(s)
+		if err != nil {
+			t.Fatalf("%s: %v", d.name, err)
+		}
+		fmt.Fprintf(&b, "== %s ==\n%s\n", d.name, r.Render())
+	}
+	return b.String()
+}
+
+// stripMemoCounters drops the memo.snapshot.* counter lines from a trace
+// summary: with a shared cache and a worker pool, which run hits and which
+// misses is schedule-dependent (the documented carve-out in DESIGN.md §9).
+// Everything else in the summary must match byte for byte.
+func stripMemoCounters(s string) string {
+	lines := strings.Split(s, "\n")
+	out := lines[:0]
+	for _, l := range lines {
+		if strings.Contains(l, "memo.snapshot.") {
+			continue
+		}
+		out = append(out, l)
+	}
+	return strings.Join(out, "\n")
+}
+
+// resultSummary flattens a debloat result's observables for comparison.
+func resultSummary(r *debloat.Result) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "oracle_runs=%d debloat_time=%s removed=%d\n",
+		r.OracleRuns, r.DebloatTime, r.TotalRemoved())
+	for _, m := range r.Modules {
+		fmt.Fprintf(&b, "  %s %d->%d removed=%v dd_tests=%d skipped=%q\n",
+			m.Module, m.AttrsBefore, m.AttrsAfter, m.Removed, m.DD.Tests, m.Skipped)
+	}
+	return b.String()
+}
+
+func firstDiff(a, b string) string {
+	al, bl := strings.Split(a, "\n"), strings.Split(b, "\n")
+	for i := 0; i < len(al) && i < len(bl); i++ {
+		if al[i] != bl[i] {
+			return fmt.Sprintf("line %d:\n  seq: %s\n  par: %s", i+1, al[i], bl[i])
+		}
+	}
+	return fmt.Sprintf("lengths differ: %d vs %d lines", len(al), len(bl))
+}
+
+// TestDebloatAllGoldenDeterminism is the PR's hard invariant: a suite
+// primed by DebloatAll(8) with shared memoization caches must render every
+// table and figure — and the trace summary — byte-identically to a
+// sequential, memoization-disabled run. Parallelism and caching may only
+// change real wall-clock time.
+func TestDebloatAllGoldenDeterminism(t *testing.T) {
+	if testing.Short() {
+		// Fast variant: a small corpus subset, comparing the debloat
+		// results' observables instead of every rendered figure.
+		subset := []string{"markdown", "igraph", "dna-visualization", "lightgbm"}
+		seq := NewSuite()
+		seq.DisableMemo = true
+		if err := seq.DebloatAll(1, subset...); err != nil {
+			t.Fatal(err)
+		}
+		par := NewSuite()
+		if err := par.DebloatAll(8, subset...); err != nil {
+			t.Fatal(err)
+		}
+		for _, name := range subset {
+			a, err := seq.Debloat(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := par.Debloat(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if sa, sb := resultSummary(a), resultSummary(b); sa != sb {
+				t.Errorf("%s diverged:\n%s", name, firstDiff(sa, sb))
+			}
+		}
+		return
+	}
+
+	seq := NewSuite()
+	seq.DisableMemo = true
+	seq.Platform.Tracer = obs.New()
+	if err := seq.DebloatAll(1); err != nil {
+		t.Fatal(err)
+	}
+	golden := renderEverything(t, seq)
+
+	par := NewSuite()
+	par.Platform.Tracer = obs.New()
+	if err := par.DebloatAll(8); err != nil {
+		t.Fatal(err)
+	}
+	got := renderEverything(t, par)
+
+	if golden != got {
+		t.Fatalf("rendered output diverged between sequential-uncached and parallel-memoized runs:\n%s",
+			firstDiff(golden, got))
+	}
+	gs := stripMemoCounters(seq.Platform.Tracer.Summary())
+	ps := stripMemoCounters(par.Platform.Tracer.Summary())
+	if gs != ps {
+		t.Fatalf("trace summaries diverged:\n%s", firstDiff(gs, ps))
+	}
+}
+
+// TestSnapshotCacheSharedAcrossSuites exercises one snapshot cache shared
+// by concurrent suites (the -race CI job's main target): no data races, and
+// the second wave of work reuses entries recorded by the first.
+func TestSnapshotCacheSharedAcrossSuites(t *testing.T) {
+	shared := pyruntime.NewSnapshotCache()
+	subset := []string{"markdown", "igraph"}
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s := NewSuite()
+			s.Snapshots = shared
+			if err := s.DebloatAll(4, subset...); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+	st := shared.Stats()
+	if st.Misses == 0 {
+		t.Fatalf("shared cache recorded nothing: %+v", st)
+	}
+	if st.Hits == 0 {
+		t.Fatalf("shared cache was never reused: %+v", st)
+	}
+}

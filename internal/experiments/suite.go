@@ -13,24 +13,51 @@ import (
 	"repro/internal/appspec"
 	"repro/internal/debloat"
 	"repro/internal/faas"
+	"repro/internal/obs"
+	"repro/internal/pyruntime"
 )
 
 // Suite caches corpus builds and debloating results so that regenerating
 // several figures does not re-run the (expensive) DD pipeline per figure —
 // mirroring the artifact's workflow, where the debloating experiment runs
 // once and later experiments reuse its outputs.
+//
+// Caching contract (shared by Debloat, DebloatWith, and DebloatAll):
+//
+//   - The debloat.Result cache holds default-configuration results only.
+//     Debloat fills and reads it; DebloatWith never touches it, so ablation
+//     configurations cannot pollute the figures that assume defaults.
+//   - Snapshots and ASTs are real-clock caches shared by every debloat run
+//     in the suite (both entry points, all workers). They are keyed by
+//     module content, so sharing them across differing configurations is
+//     sound, and by construction they do not affect any simulated
+//     observable — see DESIGN.md §9.
+//   - Every run records into s.Platform.Tracer unless the caller supplies
+//     its own cfg.Tracer.
 type Suite struct {
 	Platform faas.Config
+
+	// Snapshots memoizes module-import outcomes across every oracle run in
+	// the suite; ASTs shares parsed module sources. Both only change real
+	// wall-clock time. Replace or nil them before the first Debloat call if
+	// isolation is needed; DisableMemo turns snapshot replay off entirely
+	// (parsing is still cached).
+	Snapshots   *pyruntime.SnapshotCache
+	ASTs        *pyruntime.ASTCache
+	DisableMemo bool
 
 	mu        sync.Mutex
 	apps      map[string]*appspec.App
 	debloated map[string]*debloat.Result
 }
 
-// NewSuite creates a suite with the paper's default platform configuration.
+// NewSuite creates a suite with the paper's default platform configuration
+// and fresh shared caches.
 func NewSuite() *Suite {
 	return &Suite{
 		Platform:  faas.DefaultConfig(),
+		Snapshots: pyruntime.NewSnapshotCache(),
+		ASTs:      pyruntime.NewASTCache(),
 		apps:      make(map[string]*appspec.App),
 		debloated: make(map[string]*debloat.Result),
 	}
@@ -58,10 +85,7 @@ func (s *Suite) Debloat(name string) (*debloat.Result, error) {
 	}
 	s.mu.Unlock()
 
-	app := s.App(name).Clone()
-	cfg := debloat.DefaultConfig()
-	cfg.Tracer = s.Platform.Tracer
-	res, err := debloat.Run(app, cfg)
+	res, err := s.DebloatWith(name, debloat.DefaultConfig())
 	if err != nil {
 		return nil, fmt.Errorf("debloat %s: %w", name, err)
 	}
@@ -71,10 +95,108 @@ func (s *Suite) Debloat(name string) (*debloat.Result, error) {
 	return res, nil
 }
 
-// DebloatWith runs λ-trim with a custom configuration (not cached).
+// DebloatWith runs λ-trim with a custom configuration. Results are not
+// cached (see the Suite caching contract), but the run shares the suite's
+// tracer and real-clock caches: a nil cfg.Tracer inherits
+// s.Platform.Tracer, nil cfg.Snapshots/cfg.ASTCache inherit the suite
+// caches, and s.DisableMemo forces memoization off regardless of cfg.
 func (s *Suite) DebloatWith(name string, cfg debloat.Config) (*debloat.Result, error) {
 	app := s.App(name).Clone()
-	return debloat.Run(app, cfg)
+	return debloat.Run(app, s.fillConfig(cfg))
+}
+
+// fillConfig applies the suite-sharing defaults to a run configuration.
+func (s *Suite) fillConfig(cfg debloat.Config) debloat.Config {
+	if cfg.Tracer == nil {
+		cfg.Tracer = s.Platform.Tracer
+	}
+	if cfg.Snapshots == nil {
+		cfg.Snapshots = s.Snapshots
+	}
+	if cfg.ASTCache == nil {
+		cfg.ASTCache = s.ASTs
+	}
+	if s.DisableMemo {
+		cfg.DisableMemo = true
+	}
+	return cfg
+}
+
+// DebloatAll primes the default-configuration result cache for every corpus
+// app on a bounded pool of `workers` goroutines (values < 1 mean 1). Apps
+// already cached are skipped; the rest run concurrently against the shared
+// real-clock caches.
+//
+// Determinism: each worker records into a private tracer; completed traces
+// are absorbed into s.Platform.Tracer in corpus (Table 1) order, and
+// results are committed in that same order, so the cache contents, span
+// tree, event log, and every simulated observable are byte-identical to a
+// sequential Debloat loop regardless of worker count or schedule. (The
+// memo.snapshot.* counters are the one carve-out: with a shared snapshot
+// cache, which run misses and which hits depends on the schedule, though
+// their totals still describe the same work — see DESIGN.md §9.)
+//
+// On failure the error for the first failing app in corpus order is
+// returned; results and traces for apps before it are committed, those
+// after it are discarded, matching where a sequential loop would stop.
+//
+// A non-empty names list restricts priming to those apps (in the given
+// order); the default is the whole corpus.
+func (s *Suite) DebloatAll(workers int, names ...string) error {
+	if workers < 1 {
+		workers = 1
+	}
+	if len(names) == 0 {
+		names = AllNames()
+	}
+
+	var pending []int
+	s.mu.Lock()
+	for i, name := range names {
+		if _, ok := s.debloated[name]; !ok {
+			pending = append(pending, i)
+		}
+	}
+	s.mu.Unlock()
+	if len(pending) == 0 {
+		return nil
+	}
+
+	type slot struct {
+		res *debloat.Result
+		tr  *obs.Tracer
+		err error
+	}
+	slots := make([]slot, len(names))
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	for _, i := range pending {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			cfg := s.fillConfig(debloat.DefaultConfig())
+			if s.Platform.Tracer != nil {
+				slots[i].tr = obs.New()
+				cfg.Tracer = slots[i].tr
+			}
+			app := s.App(names[i]).Clone()
+			slots[i].res, slots[i].err = debloat.Run(app, cfg)
+		}(i)
+	}
+	wg.Wait()
+
+	for _, i := range pending {
+		if slots[i].err != nil {
+			return fmt.Errorf("debloat %s: %w", names[i], slots[i].err)
+		}
+		s.Platform.Tracer.Absorb(slots[i].tr)
+		s.mu.Lock()
+		s.debloated[names[i]] = slots[i].res
+		s.mu.Unlock()
+	}
+	return nil
 }
 
 // AllNames returns the corpus app names in Table 1 order.

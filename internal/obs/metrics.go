@@ -101,6 +101,35 @@ func (r *Registry) Histogram(name string) *stats.Histogram {
 	return cp
 }
 
+// Merge folds another registry into r: counters sum, gauges take o's value
+// (last-writer-wins, matching sequential SetGauge order when merges happen
+// in that order), histograms merge bucket-wise. Order-independent for
+// counters and histograms; gauge determinism relies on callers merging in a
+// fixed order. Nil-safe on both sides.
+func (r *Registry) Merge(o *Registry) {
+	if r == nil || o == nil {
+		return
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for name, v := range o.counters {
+		r.counters[name] += v
+	}
+	for name, v := range o.gauges {
+		r.gauges[name] = v
+	}
+	for name, h := range o.hists {
+		dst, ok := r.hists[name]
+		if !ok {
+			dst = stats.NewHistogram()
+			r.hists[name] = dst
+		}
+		dst.Merge(h)
+	}
+}
+
 // CounterSnapshot is one counter in a Snapshot.
 type CounterSnapshot struct {
 	Name  string `json:"name"`

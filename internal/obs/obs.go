@@ -201,6 +201,27 @@ func (t *Tracer) Emit(name string, at time.Duration, attrs ...Attr) {
 	t.events = append(t.events, Event{Name: name, Time: at, Attrs: attrs})
 }
 
+// Absorb appends another tracer's recorded roots and events onto t and
+// merges its metrics registry, preserving o's internal order. It is the
+// deterministic join point for per-worker tracers: workers record into
+// private tracers concurrently, then the scheduler absorbs them in a fixed
+// (corpus) order, producing the same trace tree as a sequential run.
+// Absorbing an open tracer (non-empty span stack) is a caller bug; the
+// spans are taken as-is. Nil-safe on both sides; o must not be used after.
+func (t *Tracer) Absorb(o *Tracer) {
+	if t == nil || o == nil {
+		return
+	}
+	o.mu.Lock()
+	roots, events, reg := o.roots, o.events, o.reg
+	o.mu.Unlock()
+	t.mu.Lock()
+	t.roots = append(t.roots, roots...)
+	t.events = append(t.events, events...)
+	t.mu.Unlock()
+	t.reg.Merge(reg)
+}
+
 // Roots returns the recorded root spans (the live slice; callers must not
 // mutate while recording continues).
 func (t *Tracer) Roots() []*Span {

@@ -1,0 +1,23 @@
+package pylang
+
+import "sync"
+
+// printCache memoizes Print by AST identity. Module ASTs are immutable once
+// built (the parser and the debloater's rewriters always construct fresh
+// trees), so a pointer is a stable identity for the printed text. The cache
+// is process-wide: the debloater prints the same override AST once per
+// fingerprint computation and once per materialization, and a sync.Map keeps
+// both lock-free on the hit path across concurrent DD goroutines.
+var printCache sync.Map // *Module -> string
+
+// PrintCached is Print memoized per AST pointer. Callers must not mutate a
+// module after printing it (the repo-wide convention: rewrites build new
+// trees).
+func PrintCached(m *Module) string {
+	if s, ok := printCache.Load(m); ok {
+		return s.(string)
+	}
+	s := Print(m)
+	printCache.Store(m, s)
+	return s
+}

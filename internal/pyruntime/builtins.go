@@ -6,6 +6,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"repro/internal/simtime"
@@ -21,7 +22,22 @@ type NativeBuf struct {
 
 func (*NativeBuf) TypeName() string { return "native_buffer" }
 
+// The builtins namespace is built once and shared by every interpreter:
+// every value in it is immutable — a BuiltinV is a name plus a stateless
+// function that receives the interpreter per call, and builtin classes
+// reject setAttr (as CPython does) — and nothing ever writes to the
+// namespace itself, so a per-interpreter copy would only burn allocations.
+var (
+	builtinsOnce   sync.Once
+	builtinsShared *Namespace
+)
+
 func (in *Interp) buildBuiltins() *Namespace {
+	builtinsOnce.Do(func() { builtinsShared = buildBuiltinFuncs() })
+	return builtinsShared
+}
+
+func buildBuiltinFuncs() *Namespace {
 	ns := NewNamespace()
 	reg := func(name string, fn func(*Interp, []Value, map[string]Value) (Value, *PyErr)) {
 		ns.Set(name, &BuiltinV{Name: name, Fn: fn})
@@ -71,8 +87,6 @@ func (in *Interp) buildBuiltins() *Namespace {
 	// remote_call journals an external side effect (S3, DB, child lambda).
 	reg("remote_call", biRemoteCall)
 
-	ns.Set("object", &ClassV{Name: "object", Dict: NewNamespace(), Module: "builtins"})
-	ns.Set("__builtins_marker__", StrV("lambda-trim-runtime"))
 	return ns
 }
 

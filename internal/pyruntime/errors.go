@@ -2,6 +2,7 @@ package pyruntime
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/pylang"
 )
@@ -74,8 +75,21 @@ var exceptionTree = [][2]string{
 	{"KeyboardInterrupt", "BaseException"},
 }
 
-// buildExceptionClasses constructs the builtin exception class objects.
+// buildExceptionClasses returns the builtin exception class objects. They
+// are built once and shared by every interpreter: builtin classes are
+// immutable (setAttr rejects them, as CPython does), so a fresh set per
+// oracle-run interpreter would only burn allocations.
+var (
+	excClassesOnce   sync.Once
+	excClassesShared map[string]*ClassV
+)
+
 func buildExceptionClasses() map[string]*ClassV {
+	excClassesOnce.Do(func() { excClassesShared = buildExceptionClassSet() })
+	return excClassesShared
+}
+
+func buildExceptionClassSet() map[string]*ClassV {
 	classes := make(map[string]*ClassV, len(exceptionTree))
 	for _, pair := range exceptionTree {
 		name, baseName := pair[0], pair[1]
@@ -84,7 +98,10 @@ func buildExceptionClasses() map[string]*ClassV {
 			base = classes[baseName]
 		}
 		classes[name] = &ClassV{
-			Name: name, Base: base, Dict: NewNamespace(),
+			// An empty Namespace (nil map, lazily allocated on first Set):
+			// exception dicts almost never gain attributes, and a fresh
+			// class set is built for every oracle-run interpreter.
+			Name: name, Base: base, Dict: &Namespace{},
 			Module: "builtins", Exception: true,
 		}
 	}

@@ -34,12 +34,14 @@ func (in *Interp) Import(dotted string) (*ModuleV, *PyErr) {
 		}
 		// Bind the submodule as an attribute of its parent package.
 		if i > 0 {
-			parent := in.modules[strings.Join(parts[:i], ".")]
+			parentName := strings.Join(parts[:i], ".")
+			parent := in.modules[parentName]
 			if parent != nil {
 				if _, exists := parent.Dict.Get(part); !exists {
 					in.Alloc.Alloc(64)
 				}
 				parent.Dict.Set(part, m)
+				in.noteBinding(parentName, part, prefix)
 			}
 		}
 		mod = m
@@ -48,8 +50,12 @@ func (in *Interp) Import(dotted string) (*ModuleV, *PyErr) {
 }
 
 // importOne loads a single fully-qualified module (all parents loaded).
+// When a snapshot cache is attached, the call is an import "window": a
+// validated cache entry replays the whole window (including nested imports)
+// without re-interpreting, and a miss records the window for later replay.
 func (in *Interp) importOne(name string) (*ModuleV, *PyErr) {
 	if m, ok := in.modules[name]; ok {
+		in.noteLoadedDep(name)
 		return m, nil
 	}
 	for _, active := range in.importStack {
@@ -62,10 +68,29 @@ func (in *Interp) importOne(name string) (*ModuleV, *PyErr) {
 		}
 	}
 
-	body, file, found := in.findModule(name)
+	src, found := in.resolveSourceCached(name)
 	if !found {
 		return nil, in.NewExc("ModuleNotFoundError", "No module named '%s'", name)
 	}
+
+	var rec *snapRecorder
+	volatile := false
+	if in.snapActive() {
+		if in.volatile[name] {
+			// Probe-specific content (see SetVolatile): execute live, record
+			// nothing, and stop the enclosing windows from capturing.
+			volatile = true
+			in.poisonOpenWindows()
+		} else {
+			fp := in.moduleFP(name, src)
+			if entry := in.snap.lookup(in, name, fp); entry != nil {
+				return in.replayEntry(entry), nil
+			}
+			rec = in.beginWindow(name, fp)
+		}
+	}
+
+	body, file := in.moduleBody(name, src)
 
 	mod := &ModuleV{Name: name, Dict: NewNamespace(), File: file}
 	in.Alloc.Alloc(SizeOf(mod))
@@ -73,6 +98,9 @@ func (in *Interp) importOne(name string) (*ModuleV, *PyErr) {
 	mod.Dict.Set("__file__", StrV(file))
 	in.modules[name] = mod
 	in.importStack = append(in.importStack, name)
+	if rec != nil {
+		in.noteCreated(name, rec.bodyFP)
+	}
 
 	for _, h := range in.hooks {
 		h.BeforeModuleExec(name)
@@ -87,6 +115,13 @@ func (in *Interp) importOne(name string) (*ModuleV, *PyErr) {
 		}
 	}
 	in.importStack = in.importStack[:len(in.importStack)-1]
+	if rec != nil {
+		in.endWindow(rec, err)
+	} else if volatile && err == nil {
+		// Publish an unmatchable state fingerprint: entries that record a
+		// dependency on this module must never validate in another run.
+		in.sfp[name] = newPoison()
+	}
 	if err != nil {
 		delete(in.modules, name)
 		return nil, err
@@ -94,13 +129,76 @@ func (in *Interp) importOne(name string) (*ModuleV, *PyErr) {
 	return mod, nil
 }
 
-// findModule resolves a dotted name to a parsed body. Overrides (debloater
-// AST overlays) take precedence; otherwise the file is located under the
-// search roots as either pkg/mod.py or pkg/mod/__init__.py.
-func (in *Interp) findModule(name string) ([]pylang.Stmt, string, bool) {
-	if ast, ok := in.overrides[name]; ok {
-		return ast.Body, "<override:" + name + ">", true
+// moduleSource is a resolved module origin: either a debloater AST override
+// or raw file source. It carries enough to fingerprint the module body
+// without parsing it.
+type moduleSource struct {
+	override *pylang.Module // non-nil for overrides
+	path     string
+	src      string // file source (empty for overrides)
+}
+
+// fsResolved is the image-level memo of a file-backed module resolution,
+// stored in the FS derived cache so every oracle-run interpreter over the
+// same image shares one search-root walk per name.
+type fsResolved struct {
+	path string
+	src  string
+	ok   bool
+}
+
+// resolveSourceCached locates a dotted name through two cache layers: the
+// per-interpreter srcCache (which also covers debloater overrides) and the
+// image-level derived cache for plain files. The importer and the snapshot
+// validator both resolve the same names many times per run, and a fresh
+// interpreter is spawned per oracle run over an unchanging image.
+func (in *Interp) resolveSourceCached(name string) (moduleSource, bool) {
+	if e, hit := in.srcCache[name]; hit {
+		return e.src, e.ok
 	}
+	var src moduleSource
+	var ok bool
+	if ast, hasOv := in.overrides[name]; hasOv {
+		src, ok = moduleSource{override: ast, path: "<override:" + name + ">"}, true
+	} else if v, hit := in.FS.DerivedGet("resolve\x00" + name); hit {
+		r := v.(fsResolved)
+		src, ok = moduleSource{path: r.path, src: r.src}, r.ok
+	} else {
+		src, ok = in.resolveFile(name)
+		in.FS.DerivedPut("resolve\x00"+name, fsResolved{path: src.path, src: src.src, ok: ok})
+	}
+	if in.srcCache == nil {
+		in.srcCache = make(map[string]srcCacheEnt)
+	}
+	in.srcCache[name] = srcCacheEnt{src: src, ok: ok}
+	return src, ok
+}
+
+// moduleFP returns the body fingerprint for a name resolved through
+// resolveSourceCached. File-backed fingerprints are memoized on the image
+// (shared by all runs); override fingerprints stay per-interpreter.
+func (in *Interp) moduleFP(name string, src moduleSource) string {
+	if e, hit := in.srcCache[name]; hit && e.fpDone {
+		return e.fp
+	}
+	var fp string
+	if src.override == nil {
+		if v, hit := in.FS.DerivedGet("modfp\x00" + name); hit {
+			fp = v.(string)
+		} else {
+			fp = in.bodyFingerprint(src)
+			in.FS.DerivedPut("modfp\x00"+name, fp)
+		}
+	} else {
+		fp = in.bodyFingerprint(src)
+	}
+	in.srcCache[name] = srcCacheEnt{src: src, ok: true, fp: fp, fpDone: true}
+	return fp
+}
+
+// resolveFile finds a name under the search roots as either pkg/mod.py or
+// pkg/mod/__init__.py. Overrides are handled by resolveSourceCached.
+func (in *Interp) resolveFile(name string) (moduleSource, bool) {
 	rel := strings.ReplaceAll(name, ".", "/")
 	for _, root := range searchRoots {
 		for _, candidate := range []string{root + rel + ".py", root + rel + "/__init__.py"} {
@@ -108,25 +206,39 @@ func (in *Interp) findModule(name string) ([]pylang.Stmt, string, bool) {
 			if err != nil {
 				continue
 			}
-			mod, perr := in.parseCached(candidate, name, src)
-			if perr != nil {
-				// Surface parse errors as a module body that raises; the
-				// importer converts it below.
-				return []pylang.Stmt{&pylang.RaiseStmt{
-					Value: &pylang.CallExpr{
-						Func: &pylang.NameExpr{Name: "ImportError"},
-						Args: []pylang.Expr{&pylang.StringLit{Value: perr.Error()}},
-					},
-				}}, candidate, true
-			}
-			return mod.Body, candidate, true
+			return moduleSource{path: candidate, src: src}, true
 		}
 	}
-	return nil, "", false
+	return moduleSource{}, false
+}
+
+// moduleBody parses a resolved source into an executable body.
+func (in *Interp) moduleBody(name string, src moduleSource) ([]pylang.Stmt, string) {
+	if src.override != nil {
+		return src.override.Body, src.path
+	}
+	mod, perr := in.parseCached(src.path, name, src.src)
+	if perr != nil {
+		// Surface parse errors as a module body that raises; the importer
+		// converts it into an ImportError.
+		return []pylang.Stmt{&pylang.RaiseStmt{
+			Value: &pylang.CallExpr{
+				Func: &pylang.NameExpr{Name: "ImportError"},
+				Args: []pylang.Expr{&pylang.StringLit{Value: perr.Error()}},
+			},
+		}}, src.path
+	}
+	return mod.Body, src.path
 }
 
 func (in *Interp) parseCached(path, name, src string) (*pylang.Module, error) {
+	// Key by content hash when the file is in the image: the cache is shared
+	// across interpreters and apps, and hashing once per image beats
+	// building (and hashing) a path+source map key on every import.
 	key := path + "\x00" + src
+	if h, ok := in.FS.ContentHash(path); ok {
+		key = path + "\x00" + h
+	}
 	if m, ok := in.astCache.Get(key); ok {
 		return m, nil
 	}

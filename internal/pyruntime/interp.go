@@ -76,6 +76,38 @@ type Interp struct {
 	idCounter int64 // id() builtin token source
 
 	importStack []string // active imports, for cycle detection
+
+	// Snapshot memoization state (see snapshot.go). snap is the shared
+	// import-window cache; recStack holds the open recording windows; sfp
+	// maps each loaded module to its state fingerprint. builtinPtrs/excPtrs
+	// lazily index per-interp singletons for symbolic capture.
+	snap        *SnapshotCache
+	recStack    []*snapRecorder
+	sfp         map[string]string
+	builtinPtrs map[Value]string
+	excPtrs     map[*ClassV]string
+
+	// srcCache memoizes resolveSource + bodyFingerprint per dotted name for
+	// this interpreter's lifetime. Sound because the image and the override
+	// set are fixed while a run executes; SetOverride invalidates its name.
+	// This keeps snapshot validation (which re-checks the fingerprint of
+	// every module a cached window created) off the filesystem/hash path.
+	srcCache map[string]srcCacheEnt
+
+	// volatile names modules whose content changes on every run (Delta
+	// Debugging candidates): the importer executes them live, skips their
+	// import window entirely, and stops enclosing windows from recording —
+	// see SetVolatile.
+	volatile map[string]bool
+}
+
+// srcCacheEnt is a memoized module resolution; fp is filled lazily on the
+// first fingerprint request (fpDone distinguishes "not yet hashed").
+type srcCacheEnt struct {
+	src    moduleSource
+	ok     bool
+	fp     string
+	fpDone bool
 }
 
 // New constructs an interpreter over the given image.
@@ -128,12 +160,42 @@ func (c *ASTCache) Put(key string, mod *pylang.Module) {
 // SetASTCache shares a parse cache across interpreter instances.
 func (in *Interp) SetASTCache(cache *ASTCache) { in.astCache = cache }
 
+// SetSnapshots shares an import-window snapshot cache across interpreter
+// instances. It must be called before the first Import: modules loaded
+// without snapshots enabled have no state fingerprint and permanently
+// invalidate windows that read them. Interpreters with import hooks ignore
+// the cache (the profiler must observe live execution).
+func (in *Interp) SetSnapshots(cache *SnapshotCache) {
+	in.snap = cache
+	if in.sfp == nil {
+		in.sfp = make(map[string]string)
+	}
+}
+
 // SetOverride installs an AST overlay for a module name: the importer
 // executes the overlay instead of parsing the module's file. The debloater
 // uses this to test candidate reductions without reprinting source on every
 // DD iteration; the accepted final reduction is still printed back to the
 // image.
-func (in *Interp) SetOverride(name string, mod *pylang.Module) { in.overrides[name] = mod }
+func (in *Interp) SetOverride(name string, mod *pylang.Module) {
+	in.overrides[name] = mod
+	delete(in.srcCache, name)
+}
+
+// SetVolatile declares a module's content as probe-specific: snapshot
+// memoization neither records nor replays its import, and any window open
+// when it executes is not captured (a cached entry referencing it could
+// never validate again, so recording it would only grow the cache with dead
+// entries). The debloater marks each Delta Debugging candidate volatile;
+// accepted reductions are stable across the remaining probes and stay
+// memoizable. Simulated observables are unaffected — the module simply
+// always executes live.
+func (in *Interp) SetVolatile(name string) {
+	if in.volatile == nil {
+		in.volatile = make(map[string]bool, 1)
+	}
+	in.volatile[name] = true
+}
 
 // AddImportHook registers a hook observing module executions.
 func (in *Interp) AddImportHook(h ImportHook) { in.hooks = append(in.hooks, h) }
@@ -593,6 +655,13 @@ func (in *Interp) bind(fr *frame, name string, v Value) {
 	if _, exists := fr.globals.Get(name); !exists {
 		in.Alloc.Alloc(64) // new namespace slot
 	}
+	if in.snap != nil {
+		// A global bind outside the module's own open import window (e.g. a
+		// cross-module `global` assignment) mutates memoized state.
+		if n := len(in.recStack); n == 0 || in.recStack[n-1].name != fr.module {
+			in.notePoisonModule(fr.module)
+		}
+	}
 	fr.globals.Set(name, v)
 }
 
@@ -668,6 +737,7 @@ func (in *Interp) deleteTarget(fr *frame, target pylang.Expr) *PyErr {
 			if !o.Dict.Delete(t.Attr) {
 				return in.NewExc("AttributeError", "module '%s' has no attribute '%s'", o.Name, t.Attr)
 			}
+			in.notePoisonModule(o.Name)
 			return nil
 		case *InstanceV:
 			if !o.Dict.Delete(t.Attr) {
@@ -1113,6 +1183,7 @@ func (in *Interp) setAttr(obj Value, name string, value Value, pos pylang.Pos) *
 		if _, exists := o.Dict.Get(name); !exists {
 			in.Alloc.Alloc(64)
 		}
+		in.notePoisonModule(o.Name)
 		o.Dict.Set(name, value)
 		return nil
 	case *InstanceV:
@@ -1122,6 +1193,12 @@ func (in *Interp) setAttr(obj Value, name string, value Value, pos pylang.Pos) *
 		o.Dict.Set(name, value)
 		return nil
 	case *ClassV:
+		// CPython forbids mutating built-in types; enforcing that here also
+		// lets all interpreters share one set of builtin class objects.
+		if o.Module == "builtins" {
+			return in.NewExc("TypeError",
+				"cannot set '%s' attribute of immutable type '%s'", name, o.Name)
+		}
 		o.Dict.Set(name, value)
 		return nil
 	}

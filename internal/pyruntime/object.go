@@ -282,15 +282,25 @@ func NewNamespace() *Namespace {
 	return &Namespace{m: make(map[string]Value)}
 }
 
+// newNamespaceSize returns an empty namespace pre-sized for n attributes;
+// snapshot replay knows the final size up front and skips the map growth.
+func newNamespaceSize(n int) *Namespace {
+	return &Namespace{m: make(map[string]Value, n)}
+}
+
 // Get looks up name.
 func (ns *Namespace) Get(name string) (Value, bool) {
 	v, ok := ns.m[name]
 	return v, ok
 }
 
-// Set binds name.
+// Set binds name. The map is allocated lazily so namespaces that stay empty
+// (most builtin exception class dicts) cost a single small allocation.
 func (ns *Namespace) Set(name string, v Value) {
 	if _, ok := ns.m[name]; !ok {
+		if ns.m == nil {
+			ns.m = make(map[string]Value, 4)
+		}
 		ns.order = append(ns.order, name)
 	}
 	ns.m[name] = v

@@ -1,0 +1,273 @@
+package pyruntime
+
+import (
+	"testing"
+
+	"repro/internal/vfs"
+)
+
+// snapTestImage builds a small app image exercising functions, classes,
+// closures, containers, aliasing, nested imports, cyclic imports, id(),
+// native buffers and remote calls at import time.
+func snapTestImage() *vfs.FS {
+	fs := vfs.New()
+	fs.Write("site-packages/libA/__init__.py", `
+import libA.core
+from libA.core import helper, CONFIG
+VERSION = "1.2"
+registry = [helper, CONFIG]
+print("libA ready")
+`)
+	fs.Write("site-packages/libA/core.py", `
+load_native(5, 12.5)
+CONFIG = {"mode": "fast", "level": 3}
+def helper(x):
+    return x * 2
+class Engine:
+    def __init__(self, n):
+        self.n = n
+    def run(self):
+        return helper(self.n)
+default_engine = Engine(7)
+token = id(CONFIG)
+buf = native_alloc(2.5)
+r = range(4)
+`)
+	fs.Write("site-packages/libB.py", `
+from libA import helper, CONFIG
+import libA.core
+alias = CONFIG
+def wrapped(x):
+    return helper(x) + 1
+remote_call("s3", "get", "cfg")
+`)
+	fs.Write("app.py", `
+import libB
+from libA.core import default_engine
+def handler(event, ctx):
+    same = libB.alias is libB.CONFIG
+    return [libB.wrapped(event), default_engine.run(), same]
+`)
+	return fs
+}
+
+type snapRunResult struct {
+	out     string
+	clock   int64
+	remote  []RemoteCall
+	fuel    int64
+	idCount int64
+	result  string
+}
+
+func snapRun(t *testing.T, fs *vfs.FS, snap *SnapshotCache) snapRunResult {
+	t.Helper()
+	in := New(fs)
+	if snap != nil {
+		in.SetSnapshots(snap)
+	}
+	mod, err := in.Import("app")
+	if err != nil {
+		t.Fatalf("import app: %v", err)
+	}
+	h, _ := mod.Dict.Get("handler")
+	res, err := in.CallFunction(h, []Value{IntV(10), None})
+	if err != nil {
+		t.Fatalf("handler: %v", err)
+	}
+	return snapRunResult{
+		out:     in.OutputString(),
+		clock:   int64(in.Clock.Now()),
+		remote:  in.RemoteLog,
+		fuel:    in.fuel,
+		idCount: in.idCounter,
+		result:  Repr(res),
+	}
+}
+
+func assertSameRun(t *testing.T, want, got snapRunResult, label string) {
+	t.Helper()
+	if got.out != want.out {
+		t.Errorf("%s: stdout diverged: %q vs %q", label, got.out, want.out)
+	}
+	if got.clock != want.clock {
+		t.Errorf("%s: clock diverged: %d vs %d", label, got.clock, want.clock)
+	}
+	if got.fuel != want.fuel {
+		t.Errorf("%s: fuel diverged: %d vs %d", label, got.fuel, want.fuel)
+	}
+	if got.idCount != want.idCount {
+		t.Errorf("%s: id counter diverged: %d vs %d", label, got.idCount, want.idCount)
+	}
+	if got.result != want.result {
+		t.Errorf("%s: result diverged: %s vs %s", label, got.result, want.result)
+	}
+	if len(got.remote) != len(want.remote) {
+		t.Fatalf("%s: remote journal length diverged: %d vs %d", label, len(got.remote), len(want.remote))
+	}
+	for i := range got.remote {
+		if got.remote[i] != want.remote[i] {
+			t.Errorf("%s: remote[%d] diverged: %+v vs %+v", label, i, got.remote[i], want.remote[i])
+		}
+	}
+}
+
+// TestSnapshotReplayByteIdentical is the core invariant: replaying memoized
+// import windows must reproduce every simulated observable exactly.
+func TestSnapshotReplayByteIdentical(t *testing.T) {
+	fs := snapTestImage()
+	baseline := snapRun(t, fs, nil)
+
+	snap := NewSnapshotCache()
+	first := snapRun(t, fs, snap) // records
+	assertSameRun(t, baseline, first, "recording run")
+	if s := snap.Stats(); s.Hits != 0 || s.Misses == 0 {
+		t.Fatalf("recording run: unexpected stats %+v", s)
+	}
+
+	second := snapRun(t, fs, snap) // replays
+	assertSameRun(t, baseline, second, "replay run")
+	if s := snap.Stats(); s.Hits == 0 {
+		t.Fatalf("replay run produced no cache hits: %+v", s)
+	}
+}
+
+// TestSnapshotReplayedNamespaceIsFresh: replayed module state must be a
+// fresh clone per interpreter — mutations in one run must not leak into the
+// next replay.
+func TestSnapshotReplayedNamespaceIsFresh(t *testing.T) {
+	fs := vfs.New()
+	fs.Write("site-packages/state.py", "items = [1, 2]\n")
+	fs.Write("app.py", `
+import state
+def handler(event, ctx):
+    state.items.append(event)
+    return len(state.items)
+`)
+	snap := NewSnapshotCache()
+	for i := 0; i < 3; i++ {
+		in := New(fs)
+		in.SetSnapshots(snap)
+		mod, err := in.Import("app")
+		if err != nil {
+			t.Fatalf("run %d: %v", i, err)
+		}
+		h, _ := mod.Dict.Get("handler")
+		res, err := in.CallFunction(h, []Value{IntV(int64(i)), None})
+		if err != nil {
+			t.Fatalf("run %d handler: %v", i, err)
+		}
+		if Repr(res) != "3" {
+			t.Fatalf("run %d: handler mutation leaked across replays: got %s", i, Repr(res))
+		}
+	}
+}
+
+// TestSnapshotInvalidatedByOverride: changing one module's source must force
+// re-execution of windows that depend on it, while untouched leaf windows
+// still replay.
+func TestSnapshotInvalidatedByOverride(t *testing.T) {
+	fs := snapTestImage()
+	snap := NewSnapshotCache()
+	snapRun(t, fs, snap)
+
+	// Same cache, mutated libB source: libB (and app, which imports it)
+	// must re-execute; the libA chain must still replay.
+	fs2 := snapTestImage()
+	fs2.Write("site-packages/libB.py", `
+from libA import helper
+def wrapped(x):
+    return helper(x) + 100
+alias = None
+CONFIG = None
+`)
+	in := New(fs2)
+	in.SetSnapshots(snap)
+	mod, err := in.Import("app")
+	if err != nil {
+		t.Fatalf("import: %v", err)
+	}
+	h, _ := mod.Dict.Get("handler")
+	res, err := in.CallFunction(h, []Value{IntV(1), None})
+	if err != nil {
+		t.Fatalf("handler: %v", err)
+	}
+	lst, ok := res.(*ListV)
+	if !ok || Repr(lst.Elems[0]) != "102" {
+		t.Fatalf("modified libB not re-executed: %s", Repr(res))
+	}
+	if s := snap.Stats(); s.Hits == 0 {
+		t.Fatalf("untouched libA chain should have replayed: %+v", s)
+	}
+}
+
+// TestSnapshotCyclicImports: modules with an import cycle still record and
+// replay correctly when the cycle is contained in one window.
+func TestSnapshotCyclicImports(t *testing.T) {
+	fs := vfs.New()
+	fs.Write("site-packages/cyca.py", `
+import cycb
+A = 1
+def fa():
+    return cycb.B
+`)
+	fs.Write("site-packages/cycb.py", `
+import cyca
+B = 2
+`)
+	fs.Write("app.py", `
+import cyca
+def handler(event, ctx):
+    return cyca.fa() + cyca.A
+`)
+	var want string
+	snap := NewSnapshotCache()
+	for i := 0; i < 2; i++ {
+		in := New(fs)
+		in.SetSnapshots(snap)
+		mod, err := in.Import("app")
+		if err != nil {
+			t.Fatalf("run %d: %v", i, err)
+		}
+		h, _ := mod.Dict.Get("handler")
+		res, err := in.CallFunction(h, []Value{None, None})
+		if err != nil {
+			t.Fatalf("run %d handler: %v", i, err)
+		}
+		if i == 0 {
+			want = Repr(res)
+		} else if Repr(res) != want {
+			t.Fatalf("cyclic replay diverged: %s vs %s", Repr(res), want)
+		}
+	}
+	if s := snap.Stats(); s.Hits == 0 {
+		t.Fatalf("second run should replay: %+v", s)
+	}
+}
+
+// TestSnapshotProfilerHooksBypass: interpreters with import hooks must not
+// record or replay (the profiler needs live execution).
+func TestSnapshotProfilerHooksBypass(t *testing.T) {
+	fs := snapTestImage()
+	snap := NewSnapshotCache()
+	snapRun(t, fs, snap) // warm the cache
+
+	before := snap.Stats()
+	in := New(fs)
+	in.SetSnapshots(snap)
+	seen := 0
+	in.AddImportHook(hookFunc{
+		before: func(string) { seen++ },
+		after:  func(string, error) {},
+	})
+	if _, err := in.Import("app"); err != nil {
+		t.Fatalf("import: %v", err)
+	}
+	if seen == 0 {
+		t.Fatal("hooks did not observe module executions")
+	}
+	after := snap.Stats()
+	if after.Hits != before.Hits {
+		t.Fatalf("hooked interpreter consumed cache hits: %+v vs %+v", after, before)
+	}
+}
