@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check fmt vet build test bench bench-smoke race experiments
+.PHONY: check fmt vet build test bench bench-smoke race experiments monitor-smoke
 
 ## race: the race-detector sweep CI runs on the concurrency-bearing
 ## packages (parallel DD, the corpus scheduler, the shared snapshot cache)
@@ -34,6 +34,29 @@ bench:
 # bench-smoke: one fast iteration of the cheap benchmarks (CI).
 bench-smoke:
 	$(GO) test -short -bench . -benchtime 1x -run xxx .
+
+# monitor-smoke: golden-output check of the monitored replay — the same
+# seeded driver must render byte-identically across two fresh processes,
+# and the telemetry exporters must produce the same artifact bytes.
+MONITOR_SMOKE_DIR ?= monitor-smoke-out
+monitor-smoke:
+	@mkdir -p $(MONITOR_SMOKE_DIR)
+	$(GO) run ./cmd/experiments -trace $(MONITOR_SMOKE_DIR)/trace.json \
+		-metrics $(MONITOR_SMOKE_DIR)/metrics.json \
+		-flame $(MONITOR_SMOKE_DIR)/flame.folded \
+		-openmetrics $(MONITOR_SMOKE_DIR)/openmetrics.txt \
+		monitor > $(MONITOR_SMOKE_DIR)/monitor.txt
+	$(GO) run ./cmd/experiments -trace $(MONITOR_SMOKE_DIR)/trace2.json \
+		-metrics $(MONITOR_SMOKE_DIR)/metrics2.json \
+		-flame $(MONITOR_SMOKE_DIR)/flame2.folded \
+		-openmetrics $(MONITOR_SMOKE_DIR)/openmetrics2.txt \
+		monitor > $(MONITOR_SMOKE_DIR)/monitor2.txt
+	cmp $(MONITOR_SMOKE_DIR)/monitor.txt $(MONITOR_SMOKE_DIR)/monitor2.txt
+	cmp $(MONITOR_SMOKE_DIR)/trace.json $(MONITOR_SMOKE_DIR)/trace2.json
+	cmp $(MONITOR_SMOKE_DIR)/metrics.json $(MONITOR_SMOKE_DIR)/metrics2.json
+	cmp $(MONITOR_SMOKE_DIR)/flame.folded $(MONITOR_SMOKE_DIR)/flame2.folded
+	cmp $(MONITOR_SMOKE_DIR)/openmetrics.txt $(MONITOR_SMOKE_DIR)/openmetrics2.txt
+	@echo "monitor-smoke: byte-identical across runs"
 
 experiments:
 	$(GO) run ./cmd/experiments

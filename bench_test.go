@@ -18,11 +18,13 @@ import (
 	"runtime"
 	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/appcorpus"
 	"repro/internal/debloat"
 	"repro/internal/experiments"
 	"repro/internal/faas"
+	"repro/internal/obs/monitor"
 	"repro/internal/profiler"
 )
 
@@ -475,6 +477,61 @@ func BenchmarkTable2Ext_MeasuredBaselines(b *testing.B) {
 		if _, err := s.Table2Ext(); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkMonitor_ReplayOverhead contrasts the same seeded replay with
+// monitoring off (nil *Monitor, the default) and on (TSDB + three SLOs +
+// ledger + dashboard). The off arm is the baseline throughput; the on arm's
+// ns/op ratio against it is the monitoring overhead, which should stay in
+// the low single-digit percent. Output correctness is asserted elsewhere:
+// monitor-off replays are byte-identical to pre-monitor main
+// (TestMonitorDoesNotPerturbReplay) and monitor-on artifacts are seed-
+// deterministic (TestMonitorGoldenDeterminism).
+func BenchmarkMonitor_ReplayOverhead(b *testing.B) {
+	s := suite(b)
+	res, err := s.Debloat("lightgbm")
+	if err != nil {
+		b.Fatal(err)
+	}
+	event := res.Original.Oracle[0].Event
+	slos, err := monitor.ParseSLOs("p95=900ms,err=2%,costinv=9e-7")
+	if err != nil {
+		b.Fatal(err)
+	}
+	const requests = 200
+	replay := func(mon *monitor.Monitor) {
+		cfg := s.Platform
+		cfg.Monitor = mon
+		p := faas.New(cfg)
+		p.Deploy(res.Original)
+		for i := 0; i < requests; i++ {
+			if _, err := p.Invoke(res.Original.Name, event); err != nil {
+				b.Fatal(err)
+			}
+			p.Advance(time.Duration(i%5) * time.Second)
+		}
+		mon.Finish()
+	}
+	for _, arm := range []struct {
+		name string
+		mon  func() *monitor.Monitor
+	}{
+		{"off", func() *monitor.Monitor { return nil }},
+		{"on", func() *monitor.Monitor {
+			return monitor.New(monitor.Config{
+				Resolution:     5 * time.Second,
+				SLOs:           slos,
+				DashboardEvery: 30 * time.Second,
+			})
+		}},
+	} {
+		b.Run(arm.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				replay(arm.mon())
+			}
+			b.ReportMetric(requests, "invocations/op")
+		})
 	}
 }
 

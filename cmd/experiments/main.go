@@ -61,6 +61,7 @@ var drivers = []struct {
 	{"table4", "SnapStart comparison", func(s *experiments.Suite) (renderer, error) { return s.Table4() }},
 	{"ext-tune", "power-tuning extension", func(s *experiments.Suite) (renderer, error) { return s.ExtPowerTune() }},
 	{"reliability", "faulted replay comparison", func(s *experiments.Suite) (renderer, error) { return s.Reliability() }},
+	{"monitor", "SLO-monitored replay comparison", func(s *experiments.Suite) (renderer, error) { return s.Monitor() }},
 }
 
 func targetNames() []string {
@@ -82,6 +83,8 @@ func run() int {
 	trace := flag.String("trace", "", "write a Chrome trace-event JSON file of the run")
 	events := flag.String("events", "", "write the JSONL event log of the run")
 	metrics := flag.String("metrics", "", "write a JSON metrics snapshot of the run")
+	flame := flag.String("flame", "", "write a folded-stack flamegraph of the run (speedscope/flamegraph.pl)")
+	openmetrics := flag.String("openmetrics", "", "write an OpenMetrics text exposition of the run's metrics")
 	cpuprofile := flag.String("cpuprofile", "", "write a real-clock CPU profile of the run to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile (post-GC) at exit to this file")
 	flag.Parse()
@@ -131,7 +134,7 @@ func run() int {
 	}
 
 	var tr *obs.Tracer
-	if *trace != "" || *events != "" || *metrics != "" {
+	if *trace != "" || *events != "" || *metrics != "" || *flame != "" || *openmetrics != "" {
 		tr = obs.New()
 	}
 	suite := experiments.NewSuite()
@@ -167,7 +170,7 @@ func run() int {
 	}
 
 	if tr != nil {
-		if err := tr.WriteFiles(*trace, *events, *metrics); err != nil {
+		if err := tr.WriteFiles(*trace, *events, *metrics, *flame, *openmetrics); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			return 1
 		}

@@ -45,6 +45,7 @@ import (
 	"repro/internal/faas"
 	"repro/internal/imageio"
 	"repro/internal/obs"
+	"repro/internal/obs/monitor"
 	"repro/internal/powertune"
 	"repro/internal/profiler"
 )
@@ -60,11 +61,15 @@ func main() {
 	out := fs.String("out", "", "export the optimized image to this directory")
 	tune := fs.Bool("tune", false, "power-tune memory configurations before and after debloating")
 	faults := fs.Bool("faults", false, "replay a faulted trace workload comparing original, debloated, and fallback deployments")
-	faultSeed := fs.Int64("fault-seed", 7, "seed for the trace generator and fault injector (with -faults)")
+	faultSeed := fs.Int64("fault-seed", 7, "seed for the trace generator and fault injector (with -faults/-monitor)")
+	monitorFlag := fs.Bool("monitor", false, "replay a seeded trace workload under SLO burn-rate monitoring, original vs debloated")
+	slo := fs.String("slo", "", "comma-separated SLO spec for -monitor, e.g. p95=800ms,err=2%,costinv=2e-7 (default: thresholds derived from cold-start probes)")
 	list := fs.Bool("list", false, "list corpus applications and exit")
 	trace := fs.String("trace", "", "write a Chrome trace-event JSON file of the run (pipeline + platform spans over sim-time)")
 	events := fs.String("events", "", "write the JSONL event log of the run")
 	metrics := fs.String("metrics", "", "write a JSON metrics snapshot of the run")
+	flame := fs.String("flame", "", "write a folded-stack flamegraph of the run (speedscope/flamegraph.pl)")
+	openmetrics := fs.String("openmetrics", "", "write an OpenMetrics text exposition of the run's metrics")
 	traceSummary := fs.Bool("trace-summary", false, "print a text digest of the recorded trace (top spans, phase percentiles)")
 
 	args := os.Args[1:]
@@ -83,7 +88,7 @@ func main() {
 			}
 		})
 		var tr *obs.Tracer
-		if *trace != "" || *events != "" || *metrics != "" || *traceSummary {
+		if *trace != "" || *events != "" || *metrics != "" || *flame != "" || *openmetrics != "" || *traceSummary {
 			tr = obs.New()
 		}
 		code := runCorpus(corpusWorkers, tr)
@@ -92,7 +97,7 @@ func main() {
 				fmt.Println()
 				fmt.Print(tr.Summary())
 			}
-			if err := tr.WriteFiles(*trace, *events, *metrics); err != nil {
+			if err := tr.WriteFiles(*trace, *events, *metrics, *flame, *openmetrics); err != nil {
 				fmt.Fprintln(os.Stderr, err)
 				code = 1
 			}
@@ -149,7 +154,7 @@ func main() {
 	// One tracer spans the whole run: the debloat pipeline on its virtual
 	// timeline, then every platform measurement on the platform clock.
 	var tr *obs.Tracer
-	if *trace != "" || *events != "" || *metrics != "" || *traceSummary {
+	if *trace != "" || *events != "" || *metrics != "" || *flame != "" || *openmetrics != "" || *traceSummary {
 		tr = obs.New()
 	}
 	cfg.Tracer = tr
@@ -243,6 +248,30 @@ func main() {
 		fmt.Print(rel.Render())
 	}
 
+	if *monitorFlag {
+		// SLO-monitored replay: the seeded trace workload against the
+		// original and debloated deployments under identical objectives,
+		// with burn-rate alerts and per-phase cost attribution.
+		mcfg := experiments.DefaultMonitorConfig()
+		mcfg.App = appName
+		mcfg.Seed = *faultSeed
+		if *slo != "" {
+			slos, err := monitor.ParseSLOs(*slo)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "parsing -slo: %v\n", err)
+				os.Exit(2)
+			}
+			mcfg.SLOs = slos
+		}
+		mon, err := experiments.MonitorCompare(res.Original, res.App, res.Profile, platform, mcfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "monitored replay: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println()
+		fmt.Print(mon.Render())
+	}
+
 	if *out != "" {
 		if err := imageio.SaveDir(res.App, *out); err != nil {
 			fmt.Fprintf(os.Stderr, "exporting optimized image: %v\n", err)
@@ -256,7 +285,7 @@ func main() {
 			fmt.Println()
 			fmt.Print(tr.Summary())
 		}
-		if err := tr.WriteFiles(*trace, *events, *metrics); err != nil {
+		if err := tr.WriteFiles(*trace, *events, *metrics, *flame, *openmetrics); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}

@@ -1,0 +1,480 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/appspec"
+	"repro/internal/faas"
+	"repro/internal/obs/monitor"
+	"repro/internal/profiler"
+	"repro/internal/trace"
+)
+
+// ---------------------------------------------------------------------------
+// Monitor — operational observability over a fleet replay (extension)
+// ---------------------------------------------------------------------------
+//
+// The cost tables answer "what does debloating save"; this experiment
+// answers "what does an operator watching the service see". It replays the
+// same seeded bursty workload against the original and the debloated
+// deployment of one app, each under a monitor with identical SLOs — a p95
+// latency objective, a per-invocation cost objective, and an error-rate
+// objective, with thresholds derived from the two deployments' probed cold
+// starts so the original burns its budget where the debloated one does
+// not. Alerts fire at deterministic virtual times via multi-window
+// burn-rate evaluation, and the cost-attribution ledger decomposes each
+// deployment's Eq.-1 bill into init / handler / idle dollars — the
+// per-phase view that explains *why* the original pages and the debloated
+// deployment stays quiet.
+//
+// A second section replays a synthetic Azure-shaped fleet through the
+// keep-alive pool simulation, feeding every served arrival to one fleet
+// monitor: cold-fraction burn alerts plus a top-spender table, showing the
+// subsystem at trace scale rather than app scale.
+
+// MonitorConfig parameterizes the monitored replay.
+type MonitorConfig struct {
+	// App is the corpus application to study.
+	App string
+	// Seed drives trace generation for both the app replay and the fleet
+	// section; a fixed seed reproduces every byte of output.
+	Seed int64
+	// MaxRequests caps the replayed arrivals.
+	MaxRequests int
+	// BurstWindow groups arrivals closer than this into one concurrent
+	// burst.
+	BurstWindow time.Duration
+	// Headroom provisions each deployment's memory at this factor over its
+	// own profiled peak.
+	Headroom float64
+	// Resolution is the monitor's TSDB window (and SLO tick) size.
+	Resolution time.Duration
+	// DashboardEvery renders a dashboard frame at this virtual interval.
+	DashboardEvery time.Duration
+	// LatencyBudget and CostBudget are the allowed bad fractions of the
+	// latency and per-invocation cost objectives; ErrorBudget the allowed
+	// failure fraction.
+	LatencyBudget, CostBudget, ErrorBudget float64
+	// SLOs, when non-empty, replaces the probe-derived objective set
+	// entirely (e.g. parsed from a -slo flag). Both deployments still
+	// share the same set.
+	SLOs []monitor.SLO
+	// Retry is the client-side retry policy for the replay.
+	Retry faas.RetryPolicy
+
+	// FleetFunctions/FleetPeriod shape the fleet trace; FleetKeepAlive the
+	// pool policy; FleetColdInit the modeled init latency of a fleet cold
+	// start; FleetColdBudget the fleet cold-fraction SLO budget.
+	FleetFunctions  int
+	FleetPeriod     time.Duration
+	FleetKeepAlive  time.Duration
+	FleetColdInit   time.Duration
+	FleetColdBudget float64
+	// FleetResolution is the fleet monitor's TSDB window size.
+	FleetResolution time.Duration
+}
+
+// DefaultMonitorConfig replays ~150 requests of the hottest seeded trace
+// function (a few minutes of virtual time, so seconds-scale windows) and a
+// two-hour sixty-function fleet.
+func DefaultMonitorConfig() MonitorConfig {
+	return MonitorConfig{
+		App:            "lightgbm",
+		Seed:           7,
+		MaxRequests:    150,
+		BurstWindow:    2 * time.Second,
+		Headroom:       1.2,
+		Resolution:     5 * time.Second,
+		DashboardEvery: 30 * time.Second,
+		LatencyBudget:  0.05,
+		CostBudget:     0.05,
+		ErrorBudget:    0.02,
+		Retry:          faas.DefaultRetryPolicy(),
+
+		FleetFunctions:  60,
+		FleetPeriod:     2 * time.Hour,
+		FleetKeepAlive:  15 * time.Minute,
+		FleetColdInit:   400 * time.Millisecond,
+		FleetColdBudget: 0.30,
+		FleetResolution: time.Minute,
+	}
+}
+
+// MonitorVariantRow is one deployment's monitored outcome.
+type MonitorVariantRow struct {
+	Deployment string
+	MemoryMB   int
+	Requests   int
+	// Phase is the ledger's cost decomposition for the deployment.
+	Phase monitor.Phase
+	// FireCounts summarizes each objective's alerting outcome.
+	FireCounts []monitor.SLOFireCount
+	// AlertLog, Dashboard, and OpenMetrics are the monitor's deterministic
+	// text artifacts.
+	AlertLog    string
+	Dashboard   string
+	OpenMetrics []byte
+}
+
+// AlertsFired sums fire transitions across objectives.
+func (r MonitorVariantRow) AlertsFired() int {
+	n := 0
+	for _, fc := range r.FireCounts {
+		n += fc.Fired
+	}
+	return n
+}
+
+// FleetFunctionRow is one fleet function's ledger summary.
+type FleetFunctionRow struct {
+	Function string
+	Phase    monitor.Phase
+}
+
+// FleetSummary is the fleet replay's outcome.
+type FleetSummary struct {
+	Functions   int
+	Invocations uint64
+	ColdStarts  uint64
+	CostUSD     float64
+	AlertsFired int
+	AlertLog    string
+	// TopSpenders are the costliest functions, largest bill first.
+	TopSpenders []FleetFunctionRow
+}
+
+// MonitorResult aggregates the monitored comparison.
+type MonitorResult struct {
+	App    string
+	Seed   int64
+	Config MonitorConfig
+	// LatencySLO and CostSLO are the probe-derived thresholds applied
+	// identically to both deployments (informational when Config.SLOs
+	// overrode the derived set).
+	LatencySLO time.Duration
+	CostSLO    float64
+	// SLOs is the objective set actually evaluated.
+	SLOs []monitor.SLO
+	Rows []MonitorVariantRow
+	// ModuleCosts attributes the original deployment's init-phase dollars
+	// to its profiled modules (largest share first).
+	ModuleCosts []monitor.ModuleCost
+	Fleet       FleetSummary
+}
+
+// Monitor runs the monitored replay with the default configuration.
+func (s *Suite) Monitor() (*MonitorResult, error) {
+	return s.MonitorWith(DefaultMonitorConfig())
+}
+
+// MonitorWith runs the monitored replay with a custom configuration,
+// reusing the suite's cached debloating result.
+func (s *Suite) MonitorWith(cfg MonitorConfig) (*MonitorResult, error) {
+	res, err := s.Debloat(cfg.App)
+	if err != nil {
+		return nil, err
+	}
+	return MonitorCompare(res.Original, res.App, res.Profile, s.Platform, cfg)
+}
+
+// MonitorCompare replays the seeded workload against the original and
+// debloated deployments of one app, each watched by a monitor with the
+// same probe-derived SLO set, then replays the synthetic fleet through the
+// keep-alive pool under a fleet monitor.
+func MonitorCompare(orig, trim *appspec.App, profile *profiler.Profile, platform faas.Config, cfg MonitorConfig) (*MonitorResult, error) {
+	origProbe, err := faas.MeasureColdStart(orig, platform)
+	if err != nil {
+		return nil, fmt.Errorf("monitor: probing original: %w", err)
+	}
+	trimProbe, err := faas.MeasureColdStart(trim, platform)
+	if err != nil {
+		return nil, fmt.Errorf("monitor: probing debloated: %w", err)
+	}
+
+	// Thresholds sit at the geometric midpoint of the two probed cold
+	// starts: the original's cold invocations violate them, the debloated
+	// one's never do — under one SLO config shared by both deployments.
+	latSLO := time.Duration(math.Sqrt(float64(origProbe.E2E) * float64(trimProbe.E2E)))
+	costSLO := math.Sqrt(origProbe.CostUSD * trimProbe.CostUSD)
+	slos := cfg.SLOs
+	if len(slos) == 0 {
+		slos = []monitor.SLO{
+			{Name: "latency-p95", Kind: monitor.KindLatency, Threshold: latSLO, Budget: cfg.LatencyBudget},
+			{Name: "cost-per-invocation", Kind: monitor.KindCostPerInvocation, BudgetUSD: costSLO, Budget: cfg.CostBudget},
+			{Name: "error-rate", Kind: monitor.KindErrorRate, Budget: cfg.ErrorBudget},
+		}
+	}
+
+	groups := burstGroups(cfg.Seed, cfg.MaxRequests, cfg.BurstWindow)
+	event := map[string]any{}
+	if len(orig.Oracle) > 0 {
+		event = orig.Oracle[0].Event
+	}
+	provision := func(app *appspec.App, peakMB float64) *appspec.App {
+		cp := app.Clone()
+		cp.MemoryMB = int(math.Ceil(peakMB * cfg.Headroom))
+		return cp
+	}
+
+	out := &MonitorResult{App: orig.Name, Seed: cfg.Seed, Config: cfg,
+		LatencySLO: latSLO, CostSLO: costSLO, SLOs: slos}
+	variants := []struct {
+		label string
+		app   *appspec.App
+		peak  float64
+	}{
+		{"original", orig, origProbe.PeakMB},
+		{"debloated", trim, trimProbe.PeakMB},
+	}
+	for _, v := range variants {
+		mon := monitor.New(monitor.Config{
+			Resolution:     cfg.Resolution,
+			SLOs:           slos,
+			DashboardEvery: cfg.DashboardEvery,
+		})
+		mcfg := platform
+		mcfg.Monitor = mon
+		p := faas.New(mcfg)
+		app := provision(v.app, v.peak)
+		p.Deploy(app)
+
+		row := MonitorVariantRow{Deployment: v.label, MemoryMB: app.MemoryMB}
+		for _, g := range groups {
+			if gap := g.start - p.Now(); gap > 0 {
+				p.Advance(gap)
+			}
+			events := make([]map[string]any, g.size)
+			for i := range events {
+				events[i] = event
+			}
+			invs, err := p.InvokeGroupWithRetry(app.Name, events, cfg.Retry)
+			if err != nil {
+				return nil, fmt.Errorf("monitor %s: %w", v.label, err)
+			}
+			row.Requests += len(invs)
+		}
+		mon.Finish()
+
+		row.Phase = mon.Ledger().Function(app.Name)
+		row.FireCounts = mon.FireCounts()
+		row.AlertLog = mon.AlertLog()
+		row.Dashboard = mon.Dashboard()
+		row.OpenMetrics = mon.OpenMetrics()
+		out.Rows = append(out.Rows, row)
+
+		if v.label == "original" && profile != nil {
+			weights := make([]monitor.ModuleWeight, 0, len(profile.Modules))
+			for _, m := range profile.Modules {
+				weights = append(weights, monitor.ModuleWeight{
+					Name:   m.Name,
+					Weight: m.ImportTime.Seconds(),
+				})
+			}
+			out.ModuleCosts = mon.Ledger().AttributeInit(app.Name, weights)
+		}
+	}
+
+	out.Fleet = replayFleet(platform.Pricing, cfg)
+	return out, nil
+}
+
+// replayFleet generates the Azure-shaped fleet trace, runs every function
+// through the keep-alive pool simulation, and feeds the served arrivals —
+// globally sorted by (time, function) — to one fleet monitor.
+func replayFleet(pricing faas.Pricing, cfg MonitorConfig) FleetSummary {
+	tr := trace.Generate(trace.GenConfig{
+		Functions: cfg.FleetFunctions, Period: cfg.FleetPeriod, Seed: cfg.Seed,
+	})
+	type fleetEvent struct {
+		at time.Duration
+		id int
+		s  monitor.Sample
+	}
+	var events []fleetEvent
+	for i := range tr.Functions {
+		f := &tr.Functions[i]
+		dur := time.Duration(f.DurationMS * float64(time.Millisecond))
+		mem := pricing.ConfigureMemory(f.MemoryMB)
+		name := fmt.Sprintf("fleet-%03d", f.ID)
+		trace.SimulatePoolObserved(f.Arrivals, dur, cfg.FleetKeepAlive, func(ev trace.PoolEvent) {
+			var init time.Duration
+			if ev.Cold {
+				init = cfg.FleetColdInit
+			}
+			billed := pricing.BillDuration(init + dur)
+			e2e := init + dur
+			events = append(events, fleetEvent{at: ev.At + e2e, id: f.ID, s: monitor.Sample{
+				Function:   name,
+				Cold:       ev.Cold,
+				Class:      "ok",
+				Init:       init,
+				Exec:       dur,
+				E2E:        e2e,
+				BilledInit: init,
+				BilledExec: dur,
+				Billed:     billed,
+				MemoryMB:   mem,
+				CostUSD:    pricing.Cost(billed, mem),
+			}})
+		})
+	}
+	// The per-function pool replays interleave on the fleet timeline:
+	// order globally by completion time (function ID tiebreak) before
+	// feeding the monitor, so its tick sequence is well-defined.
+	sort.SliceStable(events, func(i, j int) bool {
+		if events[i].at != events[j].at {
+			return events[i].at < events[j].at
+		}
+		return events[i].id < events[j].id
+	})
+
+	mon := monitor.New(monitor.Config{
+		Resolution: cfg.FleetResolution,
+		SLOs: []monitor.SLO{
+			{Name: "fleet-cold-fraction", Kind: monitor.KindColdFraction, Budget: cfg.FleetColdBudget},
+		},
+	})
+	for _, ev := range events {
+		mon.Observe(ev.at, ev.s)
+	}
+	mon.Finish()
+
+	ledger := mon.Ledger()
+	total := ledger.Total()
+	sum := FleetSummary{
+		Functions:   len(tr.Functions),
+		Invocations: total.Invocations,
+		ColdStarts:  total.ColdStarts,
+		CostUSD:     total.CostUSD(),
+		AlertLog:    mon.AlertLog(),
+	}
+	for _, fc := range mon.FireCounts() {
+		sum.AlertsFired += fc.Fired
+	}
+	rows := make([]FleetFunctionRow, 0, len(tr.Functions))
+	for _, name := range ledger.Functions() {
+		rows = append(rows, FleetFunctionRow{Function: name, Phase: ledger.Function(name)})
+	}
+	sort.SliceStable(rows, func(i, j int) bool {
+		ci, cj := rows[i].Phase.CostUSD(), rows[j].Phase.CostUSD()
+		if ci != cj {
+			return ci > cj
+		}
+		return rows[i].Function < rows[j].Function
+	})
+	if len(rows) > 5 {
+		rows = rows[:5]
+	}
+	sum.TopSpenders = rows
+	return sum
+}
+
+// describeSLO renders one objective's parameters for the result header.
+func describeSLO(s monitor.SLO) string {
+	budget := s.Budget
+	if budget <= 0 {
+		budget = 0.05
+	}
+	switch s.Kind {
+	case monitor.KindLatency:
+		return fmt.Sprintf("E2E ≤ %s for %.0f%% of requests", s.Threshold.Round(time.Millisecond), 100*(1-budget))
+	case monitor.KindErrorRate:
+		return fmt.Sprintf("failures ≤ %.0f%% of requests", 100*budget)
+	case monitor.KindColdFraction:
+		return fmt.Sprintf("cold starts ≤ %.0f%% of requests", 100*budget)
+	case monitor.KindCostPerInvocation:
+		return fmt.Sprintf("bill ≤ $%.9f for %.0f%% of requests", s.BudgetUSD, 100*(1-budget))
+	case monitor.KindCostRate:
+		return fmt.Sprintf("spend ≤ $%.6f/hour", s.BudgetUSD)
+	}
+	return s.Kind.String()
+}
+
+// Render prints the monitored comparison: the shared SLO set, each
+// deployment's alerts and phase-attributed bill, the original's per-module
+// init attribution, and the fleet section.
+func (r *MonitorResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Monitor — %s replay under SLO burn-rate alerting (seed %d)\n", r.App, r.Seed)
+	b.WriteString("SLOs (identical for both deployments):\n")
+	for _, s := range r.SLOs {
+		fmt.Fprintf(&b, "  %-22s %s\n", s.Name, describeSLO(s))
+	}
+	fmt.Fprintf(&b, "windows: %s resolution, burn≥1 on both 5× and 30× trailing windows\n\n", r.Config.Resolution)
+
+	fmt.Fprintf(&b, "%-10s %6s %6s %6s %7s %12s %12s %12s %12s %6s %7s\n",
+		"Deployment", "MemMB", "Reqs", "Cold", "Err", "Init$", "Handler$", "Idle$", "Total$", "Init%", "Alerts")
+	for _, row := range r.Rows {
+		ph := row.Phase
+		total := ph.CostUSD()
+		initShare := 0.0
+		if total > 0 {
+			initShare = 100 * (ph.InitUSD + ph.RestoreUSD) / total
+		}
+		fmt.Fprintf(&b, "%-10s %6d %6d %6d %7d %12.9f %12.9f %12.9f %12.9f %5.1f%% %7d\n",
+			row.Deployment, row.MemoryMB, row.Requests, ph.ColdStarts, ph.Errors,
+			ph.InitUSD, ph.ExecUSD, ph.IdleUSD, total, initShare, row.AlertsFired())
+	}
+	if len(r.Rows) == 2 {
+		o, t := r.Rows[0].Phase, r.Rows[1].Phase
+		fmt.Fprintf(&b, "%-10s %6s %6s %6s %7s %12.9f %12.9f %12.9f %12.9f\n",
+			"delta", "", "", "", "", o.InitUSD-t.InitUSD, o.ExecUSD-t.ExecUSD,
+			o.IdleUSD-t.IdleUSD, o.CostUSD()-t.CostUSD())
+	}
+	b.WriteByte('\n')
+
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "alerts (%s):\n", row.Deployment)
+		if row.AlertLog == "" {
+			b.WriteString("  (none)\n")
+		} else {
+			for _, line := range strings.Split(strings.TrimRight(row.AlertLog, "\n"), "\n") {
+				b.WriteString("  " + line + "\n")
+			}
+		}
+		fmt.Fprintf(&b, "dashboard (%s):\n", row.Deployment)
+		for _, line := range strings.Split(strings.TrimRight(row.Dashboard, "\n"), "\n") {
+			b.WriteString("  " + line + "\n")
+		}
+	}
+	b.WriteByte('\n')
+
+	if len(r.ModuleCosts) > 0 {
+		b.WriteString("original init-phase dollars by module (profiler-weighted):\n")
+		limit := 8
+		if len(r.ModuleCosts) < limit {
+			limit = len(r.ModuleCosts)
+		}
+		for _, mc := range r.ModuleCosts[:limit] {
+			fmt.Fprintf(&b, "  %-28s $%.12f (%5.1f%%)\n", mc.Name, mc.USD, 100*mc.Share)
+		}
+		b.WriteByte('\n')
+	}
+
+	f := r.Fleet
+	fmt.Fprintf(&b, "fleet replay: %d functions over %s, keep-alive %s\n",
+		f.Functions, r.Config.FleetPeriod, r.Config.FleetKeepAlive)
+	coldPct := 0.0
+	if f.Invocations > 0 {
+		coldPct = 100 * float64(f.ColdStarts) / float64(f.Invocations)
+	}
+	fmt.Fprintf(&b, "  invocations=%d cold=%d (%.1f%%) cost=$%.6f alerts=%d\n",
+		f.Invocations, f.ColdStarts, coldPct, f.CostUSD, f.AlertsFired)
+	if f.AlertLog != "" {
+		for _, line := range strings.Split(strings.TrimRight(f.AlertLog, "\n"), "\n") {
+			b.WriteString("  " + line + "\n")
+		}
+	}
+	b.WriteString("  top spenders:\n")
+	for _, row := range f.TopSpenders {
+		ph := row.Phase
+		fmt.Fprintf(&b, "    %-12s invoc=%-6d cold=%-5d init$=%.6f handler$=%.6f total$=%.6f\n",
+			row.Function, ph.Invocations, ph.ColdStarts, ph.InitUSD, ph.ExecUSD, ph.CostUSD())
+	}
+	b.WriteString("the original pages on latency and cost where the debloated deployment stays inside budget; the delta row is init-phase dollars debloating removed\n")
+	return b.String()
+}

@@ -36,6 +36,7 @@ var goldenDrivers = []struct {
 	{"table4", func(s *Suite) (goldenRenderer, error) { return s.Table4() }},
 	{"ext-tune", func(s *Suite) (goldenRenderer, error) { return s.ExtPowerTune() }},
 	{"reliability", func(s *Suite) (goldenRenderer, error) { return s.Reliability() }},
+	{"monitor", func(s *Suite) (goldenRenderer, error) { return s.Monitor() }},
 }
 
 func renderEverything(t *testing.T, s *Suite) string {

@@ -282,10 +282,18 @@ type arrivalGroup struct {
 	size  int
 }
 
-// arrivalGroups generates the trace, picks the hottest function, and
-// clusters its first MaxRequests arrivals into BurstWindow groups.
+// arrivalGroups generates the replay workload for the reliability
+// experiment (shared with the monitor driver via burstGroups).
 func arrivalGroups(cfg ReliabilityConfig) []arrivalGroup {
-	tr := trace.Generate(trace.GenConfig{Functions: 60, Period: 24 * time.Hour, Seed: cfg.Seed})
+	return burstGroups(cfg.Seed, cfg.MaxRequests, cfg.BurstWindow)
+}
+
+// burstGroups generates the synthetic Azure-shaped trace, picks the
+// hottest function — the adversarial case for throttling and cold-start
+// storms — and clusters its first maxRequests arrivals into window-sized
+// burst groups.
+func burstGroups(seed int64, maxRequests int, window time.Duration) []arrivalGroup {
+	tr := trace.Generate(trace.GenConfig{Functions: 60, Period: 24 * time.Hour, Seed: seed})
 	var hottest *trace.Function
 	for i := range tr.Functions {
 		f := &tr.Functions[i]
@@ -294,12 +302,12 @@ func arrivalGroups(cfg ReliabilityConfig) []arrivalGroup {
 		}
 	}
 	arrivals := hottest.SortedArrivals()
-	if len(arrivals) > cfg.MaxRequests {
-		arrivals = arrivals[:cfg.MaxRequests]
+	if len(arrivals) > maxRequests {
+		arrivals = arrivals[:maxRequests]
 	}
 	var groups []arrivalGroup
 	for _, at := range arrivals {
-		if n := len(groups); n > 0 && at-groups[n-1].start <= cfg.BurstWindow {
+		if n := len(groups); n > 0 && at-groups[n-1].start <= window {
 			groups[n-1].size++
 			continue
 		}

@@ -20,6 +20,7 @@ import (
 
 	"repro/internal/appspec"
 	"repro/internal/obs"
+	"repro/internal/obs/monitor"
 	"repro/internal/pyruntime"
 	"repro/internal/simtime"
 )
@@ -154,6 +155,12 @@ type Config struct {
 	// (per-phase latency histograms, fault counters, retry totals). Nil
 	// (the default) disables tracing with no behavioral or billing change.
 	Tracer *obs.Tracer
+
+	// Monitor, when set, receives one sample per completed invocation
+	// attempt on the platform's virtual timeline — feeding the sim-time
+	// TSDB, SLO burn-rate evaluation, and the cost-attribution ledger.
+	// Nil (the default) disables monitoring with no behavioral change.
+	Monitor *monitor.Monitor
 }
 
 // DefaultConfig mirrors the paper's AWS Lambda setup.

@@ -1,0 +1,132 @@
+package faas
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/obs/monitor"
+)
+
+// monitoredWorkload is tracedWorkload with an optional monitor attached:
+// the same seeded fault-heavy workload, so the two runs are comparable
+// byte-for-byte.
+func monitoredWorkload(seed int64, mon *monitor.Monitor) (*obs.Tracer, *Platform) {
+	tr := obs.New()
+	cfg := DefaultConfig()
+	cfg.EnforceMemory = true
+	cfg.FaultSeed = seed
+	cfg.Faults = FaultConfig{
+		Enabled:          true,
+		InitCrashRate:    0.3,
+		SlowColdRate:     0.3,
+		SlowColdFactor:   3,
+		MemorySpikeRate:  0.25,
+		MemorySpikeMB:    150,
+		ConcurrencyLimit: 2,
+	}
+	cfg.Tracer = tr
+	cfg.Monitor = mon
+	p := New(cfg)
+	p.Deploy(memApp("fn"))
+	pol := DefaultRetryPolicy()
+	for i := 0; i < 30; i++ {
+		ev := lightEvent
+		if i%7 == 3 {
+			ev = heavyEvent
+		}
+		if i%5 == 4 {
+			if _, err := p.InvokeGroupWithRetry("fn", []map[string]any{ev, lightEvent, lightEvent}, pol); err != nil {
+				panic(err)
+			}
+		} else {
+			if _, err := p.InvokeWithRetry("fn", ev, pol); err != nil {
+				panic(err)
+			}
+		}
+		p.Advance(time.Duration(i%3) * 20 * time.Second)
+	}
+	return tr, p
+}
+
+// Attaching a monitor must not perturb the simulation or the tracer: the
+// monitor is a read-only tap on completed invocation records.
+func TestMonitorDoesNotPerturbReplay(t *testing.T) {
+	mon := monitor.New(monitor.Config{Resolution: time.Minute})
+	trOff, _ := monitoredWorkload(42, nil)
+	trOn, _ := monitoredWorkload(42, mon)
+
+	chromeOff, err := trOff.ChromeTrace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	chromeOn, err := trOn.ChromeTrace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(chromeOff, chromeOn) {
+		t.Error("Chrome trace differs with a monitor attached")
+	}
+	if !bytes.Equal(trOff.EventLogJSONL(), trOn.EventLogJSONL()) {
+		t.Error("event log differs with a monitor attached")
+	}
+	jOff, _ := trOff.Metrics().Snapshot().JSON()
+	jOn, _ := trOn.Metrics().Snapshot().JSON()
+	if !bytes.Equal(jOff, jOn) {
+		t.Error("metrics snapshot differs with a monitor attached")
+	}
+}
+
+// The monitor's TSDB and ledger are a third accounting of the run; they
+// must agree exactly with the platform stats and the metrics registry.
+func TestMonitorCrossChecksPlatform(t *testing.T) {
+	mon := monitor.New(monitor.Config{Resolution: time.Minute})
+	tr, p := monitoredWorkload(42, mon)
+	mon.Finish()
+	st, ok := p.FunctionStats("fn")
+	if !ok {
+		t.Fatal("fn not deployed")
+	}
+
+	store := mon.Store()
+	if got := store.Total("req.total").Count; got != uint64(st.Invocations) {
+		t.Errorf("req.total = %d, want %d platform invocations", got, st.Invocations)
+	}
+	if got := store.Total("req.cold").Count; got != uint64(st.ColdStarts) {
+		t.Errorf("req.cold = %d, want %d platform cold starts", got, st.ColdStarts)
+	}
+
+	// Every billed dollar lands in both the registry histogram and the
+	// monitor's cost series and ledger.
+	h := tr.Metrics().Histogram("faas.billed.usd")
+	if h == nil {
+		t.Fatal("faas.billed.usd histogram missing")
+	}
+	costs := store.Total("cost.usd")
+	if costs.Count != h.Count() {
+		t.Errorf("cost samples %d != registry %d", costs.Count, h.Count())
+	}
+	if diff := costs.Sum - h.Sum(); diff > 1e-15 || diff < -1e-15 {
+		t.Errorf("cost sum %v != registry %v", costs.Sum, h.Sum())
+	}
+	led := mon.Ledger().Total()
+	if led.Invocations != uint64(st.Invocations) {
+		t.Errorf("ledger invocations %d != %d", led.Invocations, st.Invocations)
+	}
+	if led.ColdStarts != uint64(st.ColdStarts) {
+		t.Errorf("ledger cold starts %d != %d", led.ColdStarts, st.ColdStarts)
+	}
+	if diff := led.CostUSD() - h.Sum(); diff > 1e-15 || diff < -1e-15 {
+		t.Errorf("ledger cost %v != billed %v", led.CostUSD(), h.Sum())
+	}
+	// The fault-heavy workload must have produced failed attempts, and the
+	// error series must see them.
+	faults := st.OOMKills + st.Timeouts + st.Throttles + st.InitCrashes
+	if faults == 0 {
+		t.Fatal("workload produced no faults; the cross-check is vacuous")
+	}
+	if got := store.Total("req.error").Count; got < uint64(faults) {
+		t.Errorf("req.error = %d, want >= %d platform faults", got, faults)
+	}
+}

@@ -29,6 +29,7 @@ func (p *Platform) emitFault(kind, fn string) {
 // any OOM/timeout truncation. It also feeds the metrics registry and
 // appends the invocation's canonical record to the event log.
 func (p *Platform) recordInvocation(parent *obs.Span, start time.Duration, inv *Invocation) {
+	p.observeMonitor(start, inv)
 	tr := p.cfg.Tracer
 	if tr == nil {
 		return

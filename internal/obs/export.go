@@ -128,8 +128,9 @@ func LogLineFromAttrs(attrs []Attr) string {
 
 // WriteFiles exports the recorded telemetry to the requested paths (an
 // empty path skips that exporter): Chrome trace-event JSON, the JSONL
-// event log, and a JSON metrics snapshot.
-func (t *Tracer) WriteFiles(tracePath, eventsPath, metricsPath string) error {
+// event log, a JSON metrics snapshot, a folded-stack flamegraph, and an
+// OpenMetrics text exposition of the registry.
+func (t *Tracer) WriteFiles(tracePath, eventsPath, metricsPath, flamePath, openMetricsPath string) error {
 	if tracePath != "" {
 		b, err := t.ChromeTrace()
 		if err != nil {
@@ -151,6 +152,16 @@ func (t *Tracer) WriteFiles(tracePath, eventsPath, metricsPath string) error {
 		}
 		if err := os.WriteFile(metricsPath, b, 0o644); err != nil {
 			return fmt.Errorf("writing metrics: %w", err)
+		}
+	}
+	if flamePath != "" {
+		if err := os.WriteFile(flamePath, t.FoldedStacks(), 0o644); err != nil {
+			return fmt.Errorf("writing flamegraph: %w", err)
+		}
+	}
+	if openMetricsPath != "" {
+		if err := os.WriteFile(openMetricsPath, t.Metrics().Snapshot().OpenMetrics(), 0o644); err != nil {
+			return fmt.Errorf("writing openmetrics: %w", err)
 		}
 	}
 	return nil

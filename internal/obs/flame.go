@@ -1,0 +1,53 @@
+package obs
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// FoldedStacks renders the span tree in Brendan Gregg's folded-stack
+// format — one line per distinct span path, "root;child;leaf <self_us>" —
+// loadable by speedscope, inferno, or flamegraph.pl. Self time is a span's
+// duration minus its children's (clamped at zero, so overlapping child
+// spans from concurrent layers cannot go negative); durations are integer
+// microseconds of simulated time. Unfinished spans have zero duration
+// (Span.Dur) and thus contribute no self time; paths whose self time rounds
+// to zero are omitted. Lines are path-sorted, so output is byte-stable.
+// Safe on a nil tracer (empty output).
+func (t *Tracer) FoldedStacks() []byte {
+	if t == nil {
+		return nil
+	}
+	self := make(map[string]int64)
+	var path []string
+	var visit func(s *Span)
+	visit = func(s *Span) {
+		path = append(path, s.Name)
+		d := s.Dur()
+		for _, c := range s.Children {
+			d -= c.Dur()
+			visit(c)
+		}
+		if us := d.Microseconds(); us > 0 {
+			self[strings.Join(path, ";")] += us
+		}
+		path = path[:len(path)-1]
+	}
+	for _, r := range t.Roots() {
+		visit(r)
+	}
+	keys := make([]string, 0, len(self))
+	for k := range self {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for _, k := range keys {
+		b.WriteString(k)
+		b.WriteByte(' ')
+		b.WriteString(strconv.FormatInt(self[k], 10))
+		b.WriteByte('\n')
+	}
+	return []byte(b.String())
+}

@@ -106,21 +106,41 @@ func (r *Registry) Histogram(name string) *stats.Histogram {
 // in that order), histograms merge bucket-wise. Order-independent for
 // counters and histograms; gauge determinism relies on callers merging in a
 // fixed order. Nil-safe on both sides.
+//
+// o's state is copied out under its own lock before r's is taken — the two
+// locks are never held together, so concurrent cross-merges (worker pools
+// folding results both ways) cannot deadlock on acquisition order, and a
+// mid-replay Snapshot on either side sees a consistent registry.
 func (r *Registry) Merge(o *Registry) {
 	if r == nil || o == nil {
 		return
 	}
 	o.mu.Lock()
-	defer o.mu.Unlock()
+	counters := make(map[string]int64, len(o.counters))
+	for name, v := range o.counters {
+		counters[name] = v
+	}
+	gauges := make(map[string]float64, len(o.gauges))
+	for name, v := range o.gauges {
+		gauges[name] = v
+	}
+	hists := make(map[string]*stats.Histogram, len(o.hists))
+	for name, h := range o.hists {
+		cp := stats.NewHistogram()
+		cp.Merge(h)
+		hists[name] = cp
+	}
+	o.mu.Unlock()
+
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	for name, v := range o.counters {
+	for name, v := range counters {
 		r.counters[name] += v
 	}
-	for name, v := range o.gauges {
+	for name, v := range gauges {
 		r.gauges[name] = v
 	}
-	for name, h := range o.hists {
+	for name, h := range hists {
 		dst, ok := r.hists[name]
 		if !ok {
 			dst = stats.NewHistogram()

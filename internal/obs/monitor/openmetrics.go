@@ -1,0 +1,102 @@
+package monitor
+
+import (
+	"strconv"
+	"strings"
+)
+
+// metricName sanitizes a series name into an OpenMetrics metric name:
+// every character outside [a-zA-Z0-9_] becomes '_', and the exposition
+// namespace prefix is applied.
+func metricName(s string) string {
+	var b strings.Builder
+	b.WriteString("lambdatrim_")
+	for _, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_':
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+func fmtFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+func writeFamily(b *strings.Builder, name, typ string, lines ...string) {
+	b.WriteString("# TYPE ")
+	b.WriteString(name)
+	b.WriteByte(' ')
+	b.WriteString(typ)
+	b.WriteByte('\n')
+	for _, l := range lines {
+		b.WriteString(l)
+		b.WriteByte('\n')
+	}
+}
+
+// OpenMetrics renders the monitor state as an OpenMetrics text exposition:
+// per-series cumulative count/sum/max, per-objective firing state and fire
+// counts, cumulative E2E latency quantiles, and the ledger's per-phase
+// dollar decomposition. Series, label values, and quantiles are emitted in
+// sorted/fixed order, so the exposition is byte-stable for a fixed sample
+// sequence. Safe on a nil monitor (empty exposition, still terminated).
+func (m *Monitor) OpenMetrics() []byte {
+	var b strings.Builder
+	if m == nil {
+		b.WriteString("# EOF\n")
+		return []byte(b.String())
+	}
+	for _, name := range m.store.Names() {
+		tot := m.store.Total(name)
+		mn := metricName(name)
+		writeFamily(&b, mn+"_count", "counter",
+			mn+"_count "+strconv.FormatUint(tot.Count, 10))
+		writeFamily(&b, mn+"_sum", "gauge",
+			mn+"_sum "+fmtFloat(tot.Sum))
+		writeFamily(&b, mn+"_max", "gauge",
+			mn+"_max "+fmtFloat(tot.Max))
+	}
+
+	counts := m.FireCounts()
+	if len(counts) > 0 {
+		firing := make([]string, 0, len(counts))
+		fired := make([]string, 0, len(counts))
+		for _, c := range counts {
+			v := "0"
+			if c.Firing {
+				v = "1"
+			}
+			firing = append(firing, `lambdatrim_slo_firing{slo="`+c.Name+`"} `+v)
+			fired = append(fired, `lambdatrim_slo_fired_total{slo="`+c.Name+`"} `+strconv.Itoa(c.Fired))
+		}
+		writeFamily(&b, "lambdatrim_slo_firing", "gauge", firing...)
+		writeFamily(&b, "lambdatrim_slo_fired_total", "counter", fired...)
+	}
+
+	hist := m.Latency()
+	if hist.Count() > 0 {
+		qs := []struct {
+			q float64
+			s string
+		}{{0.50, "0.5"}, {0.95, "0.95"}, {0.99, "0.99"}}
+		lines := make([]string, 0, len(qs))
+		for _, q := range qs {
+			lines = append(lines,
+				`lambdatrim_latency_seconds{quantile="`+q.s+`"} `+fmtFloat(hist.Quantile(q.q)))
+		}
+		writeFamily(&b, "lambdatrim_latency_seconds", "gauge", lines...)
+	}
+
+	total := m.Ledger().Total()
+	if total.Invocations > 0 {
+		writeFamily(&b, "lambdatrim_cost_phase_usd", "gauge",
+			`lambdatrim_cost_phase_usd{phase="init"} `+fmtFloat(total.InitUSD),
+			`lambdatrim_cost_phase_usd{phase="handler"} `+fmtFloat(total.ExecUSD),
+			`lambdatrim_cost_phase_usd{phase="idle"} `+fmtFloat(total.IdleUSD),
+			`lambdatrim_cost_phase_usd{phase="restore"} `+fmtFloat(total.RestoreUSD))
+	}
+	b.WriteString("# EOF\n")
+	return []byte(b.String())
+}

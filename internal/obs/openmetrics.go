@@ -1,0 +1,57 @@
+package obs
+
+import (
+	"strconv"
+	"strings"
+)
+
+// openMetricsName sanitizes a registry metric name for text exposition:
+// characters outside [a-zA-Z0-9_] become '_', under the shared
+// "lambdatrim_" namespace used by the monitor exposition.
+func openMetricsName(s string) string {
+	var b strings.Builder
+	b.WriteString("lambdatrim_")
+	for _, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_':
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+func openMetricsFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// OpenMetrics renders the snapshot as an OpenMetrics text exposition:
+// counters as counter families, gauges as gauge families, and histograms
+// as gauge families carrying count/sum and the snapshot quantiles as
+// labeled samples. The snapshot is already name-sorted, so the exposition
+// is byte-stable. An empty snapshot yields just the EOF terminator.
+func (s Snapshot) OpenMetrics() []byte {
+	var b strings.Builder
+	for _, c := range s.Counters {
+		n := openMetricsName(c.Name)
+		b.WriteString("# TYPE " + n + " counter\n")
+		b.WriteString(n + "_total " + strconv.FormatInt(c.Value, 10) + "\n")
+	}
+	for _, g := range s.Gauges {
+		n := openMetricsName(g.Name)
+		b.WriteString("# TYPE " + n + " gauge\n")
+		b.WriteString(n + " " + openMetricsFloat(g.Value) + "\n")
+	}
+	for _, h := range s.Histograms {
+		n := openMetricsName(h.Name)
+		b.WriteString("# TYPE " + n + "_count counter\n")
+		b.WriteString(n + "_count " + strconv.FormatUint(h.Count, 10) + "\n")
+		b.WriteString("# TYPE " + n + "_sum gauge\n")
+		b.WriteString(n + "_sum " + openMetricsFloat(h.Sum) + "\n")
+		b.WriteString("# TYPE " + n + " gauge\n")
+		b.WriteString(n + `{quantile="0.5"} ` + openMetricsFloat(h.P50) + "\n")
+		b.WriteString(n + `{quantile="0.95"} ` + openMetricsFloat(h.P95) + "\n")
+		b.WriteString(n + `{quantile="0.99"} ` + openMetricsFloat(h.P99) + "\n")
+	}
+	b.WriteString("# EOF\n")
+	return []byte(b.String())
+}

@@ -56,9 +56,15 @@ func bucketValue(i int) float64 {
 	return math.Pow(10, float64(histMinDecade)+(float64(i)+0.5)/histBucketsPerDecade)
 }
 
-// Observe records one value. Non-positive values are counted (they show up
-// in Count, Sum, Min) but occupy a dedicated zero bucket.
+// Observe records one value. Zero is counted in a dedicated zero bucket
+// (it has no log-scale bucket). NaN, infinities, and negative values are
+// rejected outright: the layer observes durations and sizes, so such
+// values are always instrumentation bugs, and admitting even one would
+// poison Sum, Mean, and every quantile of the series for the whole run.
 func (h *Histogram) Observe(v float64) {
+	if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+		return
+	}
 	if h.count == 0 || v < h.min {
 		h.min = v
 	}
@@ -67,7 +73,7 @@ func (h *Histogram) Observe(v float64) {
 	}
 	h.count++
 	h.sum += v
-	if v <= 0 {
+	if v == 0 {
 		h.zeros++
 		return
 	}

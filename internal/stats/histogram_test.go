@@ -81,21 +81,100 @@ func TestHistogramQuantileMonotone(t *testing.T) {
 	}
 }
 
-func TestHistogramZerosAndNegatives(t *testing.T) {
-	var h Histogram
-	h.Observe(0)
-	h.Observe(-5)
-	h.Observe(10)
-	if h.Count() != 3 {
-		t.Errorf("Count = %d", h.Count())
+func TestHistogramZerosAndRejection(t *testing.T) {
+	tests := []struct {
+		name      string
+		observe   []float64
+		wantCount uint64
+		wantMin   float64
+		wantMax   float64
+		wantP50   float64
+	}{
+		{
+			name:    "zeros land in the zero bucket",
+			observe: []float64{0, 0, 10},
+			// Two of three observations are zero: the median is in the
+			// zero bucket, clamped to the observed range.
+			wantCount: 3, wantMin: 0, wantMax: 10, wantP50: 0,
+		},
+		{
+			name:      "negatives rejected",
+			observe:   []float64{-5, -0.001, 10},
+			wantCount: 1, wantMin: 10, wantMax: 10, wantP50: 10,
+		},
+		{
+			name:      "NaN and infinities rejected",
+			observe:   []float64{math.NaN(), math.Inf(1), math.Inf(-1), 2},
+			wantCount: 1, wantMin: 2, wantMax: 2, wantP50: 2,
+		},
+		{
+			name:      "only invalid samples leave it empty",
+			observe:   []float64{math.NaN(), -1, math.Inf(1)},
+			wantCount: 0, wantMin: 0, wantMax: 0, wantP50: 0,
+		},
 	}
-	if h.Min() != -5 || h.Max() != 10 {
-		t.Errorf("Min/Max = %v/%v", h.Min(), h.Max())
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			var h Histogram
+			for _, v := range tt.observe {
+				h.Observe(v)
+			}
+			if h.Count() != tt.wantCount {
+				t.Errorf("Count = %d, want %d", h.Count(), tt.wantCount)
+			}
+			if h.Min() != tt.wantMin || h.Max() != tt.wantMax {
+				t.Errorf("Min/Max = %v/%v, want %v/%v", h.Min(), h.Max(), tt.wantMin, tt.wantMax)
+			}
+			if got := h.Quantile(0.5); got != tt.wantP50 {
+				t.Errorf("median = %v, want %v", got, tt.wantP50)
+			}
+			if math.IsNaN(h.Sum()) || math.IsInf(h.Sum(), 0) {
+				t.Errorf("Sum poisoned: %v", h.Sum())
+			}
+		})
 	}
-	// Two of three observations are non-positive: the median is in the
-	// zero bucket, clamped to the observed range.
-	if got := h.Quantile(0.5); got != 0 {
-		t.Errorf("median = %v, want 0", got)
+}
+
+func TestHistogramEmptyQuantiles(t *testing.T) {
+	for _, h := range []*Histogram{NewHistogram(), {}} {
+		for _, q := range []float64{-1, 0, 0.25, 0.5, 0.95, 0.999, 1, 2} {
+			if got := h.Quantile(q); got != 0 {
+				t.Errorf("Quantile(%v) = %v on empty histogram, want 0", q, got)
+			}
+		}
+	}
+}
+
+func TestHistogramMergeDisjointDecades(t *testing.T) {
+	// a holds microsecond-scale samples, b holds kilosecond-scale ones —
+	// their populated decades do not overlap, so the merge must keep both
+	// populations intact and the quantiles must straddle the gap.
+	var a, b Histogram
+	for i := 1; i <= 100; i++ {
+		a.Observe(1e-6 * float64(i)) // 1µs .. 100µs
+		b.Observe(1e3 * float64(i))  // 1000s .. 100000s
+	}
+	a.Merge(&b)
+	if a.Count() != 200 {
+		t.Fatalf("merged count = %d, want 200", a.Count())
+	}
+	if a.Min() != 1e-6 || a.Max() != 1e5 {
+		t.Errorf("merged min/max = %v/%v, want 1e-06/100000", a.Min(), a.Max())
+	}
+	// The lower half lives in the microsecond decades, the upper half in
+	// the kilosecond decades; nothing may land in the empty gap between.
+	if p25 := a.Quantile(0.25); p25 > 1e-4 {
+		t.Errorf("p25 = %v, want within the microsecond population", p25)
+	}
+	if p75 := a.Quantile(0.75); p75 < 1e3 {
+		t.Errorf("p75 = %v, want within the kilosecond population", p75)
+	}
+	wantSum := 0.0
+	for i := 1; i <= 100; i++ {
+		wantSum += 1e-6*float64(i) + 1e3*float64(i)
+	}
+	if math.Abs(a.Sum()-wantSum) > 1e-6 {
+		t.Errorf("merged sum = %v, want %v", a.Sum(), wantSum)
 	}
 }
 

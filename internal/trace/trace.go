@@ -124,10 +124,28 @@ type PoolResult struct {
 	MaxInstances int
 }
 
+// PoolEvent describes one served arrival during a keep-alive simulation:
+// its offset on the trace timeline, whether it paid a cold start, and the
+// live instance count right after assignment. Events are delivered in
+// arrival order, which the fleet monitor relies on for its virtual-time
+// feed.
+type PoolEvent struct {
+	At   time.Duration
+	Cold bool
+	Live int
+}
+
 // SimulatePool runs the keep-alive instance-pool dynamics: each arrival is
 // served warm when a non-expired idle instance exists, cold otherwise.
 // Arrivals must be sorted.
 func SimulatePool(arrivals []time.Duration, duration time.Duration, keepAlive time.Duration) PoolResult {
+	return SimulatePoolObserved(arrivals, duration, keepAlive, nil)
+}
+
+// SimulatePoolObserved is SimulatePool with an observer invoked once per
+// served arrival, in arrival order. A nil observer reproduces SimulatePool
+// exactly; the observer cannot perturb the pool dynamics either way.
+func SimulatePoolObserved(arrivals []time.Duration, duration time.Duration, keepAlive time.Duration, observe func(PoolEvent)) PoolResult {
 	type inst struct {
 		freeAt time.Duration
 	}
@@ -144,7 +162,8 @@ func SimulatePool(arrivals []time.Duration, duration time.Duration, keepAlive ti
 				}
 			}
 		}
-		if best >= 0 {
+		cold := best < 0
+		if !cold {
 			res.WarmStarts++
 			pool[best].freeAt = at + duration
 		} else {
@@ -160,6 +179,9 @@ func SimulatePool(arrivals []time.Duration, duration time.Duration, keepAlive ti
 		}
 		if len(pool) > res.MaxInstances {
 			res.MaxInstances = len(pool)
+		}
+		if observe != nil {
+			observe(PoolEvent{At: at, Cold: cold, Live: len(pool)})
 		}
 	}
 	return res

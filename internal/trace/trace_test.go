@@ -219,3 +219,37 @@ func TestQuickKeepAliveMonotone(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestSimulatePoolObservedMatchesResult(t *testing.T) {
+	arrivals := []time.Duration{0, time.Millisecond, 2 * time.Second, time.Hour}
+	var events []PoolEvent
+	obs := SimulatePoolObserved(arrivals, time.Second, 5*time.Minute, func(ev PoolEvent) {
+		events = append(events, ev)
+	})
+	plain := SimulatePool(arrivals, time.Second, 5*time.Minute)
+	if obs != plain {
+		t.Errorf("observer changed the result: %+v vs %+v", obs, plain)
+	}
+	if len(events) != len(arrivals) {
+		t.Fatalf("events = %d, want one per arrival", len(events))
+	}
+	cold := 0
+	for i, ev := range events {
+		if ev.At != arrivals[i] {
+			t.Errorf("event %d at %v, want arrival order %v", i, ev.At, arrivals[i])
+		}
+		if ev.Cold {
+			cold++
+		}
+		if ev.Live < 1 {
+			t.Errorf("event %d live = %d, want >= 1", i, ev.Live)
+		}
+	}
+	if cold != obs.ColdStarts {
+		t.Errorf("observed %d colds, result says %d", cold, obs.ColdStarts)
+	}
+	// The overlapping pair needs two live instances.
+	if events[1].Live != 2 {
+		t.Errorf("second overlapping arrival live = %d, want 2", events[1].Live)
+	}
+}
