@@ -1,14 +1,23 @@
 GO ?= go
 
-.PHONY: check fmt vet build test bench bench-smoke race experiments monitor-smoke
+.PHONY: check fmt vet build test bench bench-smoke race experiments monitor-smoke rollout-smoke fuzz-smoke
 
 ## race: the race-detector sweep CI runs on the concurrency-bearing
 ## packages (parallel DD, the corpus scheduler, the shared snapshot cache)
 race:
 	$(GO) test -race -short ./internal/debloat/... ./internal/dd/... ./internal/experiments/...
 
-## check: everything CI would run — formatting, vet, build, race-enabled tests
-check: fmt vet build test
+## check: everything CI would run — formatting, vet, build, race-enabled
+## tests, and a short fuzz pass over the config parsers
+check: fmt vet build test fuzz-smoke
+
+# fuzz-smoke: a few seconds of coverage-guided fuzzing on the parsers that
+# take operator-written specs (SLOs, canary stages). Seeds alone run in the
+# normal test pass; this also explores.
+FUZZTIME ?= 5s
+fuzz-smoke:
+	$(GO) test -fuzz FuzzParseSLOs -fuzztime $(FUZZTIME) -run xxx ./internal/obs/monitor
+	$(GO) test -fuzz FuzzParseStages -fuzztime $(FUZZTIME) -run xxx ./internal/rollout
 
 fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
@@ -57,6 +66,18 @@ monitor-smoke:
 	cmp $(MONITOR_SMOKE_DIR)/flame.folded $(MONITOR_SMOKE_DIR)/flame2.folded
 	cmp $(MONITOR_SMOKE_DIR)/openmetrics.txt $(MONITOR_SMOKE_DIR)/openmetrics2.txt
 	@echo "monitor-smoke: byte-identical across runs"
+
+# rollout-smoke: golden-output check of the closed-loop deployment replay —
+# canary events, breaker transitions, heal timings, cost table, and the
+# rollout OpenMetrics exposition must be byte-identical across two fresh
+# processes.
+ROLLOUT_SMOKE_DIR ?= rollout-smoke-out
+rollout-smoke:
+	@mkdir -p $(ROLLOUT_SMOKE_DIR)
+	$(GO) run ./cmd/experiments rollout > $(ROLLOUT_SMOKE_DIR)/rollout.txt
+	$(GO) run ./cmd/experiments rollout > $(ROLLOUT_SMOKE_DIR)/rollout2.txt
+	cmp $(ROLLOUT_SMOKE_DIR)/rollout.txt $(ROLLOUT_SMOKE_DIR)/rollout2.txt
+	@echo "rollout-smoke: byte-identical across runs"
 
 experiments:
 	$(GO) run ./cmd/experiments

@@ -62,6 +62,7 @@ var drivers = []struct {
 	{"ext-tune", "power-tuning extension", func(s *experiments.Suite) (renderer, error) { return s.ExtPowerTune() }},
 	{"reliability", "faulted replay comparison", func(s *experiments.Suite) (renderer, error) { return s.Reliability() }},
 	{"monitor", "SLO-monitored replay comparison", func(s *experiments.Suite) (renderer, error) { return s.Monitor() }},
+	{"rollout", "closed-loop canary/breaker/self-heal replay", func(s *experiments.Suite) (renderer, error) { return s.Rollout() }},
 }
 
 func targetNames() []string {

@@ -63,6 +63,7 @@ func main() {
 	faults := fs.Bool("faults", false, "replay a faulted trace workload comparing original, debloated, and fallback deployments")
 	faultSeed := fs.Int64("fault-seed", 7, "seed for the trace generator and fault injector (with -faults/-monitor)")
 	monitorFlag := fs.Bool("monitor", false, "replay a seeded trace workload under SLO burn-rate monitoring, original vs debloated")
+	rolloutFlag := fs.Bool("rollout", false, "replay a seeded trace through the closed-loop deployment controller: canary, breaker, self-heal — vs static fallback and an oracle-clean baseline")
 	slo := fs.String("slo", "", "comma-separated SLO spec for -monitor, e.g. p95=800ms,err=2%,costinv=2e-7 (default: thresholds derived from cold-start probes)")
 	list := fs.Bool("list", false, "list corpus applications and exit")
 	trace := fs.String("trace", "", "write a Chrome trace-event JSON file of the run (pipeline + platform spans over sim-time)")
@@ -270,6 +271,24 @@ func main() {
 		}
 		fmt.Println()
 		fmt.Print(mon.Render())
+	}
+
+	if *rolloutFlag {
+		// Closed-loop rollout replay: the app is deployed as the storm
+		// member — mid-trace its traffic shifts to the advanced mode, and
+		// the controller's canary/breaker/self-heal loop competes with the
+		// paper's static fallback wrapper and an oracle-clean baseline.
+		ocfg := experiments.DefaultRolloutConfig()
+		ocfg.StormApps = []string{appName}
+		ocfg.CleanApps = nil
+		ocfg.Seed = *faultSeed
+		roll, err := experiments.RolloutCompare([]*debloat.Result{res}, nil, platform, cfg, ocfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rollout replay: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println()
+		fmt.Print(roll.Render())
 	}
 
 	if *out != "" {

@@ -37,6 +37,7 @@ var goldenDrivers = []struct {
 	{"ext-tune", func(s *Suite) (goldenRenderer, error) { return s.ExtPowerTune() }},
 	{"reliability", func(s *Suite) (goldenRenderer, error) { return s.Reliability() }},
 	{"monitor", func(s *Suite) (goldenRenderer, error) { return s.Monitor() }},
+	{"rollout", func(s *Suite) (goldenRenderer, error) { return s.Rollout() }},
 }
 
 func renderEverything(t *testing.T, s *Suite) string {

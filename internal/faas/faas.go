@@ -300,21 +300,29 @@ type deployment struct {
 
 // Platform is the simulator. It is not safe for concurrent use.
 type Platform struct {
-	cfg   Config
-	now   time.Duration
-	fns   map[string]*deployment
-	order []string
+	cfg     Config
+	now     time.Duration
+	fns     map[string]*deployment
+	order   []string
+	aliases map[string]*aliasEntry
 	// rng drives the fault injector and retry jitter; draws happen in a
 	// fixed order per invocation so a fixed FaultSeed reproduces runs.
 	rng *rand.Rand
+	// aliasRng drives weighted alias routing from its own stream: alias
+	// draws must not perturb the fault/jitter sequence, so a replay with no
+	// aliases (or single-route aliases) consumes no draws and stays
+	// byte-identical to an alias-free build.
+	aliasRng *rand.Rand
 }
 
 // New creates a platform.
 func New(cfg Config) *Platform {
 	return &Platform{
-		cfg: cfg,
-		fns: make(map[string]*deployment),
-		rng: rand.New(rand.NewSource(cfg.FaultSeed)),
+		cfg:      cfg,
+		fns:      make(map[string]*deployment),
+		aliases:  make(map[string]*aliasEntry),
+		rng:      rand.New(rand.NewSource(cfg.FaultSeed)),
+		aliasRng: rand.New(rand.NewSource(cfg.FaultSeed ^ aliasSeedSalt)),
 	}
 }
 
@@ -343,6 +351,14 @@ func (p *Platform) Deploy(app *appspec.App) {
 		p.order = append(p.order, app.Name)
 	}
 	d := &deployment{app: app}
+	if prev, exists := p.fns[app.Name]; exists {
+		// Redeploying replaces the code but keeps routing config: the
+		// fallback wiring survives a code update (on real platforms alias
+		// routing is separate from the code artifact), so a repaired
+		// artifact pushed over a fallback-equipped name keeps its safety
+		// net instead of silently letting errors propagate.
+		d.fallback = prev.fallback
+	}
 	if app.MemoryMB > 0 {
 		d.configuredMB = p.cfg.Pricing.ConfigureMemory(float64(app.MemoryMB))
 	} else {
@@ -447,9 +463,10 @@ func (p *Platform) Invoke(name string, event map[string]any) (*Invocation, error
 // parent span, when tracing, groups the primary and fallback (or retry)
 // invocations under one client-visible request.
 func (p *Platform) invokeNamed(name string, event map[string]any, advanceClock bool, parent *obs.Span) (*Invocation, error) {
-	d, ok := p.fns[name]
+	target := p.resolveAlias(name)
+	d, ok := p.fns[target]
 	if !ok {
-		return nil, fmt.Errorf("faas: no function named %q", name)
+		return nil, fmt.Errorf("faas: no function named %q", target)
 	}
 	inv, err := p.invoke(d, event, advanceClock, parent)
 	if err != nil {
@@ -461,7 +478,7 @@ func (p *Platform) invokeNamed(name string, event map[string]any, advanceClock b
 	if inv.Err != nil && d.fallback != "" && isAttributeError(inv.Err) {
 		if tr := p.cfg.Tracer; tr != nil {
 			tr.Emit("faas.fallback", p.now,
-				obs.String("fn", name), obs.String("to", d.fallback))
+				obs.String("fn", target), obs.String("to", d.fallback))
 			tr.Metrics().Inc("faas.fallbacks", 1)
 		}
 		fb := p.fns[d.fallback]
@@ -470,7 +487,7 @@ func (p *Platform) invokeNamed(name string, event map[string]any, advanceClock b
 			return nil, ferr
 		}
 		total := *fbInv
-		total.Function = name
+		total.Function = target
 		total.FallbackUsed = true
 		total.FallbackKind = fbInv.Kind
 		total.Kind = inv.Kind
@@ -486,8 +503,11 @@ func (p *Platform) invokeNamed(name string, event map[string]any, advanceClock b
 }
 
 func isAttributeError(err error) bool {
+	// Walk the implicit exception chain (__context__): an AttributeError
+	// that application code caught and re-wrapped in a derived error still
+	// means the debloated artifact is missing an attribute.
 	pe, ok := err.(*pyruntime.PyErr)
-	return ok && pe.ClassName() == "AttributeError"
+	return ok && pe.HasClass("AttributeError")
 }
 
 func (p *Platform) invoke(d *deployment, event map[string]any, advanceClock bool, parent *obs.Span) (*Invocation, error) {

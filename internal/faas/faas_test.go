@@ -224,6 +224,120 @@ func TestFallbackOnAttributeError(t *testing.T) {
 	}
 }
 
+func TestFallbackOnWrappedAttributeError(t *testing.T) {
+	// Application code that catches the AttributeError and re-raises a
+	// derived error still signals an over-trimmed artifact: the fallback
+	// must follow the exception chain to the root cause.
+	fs := vfs.New()
+	fs.Write("handler.py", `
+import lib
+
+def handler(event, context):
+    try:
+        return lib.removed_fn()
+    except AttributeError:
+        raise RuntimeError("model pipeline failed")
+`)
+	fs.Write("site-packages/lib/__init__.py", "load_native(50, 10)\n")
+	debloated := &appspec.App{Name: "app", Image: fs, Entry: "handler", Handler: "handler", SetupDelayMS: 100}
+	p := New(DefaultConfig())
+	p.DeployWithFallback(debloated, testApp("app"))
+
+	inv, err := p.Invoke("app", map[string]any{"id": 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !inv.FallbackUsed {
+		t.Fatal("wrapped AttributeError must trigger the fallback")
+	}
+	if inv.Err != nil {
+		t.Errorf("fallback should absorb the error: %v", inv.Err)
+	}
+}
+
+func TestFallbackOnAttributeErrorInsideHandlerClause(t *testing.T) {
+	// The trimmed attribute is only touched while handling an unrelated
+	// exception — the escaping error IS the AttributeError, chained onto
+	// the original KeyError. The fallback must still fire.
+	fs := vfs.New()
+	fs.Write("handler.py", `
+import lib
+
+def handler(event, context):
+    try:
+        return event["required"]
+    except KeyError:
+        return lib.removed_recovery()
+`)
+	fs.Write("site-packages/lib/__init__.py", "load_native(50, 10)\n")
+	debloated := &appspec.App{Name: "app", Image: fs, Entry: "handler", Handler: "handler", SetupDelayMS: 100}
+	p := New(DefaultConfig())
+	p.DeployWithFallback(debloated, testApp("app"))
+
+	inv, err := p.Invoke("app", map[string]any{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !inv.FallbackUsed {
+		t.Fatal("AttributeError raised inside an exception handler must trigger the fallback")
+	}
+	if inv.Err != nil {
+		t.Errorf("fallback should absorb the error: %v", inv.Err)
+	}
+}
+
+func TestRedeployKeepsFallbackWiring(t *testing.T) {
+	// Pushing a new artifact over a fallback-equipped name (how a repaired
+	// debloat lands) must not silently drop the safety net.
+	p := New(DefaultConfig())
+	p.DeployWithFallback(fallbackApp("app"), testApp("app"))
+	inv, err := p.Invoke("app", map[string]any{"mode": "advanced"})
+	if err != nil || !inv.FallbackUsed {
+		t.Fatalf("precondition: fallback should fire (inv=%+v err=%v)", inv, err)
+	}
+
+	p.Deploy(fallbackApp("app")) // redeploy: still broken on mode=advanced
+	inv, err = p.Invoke("app", map[string]any{"mode": "advanced"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !inv.FallbackUsed {
+		t.Fatal("redeploy dropped the fallback wiring")
+	}
+	if inv.Err != nil {
+		t.Errorf("fallback should absorb the error: %v", inv.Err)
+	}
+}
+
+func TestDeployWithFallbackRedeployUsesFreshOriginal(t *testing.T) {
+	// Redeploying debloated+original must route fallbacks to the NEW
+	// original, not a stale clone of the first one.
+	p := New(DefaultConfig())
+	p.DeployWithFallback(fallbackApp("app"), testApp("app"))
+
+	orig2 := testApp("app")
+	orig2.Image.Write("handler.py", `
+import lib
+
+def handler(event, context):
+    lib.work()
+    print("v2 serving", event.get("id", 0))
+    return {"ok": True, "v": 2}
+`)
+	p.DeployWithFallback(fallbackApp("app"), orig2)
+
+	inv, err := p.Invoke("app", map[string]any{"mode": "advanced", "id": 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !inv.FallbackUsed {
+		t.Fatal("fallback not used after redeploy")
+	}
+	if inv.Stdout != "v2 serving 7\n" {
+		t.Errorf("fallback served stale original: stdout = %q", inv.Stdout)
+	}
+}
+
 func TestNonAttributeErrorsPropagate(t *testing.T) {
 	fs := vfs.New()
 	fs.Write("handler.py", `

@@ -135,6 +135,75 @@ type RetryPolicy struct {
 	// (throttle, init-crash, timeout, OOM — everything but handler
 	// errors, which are deterministic).
 	RetryOn []FailureClass
+	// Budget, when non-nil, caps the total number of retries across every
+	// request sharing the budget, per sliding sim-time window. Per-request
+	// backoff bounds amplification within one request; the budget bounds it
+	// across the client — N throttled requests retrying in lockstep are
+	// exactly the storm that re-throttles itself. Nil means unlimited
+	// (prior behavior, byte-identical).
+	Budget *RetryBudget
+}
+
+// RetryBudget is a sliding-window cap on total client-side retries. Share
+// one budget across the requests of a logical client (a driver loop, a
+// rollout arm) so injected throttling cannot amplify into a retry storm:
+// once the window's retries are spent, further failures return to the
+// caller immediately instead of re-entering the backoff loop.
+//
+// Spend times come from the platform's virtual clock, so budget decisions
+// are deterministic. Not safe for concurrent use (like Platform itself).
+type RetryBudget struct {
+	// MaxRetries is the cap per window; values < 1 deny every retry.
+	MaxRetries int
+	// Window is the sliding sim-time window; <= 0 means the cap applies
+	// to the whole run (spent retries never expire).
+	Window time.Duration
+
+	spent []time.Duration // charge times, ascending (platform time is monotonic)
+}
+
+// NewRetryBudget builds a budget allowing maxRetries per window.
+func NewRetryBudget(maxRetries int, window time.Duration) *RetryBudget {
+	return &RetryBudget{MaxRetries: maxRetries, Window: window}
+}
+
+// Spend charges one retry at the given sim time. It reports false — and
+// charges nothing — when the window's cap is already spent.
+func (b *RetryBudget) Spend(now time.Duration) bool {
+	b.prune(now)
+	if len(b.spent) >= b.MaxRetries {
+		return false
+	}
+	b.spent = append(b.spent, now)
+	return true
+}
+
+// Remaining reports how many retries the window has left at the given time.
+func (b *RetryBudget) Remaining(now time.Duration) int {
+	b.prune(now)
+	if n := b.MaxRetries - len(b.spent); n > 0 {
+		return n
+	}
+	return 0
+}
+
+// prune expires charges older than the window. Charges arrive in ascending
+// time order, so expiry is a prefix cut.
+func (b *RetryBudget) prune(now time.Duration) {
+	if b.Window <= 0 {
+		return
+	}
+	cut := now - b.Window
+	i := 0
+	for i < len(b.spent) && b.spent[i] <= cut {
+		i++
+	}
+	b.spent = b.spent[i:]
+}
+
+// allowRetry charges one retry to the policy's budget (nil = unlimited).
+func (rp RetryPolicy) allowRetry(now time.Duration) bool {
+	return rp.Budget == nil || rp.Budget.Spend(now)
 }
 
 // DefaultRetryPolicy mirrors the AWS SDK defaults: 3 attempts, 100 ms
@@ -258,6 +327,10 @@ func (p *Platform) InvokeWithRetry(name string, event map[string]any, pol RetryP
 		if inv.Err == nil || !pol.retries(inv.Class) || attempt == maxA {
 			break
 		}
+		if !pol.allowRetry(p.now) {
+			p.noteBudgetExhausted(name)
+			break
+		}
 		wait := pol.backoff(attempt, p.rng)
 		st.backoff += wait
 		p.recordBackoff(st.span, attempt, wait)
@@ -266,6 +339,14 @@ func (p *Platform) InvokeWithRetry(name string, event map[string]any, pol RetryP
 	out := st.finalize()
 	st.close(p, out, p.now)
 	return out, nil
+}
+
+// noteBudgetExhausted records a retry denied by an exhausted budget.
+func (p *Platform) noteBudgetExhausted(name string) {
+	if tr := p.cfg.Tracer; tr != nil {
+		tr.Emit("faas.retry.budget_exhausted", p.now, obs.String("fn", name))
+		tr.Metrics().Inc("faas.retry.budget_denied", 1)
+	}
 }
 
 // recordBackoff records one backoff wait as a child span of the request,
@@ -342,6 +423,10 @@ func (p *Platform) InvokeGroupWithRetry(name string, events []map[string]any, po
 		st := &states[i]
 		ends[i] = groupStart + st.e2e
 		for !st.done {
+			if !pol.allowRetry(p.now) {
+				p.noteBudgetExhausted(name)
+				break
+			}
 			wait := pol.backoff(len(st.costs), p.rng)
 			st.backoff += wait
 			p.recordBackoff(st.span, len(st.costs), wait)

@@ -4,6 +4,7 @@ import (
 	"math/rand"
 	"strings"
 	"testing"
+	"testing/quick"
 	"time"
 
 	"repro/internal/appspec"
@@ -425,6 +426,141 @@ func TestMemorySpikeCausesTransientOOM(t *testing.T) {
 	}
 	if inv.PeakMB <= 200 {
 		t.Errorf("peak %f should include the 200MB spike", inv.PeakMB)
+	}
+}
+
+func TestRetryBudgetWindowSemantics(t *testing.T) {
+	b := NewRetryBudget(2, 10*time.Second)
+	if !b.Spend(0) || !b.Spend(1*time.Second) {
+		t.Fatal("first two retries fit the budget")
+	}
+	if b.Spend(2 * time.Second) {
+		t.Error("third retry inside the window must be denied")
+	}
+	if b.Remaining(2*time.Second) != 0 {
+		t.Error("window should be spent")
+	}
+	// 11.5s: both charges (at 0s and 1s) have aged out of the 10s window.
+	if b.Remaining(11500*time.Millisecond) != 2 {
+		t.Errorf("remaining = %d, want a fully recovered window", b.Remaining(11500*time.Millisecond))
+	}
+	if !b.Spend(11500 * time.Millisecond) {
+		t.Error("expired charges must free the window")
+	}
+
+	// Window <= 0: whole-run cap, charges never expire.
+	whole := NewRetryBudget(1, 0)
+	if !whole.Spend(0) {
+		t.Fatal("first retry fits")
+	}
+	if whole.Spend(time.Hour) {
+		t.Error("whole-run budget must stay spent")
+	}
+}
+
+func TestRetryBudgetCapsThrottleStorm(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Faults = FaultConfig{Enabled: true, ConcurrencyLimit: 1}
+	p := New(cfg)
+	p.Deploy(memApp("fn"))
+
+	pol := DefaultRetryPolicy()
+	pol.Jitter = 0
+	pol.Budget = NewRetryBudget(2, 0)
+	events := []map[string]any{
+		lightEvent, lightEvent, lightEvent, lightEvent, lightEvent, lightEvent,
+	}
+	invs, err := p.InvokeGroupWithRetry("fn", events, pol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	totalRetries, stillThrottled := 0, 0
+	for _, inv := range invs {
+		totalRetries += inv.Attempts - 1
+		if inv.Class == FailureThrottle {
+			stillThrottled++
+		}
+	}
+	if totalRetries != 2 {
+		t.Errorf("total retries = %d, want exactly the 2 budgeted", totalRetries)
+	}
+	// 5 of 6 throttle; the 2 budgeted retries each recover one request,
+	// the other 3 return throttled without re-entering the storm.
+	if stillThrottled != 3 {
+		t.Errorf("still throttled = %d, want 3 (budget denied their retries)", stillThrottled)
+	}
+}
+
+// Property: the budget's sliding-window invariant — within any window
+// ending at a grant, at most MaxRetries grants — holds for arbitrary
+// monotone charge sequences.
+func TestQuickRetryBudgetWindowInvariant(t *testing.T) {
+	f := func(maxRaw uint8, winRaw uint16, steps []uint16) bool {
+		max := int(maxRaw%8) + 1
+		win := time.Duration(winRaw%5000+1) * time.Millisecond
+		b := NewRetryBudget(max, win)
+		now := time.Duration(0)
+		var granted []time.Duration
+		for _, s := range steps {
+			now += time.Duration(s) * time.Millisecond
+			if b.Spend(now) {
+				granted = append(granted, now)
+			}
+		}
+		for i, gi := range granted {
+			cnt := 0
+			for _, gj := range granted[:i+1] {
+				if gj > gi-win {
+					cnt++
+				}
+			}
+			if cnt > max {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: end to end, a whole-run budget bounds the retries a faulted
+// workload can issue, for any fault seed.
+func TestQuickRetryBudgetBoundsWorkloadRetries(t *testing.T) {
+	f := func(seedRaw uint16, maxRaw uint8) bool {
+		budgetMax := int(maxRaw % 5)
+		cfg := DefaultConfig()
+		cfg.EnforceMemory = true
+		cfg.FaultSeed = int64(seedRaw)
+		cfg.Faults = FaultConfig{
+			Enabled: true, InitCrashRate: 0.5,
+			MemorySpikeRate: 0.4, MemorySpikeMB: 150,
+			ConcurrencyLimit: 1,
+		}
+		p := New(cfg)
+		p.Deploy(memApp("fn"))
+		pol := DefaultRetryPolicy()
+		pol.Budget = NewRetryBudget(budgetMax, 0)
+		total := 0
+		for i := 0; i < 6; i++ {
+			inv, err := p.InvokeWithRetry("fn", lightEvent, pol)
+			if err != nil {
+				return false
+			}
+			total += inv.Attempts - 1
+		}
+		invs, err := p.InvokeGroupWithRetry("fn", []map[string]any{lightEvent, lightEvent, lightEvent}, pol)
+		if err != nil {
+			return false
+		}
+		for _, inv := range invs {
+			total += inv.Attempts - 1
+		}
+		return total <= budgetMax
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
 	}
 }
 

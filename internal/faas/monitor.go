@@ -11,15 +11,11 @@ import (
 	"repro/internal/obs/monitor"
 )
 
-// observeMonitor feeds one completed invocation to the monitor. Merged
-// retry records are not re-observed (each attempt already was), and
+// SampleOf converts a completed invocation into a monitor sample. Merged
+// retry records should not be re-sampled (each attempt already was), and
 // throttled records carry no meaningful start kind, so Cold is gated on
 // the failure class.
-func (p *Platform) observeMonitor(start time.Duration, inv *Invocation) {
-	m := p.cfg.Monitor
-	if m == nil {
-		return
-	}
+func SampleOf(inv *Invocation) monitor.Sample {
 	cold := inv.Kind == ColdStart && inv.Class != FailureThrottle
 	var billedInit time.Duration
 	if cold && !inv.SnapStartRestore {
@@ -29,7 +25,7 @@ func (p *Platform) observeMonitor(start time.Duration, inv *Invocation) {
 	if inv.Class == FailureInitCrash {
 		billedExec = 0
 	}
-	m.Observe(start+inv.E2E, monitor.Sample{
+	return monitor.Sample{
 		Function:      inv.Function,
 		Cold:          cold,
 		Class:         inv.Class.String(),
@@ -42,5 +38,14 @@ func (p *Platform) observeMonitor(start time.Duration, inv *Invocation) {
 		MemoryMB:      inv.MemoryMB,
 		CostUSD:       inv.CostUSD,
 		RestoreFeeUSD: inv.RestoreFeeUSD,
-	})
+	}
+}
+
+// observeMonitor feeds one completed invocation to the monitor.
+func (p *Platform) observeMonitor(start time.Duration, inv *Invocation) {
+	m := p.cfg.Monitor
+	if m == nil {
+		return
+	}
+	m.Observe(start+inv.E2E, SampleOf(inv))
 }

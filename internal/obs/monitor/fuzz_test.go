@@ -1,0 +1,59 @@
+package monitor
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzParseSLOs: the SLO spec parser must never panic, and every objective
+// it accepts must be well-formed — a known kind, budgets inside (0, 1],
+// positive finite dollar amounts, positive latency thresholds. The NaN
+// fraction bug ("err=NaN" slipping through the range check) is the class
+// of hole this guards against.
+func FuzzParseSLOs(f *testing.F) {
+	f.Add("p95=800ms,err=2%,cold=30%,costinv=2e-7,costrate=0.5")
+	f.Add("err=0.05")
+	f.Add(" p95 = 1s ")
+	f.Add("")
+	f.Add(",,,")
+	f.Add("err=NaN")
+	f.Add("err=NaN%")
+	f.Add("costinv=-1")
+	f.Add("costrate=+Inf")
+	f.Add("p95=-5s")
+	f.Add("p95=0s")
+	f.Add("err=101%")
+	f.Add("bogus=1")
+	f.Add("err")
+	f.Fuzz(func(t *testing.T, spec string) {
+		slos, err := ParseSLOs(spec)
+		if err != nil {
+			return
+		}
+		for _, s := range slos {
+			if s.Name == "" {
+				t.Fatalf("%q: accepted SLO with empty name: %+v", spec, s)
+			}
+			switch s.Kind {
+			case KindLatency:
+				if s.Threshold <= 0 {
+					t.Fatalf("%q: latency threshold %v not positive", spec, s.Threshold)
+				}
+				fallthrough
+			case KindErrorRate, KindColdFraction, KindCostPerInvocation:
+				if !(s.Budget > 0 && s.Budget <= 1) {
+					t.Fatalf("%q: budget %v outside (0, 1]", spec, s.Budget)
+				}
+			case KindCostRate:
+				// no event budget; dollar rate checked below
+			default:
+				t.Fatalf("%q: unknown kind %v", spec, s.Kind)
+			}
+			if s.Kind == KindCostPerInvocation || s.Kind == KindCostRate {
+				if math.IsNaN(s.BudgetUSD) || math.IsInf(s.BudgetUSD, 0) || s.BudgetUSD <= 0 {
+					t.Fatalf("%q: BudgetUSD %v not positive finite", spec, s.BudgetUSD)
+				}
+			}
+		}
+	})
+}

@@ -8,6 +8,10 @@ import (
 // metricName sanitizes a series name into an OpenMetrics metric name:
 // every character outside [a-zA-Z0-9_] becomes '_', and the exposition
 // namespace prefix is applied.
+// MetricName exposes the exposition name mangling to other packages that
+// render OpenMetrics families alongside the monitor's.
+func MetricName(s string) string { return metricName(s) }
+
 func metricName(s string) string {
 	var b strings.Builder
 	b.WriteString("lambdatrim_")

@@ -2,6 +2,7 @@ package monitor
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"strconv"
 	"strings"
@@ -145,6 +146,10 @@ func (e AlertEvent) String() string {
 }
 
 // fmtOffset renders a virtual-time offset as +HHhMMmSSs.
+// FmtOffset renders a virtual-time offset in the canonical log form used
+// across alert and rollout event logs.
+func FmtOffset(d time.Duration) string { return fmtOffset(d) }
+
 func fmtOffset(d time.Duration) string {
 	if d < 0 {
 		d = 0
@@ -217,6 +222,9 @@ func ParseSLOs(spec string) ([]SLO, error) {
 			if err != nil {
 				return nil, fmt.Errorf("monitor: bad latency threshold %q: %v", val, err)
 			}
+			if d <= 0 {
+				return nil, fmt.Errorf("monitor: latency threshold %q must be positive", val)
+			}
 			out = append(out, SLO{Name: "latency-p95", Kind: KindLatency, Threshold: d, Budget: 0.05})
 		case "err":
 			f, err := parseFraction(val)
@@ -231,13 +239,13 @@ func ParseSLOs(spec string) ([]SLO, error) {
 			}
 			out = append(out, SLO{Name: "cold-fraction", Kind: KindColdFraction, Budget: f})
 		case "costinv":
-			f, err := strconv.ParseFloat(val, 64)
+			f, err := parseBudgetUSD(val)
 			if err != nil {
 				return nil, fmt.Errorf("monitor: bad cost threshold %q: %v", val, err)
 			}
 			out = append(out, SLO{Name: "cost-per-invocation", Kind: KindCostPerInvocation, BudgetUSD: f, Budget: 0.05})
 		case "costrate":
-			f, err := strconv.ParseFloat(val, 64)
+			f, err := parseBudgetUSD(val)
 			if err != nil {
 				return nil, fmt.Errorf("monitor: bad cost rate %q: %v", val, err)
 			}
@@ -249,6 +257,18 @@ func ParseSLOs(spec string) ([]SLO, error) {
 	return out, nil
 }
 
+// parseBudgetUSD parses a dollar amount that must be positive and finite.
+func parseBudgetUSD(val string) (float64, error) {
+	f, err := strconv.ParseFloat(val, 64)
+	if err != nil {
+		return 0, err
+	}
+	if math.IsNaN(f) || math.IsInf(f, 0) || f <= 0 {
+		return 0, fmt.Errorf("want a positive finite amount, got %v", f)
+	}
+	return f, nil
+}
+
 func parseFraction(val string) (float64, error) {
 	pct := strings.HasSuffix(val, "%")
 	f, err := strconv.ParseFloat(strings.TrimSuffix(val, "%"), 64)
@@ -258,7 +278,8 @@ func parseFraction(val string) (float64, error) {
 	if pct {
 		f /= 100
 	}
-	if f <= 0 || f > 1 {
+	// Written as a positive check so NaN (incomparable) is rejected too.
+	if !(f > 0 && f <= 1) {
 		return 0, fmt.Errorf("monitor: fraction %q out of (0, 1]", val)
 	}
 	return f, nil

@@ -14,6 +14,12 @@ type PyErr struct {
 	Value *InstanceV // the exception instance
 	Pos   pylang.Pos
 	Where string // module or function where it was raised
+	// Cause is the implicitly-chained predecessor (CPython's __context__):
+	// the exception that was being handled when this one was raised. The
+	// chain lets embedders recognize a failure's root cause even when
+	// application code catches and re-wraps it (e.g. the fallback wrapper
+	// matching an AttributeError buried under a derived RuntimeError).
+	Cause *PyErr
 }
 
 // Error implements the error interface with a Python-style rendering.
@@ -44,6 +50,41 @@ func (e *PyErr) Message() string {
 // Matches reports whether the exception is an instance of class c
 // (or a subclass of it).
 func (e *PyErr) Matches(c *ClassV) bool { return e.Value.Class.IsSubclassOf(c) }
+
+// HasClass reports whether the exception — or any exception on its cause
+// chain — is an instance of the named class. Chains are produced by
+// chainCause and are acyclic by construction; the walk is bounded anyway
+// as a guard against malformed chains.
+func (e *PyErr) HasClass(name string) bool {
+	for depth := 0; e != nil && depth < 64; depth++ {
+		if e.ClassName() == name {
+			return true
+		}
+		e = e.Cause
+	}
+	return false
+}
+
+// chainCause records ctx as the cause of err (implicit exception chaining:
+// err was raised while ctx was being handled). The cause lands on the
+// innermost unset slot of err's existing chain; self-links are refused —
+// by exception instance, since `raise e` re-wraps the same instance in a
+// fresh PyErr — so re-raising the active exception never forms a cycle.
+func chainCause(err, ctx *PyErr) {
+	if err == nil || ctx == nil || err.Value == ctx.Value {
+		return
+	}
+	e := err
+	for depth := 0; e.Cause != nil && depth < 64; depth++ {
+		if e.Cause.Value == ctx.Value {
+			return
+		}
+		e = e.Cause
+	}
+	if e.Value != ctx.Value {
+		e.Cause = ctx
+	}
+}
 
 // builtin exception hierarchy names; each maps to its base class name.
 // "BaseException" is the root.

@@ -163,6 +163,95 @@ C()
 	}
 }
 
+func TestImplicitChainingOnDerivedError(t *testing.T) {
+	// An exception raised while another is being handled carries the
+	// original as its Cause (CPython's __context__).
+	perr := runExpectErr(t, `
+try:
+    [].missing
+except AttributeError:
+    raise RuntimeError("derived")
+`)
+	if perr.ClassName() != "RuntimeError" {
+		t.Fatalf("class = %s", perr.ClassName())
+	}
+	if perr.Cause == nil || perr.Cause.ClassName() != "AttributeError" {
+		t.Fatalf("cause = %+v, want AttributeError", perr.Cause)
+	}
+	if !perr.HasClass("AttributeError") || !perr.HasClass("RuntimeError") {
+		t.Error("HasClass should see both links of the chain")
+	}
+	if perr.HasClass("ValueError") {
+		t.Error("HasClass must not invent classes")
+	}
+}
+
+func TestImplicitChainingInsideHandler(t *testing.T) {
+	// An AttributeError raised inside an unrelated exception handler chains
+	// onto the exception that was being handled.
+	perr := runExpectErr(t, `
+try:
+    raise ValueError("first")
+except ValueError:
+    [].missing
+`)
+	if perr.ClassName() != "AttributeError" {
+		t.Fatalf("class = %s", perr.ClassName())
+	}
+	if perr.Cause == nil || perr.Cause.ClassName() != "ValueError" {
+		t.Fatalf("cause = %+v, want ValueError", perr.Cause)
+	}
+}
+
+func TestImplicitChainingMultiLevel(t *testing.T) {
+	perr := runExpectErr(t, `
+try:
+    try:
+        [].missing
+    except AttributeError:
+        raise KeyError("mid")
+except KeyError:
+    raise RuntimeError("outer")
+`)
+	got := []string{}
+	for e := perr; e != nil; e = e.Cause {
+		got = append(got, e.ClassName())
+	}
+	want := "RuntimeError/KeyError/AttributeError"
+	if strings.Join(got, "/") != want {
+		t.Errorf("chain = %s, want %s", strings.Join(got, "/"), want)
+	}
+}
+
+func TestReraiseDoesNotSelfChain(t *testing.T) {
+	perr := runExpectErr(t, `
+try:
+    raise ValueError("v")
+except ValueError as e:
+    raise e
+`)
+	if perr.ClassName() != "ValueError" {
+		t.Fatalf("class = %s", perr.ClassName())
+	}
+	if perr.Cause != nil {
+		t.Errorf("re-raising the handled exception must not chain onto itself: cause = %v", perr.Cause)
+	}
+}
+
+func TestHandledExceptionLeavesNoChain(t *testing.T) {
+	// A handler that recovers cleanly must not taint later exceptions.
+	perr := runExpectErr(t, `
+try:
+    [].missing
+except AttributeError:
+    pass
+raise ValueError("later")
+`)
+	if perr.ClassName() != "ValueError" || perr.Cause != nil {
+		t.Errorf("got %s with cause %v, want un-chained ValueError", perr.ClassName(), perr.Cause)
+	}
+}
+
 func TestErrorInsideImportedModulePropagates(t *testing.T) {
 	fs := map[string]string{
 		"site-packages/broken.py": "x = 1 / 0\n",

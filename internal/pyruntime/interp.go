@@ -560,7 +560,11 @@ func (in *Interp) execTry(fr *frame, v *pylang.TryStmt) (ctrl, *PyErr) {
 			if clause.Name != "" {
 				in.bind(fr, clause.Name, err.Value)
 			}
+			ctx := err
 			c, err = in.execStmts(fr, clause.Body)
+			// Implicit chaining (CPython's __context__): an exception
+			// escaping the handler body carries the one it was handling.
+			chainCause(err, ctx)
 			break
 		}
 		if !handled && err != nil && len(v.Finally) > 0 {

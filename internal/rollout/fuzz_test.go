@@ -1,0 +1,52 @@
+package rollout
+
+import (
+	"testing"
+)
+
+// FuzzParseStages: the stage-spec parser must never panic, and any spec it
+// accepts must satisfy the ramp invariants (ascending weights in (0,1],
+// positive bakes, final stage 100%) and round-trip through FormatStages.
+func FuzzParseStages(f *testing.F) {
+	f.Add("1%:2m,10%:2m,50%:5m,100%:5m")
+	f.Add("100%:1s")
+	f.Add("0.5%:90s,100%:1h")
+	f.Add(" 25% : 3m ,100%:10m")
+	f.Add("")
+	f.Add("100%:")
+	f.Add("%:1m")
+	f.Add("1e2%:1m")
+	f.Add("50%:2m,50%:2m,100%:1m")
+	f.Add("∞%:1m,100%:1m")
+	f.Fuzz(func(t *testing.T, spec string) {
+		stages, err := ParseStages(spec)
+		if err != nil {
+			return
+		}
+		prev := 0.0
+		for i, s := range stages {
+			if s.Weight <= prev || s.Weight > 1 {
+				t.Fatalf("%q: stage %d weight %v breaks ascent from %v", spec, i, s.Weight, prev)
+			}
+			if s.Bake <= 0 {
+				t.Fatalf("%q: stage %d bake %v not positive", spec, i, s.Bake)
+			}
+			prev = s.Weight
+		}
+		if stages[len(stages)-1].Weight != 1 {
+			t.Fatalf("%q: accepted without a 100%% final stage", spec)
+		}
+		again, err := ParseStages(FormatStages(stages))
+		if err != nil {
+			t.Fatalf("%q: formatted spec rejected: %v", spec, err)
+		}
+		if len(again) != len(stages) {
+			t.Fatalf("%q: round trip changed stage count %d → %d", spec, len(stages), len(again))
+		}
+		for i := range again {
+			if again[i] != stages[i] {
+				t.Fatalf("%q: round trip changed stage %d: %+v → %+v", spec, i, stages[i], again[i])
+			}
+		}
+	})
+}

@@ -1,0 +1,94 @@
+// Package rollout is a closed-loop deployment controller for debloated
+// functions, layered on the faas simulator. It drives the full lifecycle
+// the paper leaves to operators: deploy a debloated artifact as a new
+// version, canary it behind a weighted alias, gate each stage on SLO burn
+// rates over the canary's own traffic, trip a circuit breaker when the
+// §5.4 fallback wrapper turns into a storm, and — when the storm is caused
+// by over-trimming — collect the failing inputs as new oracle cases,
+// re-debloat (§9), and canary the repaired artifact through the same
+// pipeline. Everything runs on virtual time and seeded draws, so a replay
+// is byte-identical across runs and worker counts.
+package rollout
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Stage is one canary step: route Weight of the traffic to the candidate
+// and hold for Bake of quiet gate time before advancing.
+type Stage struct {
+	// Weight is the candidate's traffic fraction in (0, 1].
+	Weight float64
+	// Bake is how long the health gate must stay quiet at this weight.
+	Bake time.Duration
+}
+
+// DefaultStages is the classic 1% → 10% → 50% → 100% ramp.
+func DefaultStages() []Stage {
+	return []Stage{
+		{Weight: 0.01, Bake: 2 * time.Minute},
+		{Weight: 0.10, Bake: 2 * time.Minute},
+		{Weight: 0.50, Bake: 5 * time.Minute},
+		{Weight: 1.00, Bake: 5 * time.Minute},
+	}
+}
+
+// ParseStages parses a canary ramp spec of the form
+// "1%:2m,10%:2m,50%:5m,100%:5m" — comma-separated percent:bake pairs.
+// Weights must be strictly ascending, in (0, 100], and end at 100%.
+func ParseStages(spec string) ([]Stage, error) {
+	var out []Stage
+	prev := 0.0
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		pctStr, bakeStr, ok := strings.Cut(part, ":")
+		if !ok {
+			return nil, fmt.Errorf("rollout: bad stage %q (want percent:bake)", part)
+		}
+		pctStr = strings.TrimSpace(pctStr)
+		if !strings.HasSuffix(pctStr, "%") {
+			return nil, fmt.Errorf("rollout: bad weight %q (want e.g. 10%%)", pctStr)
+		}
+		pct, err := strconv.ParseFloat(strings.TrimSuffix(pctStr, "%"), 64)
+		if err != nil {
+			return nil, fmt.Errorf("rollout: bad weight %q: %v", pctStr, err)
+		}
+		if pct <= 0 || pct > 100 {
+			return nil, fmt.Errorf("rollout: weight %v%% outside (0, 100]", pct)
+		}
+		if pct <= prev {
+			return nil, fmt.Errorf("rollout: weights must ascend, %v%% after %v%%", pct, prev)
+		}
+		prev = pct
+		bake, err := time.ParseDuration(strings.TrimSpace(bakeStr))
+		if err != nil {
+			return nil, fmt.Errorf("rollout: bad bake %q: %v", bakeStr, err)
+		}
+		if bake <= 0 {
+			return nil, fmt.Errorf("rollout: bake %v must be positive", bake)
+		}
+		out = append(out, Stage{Weight: pct / 100, Bake: bake})
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("rollout: empty stage spec")
+	}
+	if out[len(out)-1].Weight != 1 {
+		return nil, fmt.Errorf("rollout: final stage must be 100%%, got %v%%", out[len(out)-1].Weight*100)
+	}
+	return out, nil
+}
+
+// FormatStages renders stages back into the ParseStages spec form.
+func FormatStages(stages []Stage) string {
+	parts := make([]string, len(stages))
+	for i, s := range stages {
+		parts[i] = fmt.Sprintf("%g%%:%s", s.Weight*100, s.Bake)
+	}
+	return strings.Join(parts, ",")
+}
