@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check fmt vet build test bench bench-smoke race experiments monitor-smoke rollout-smoke fuzz-smoke
+.PHONY: check fmt vet build test bench bench-smoke race experiments monitor-smoke rollout-smoke engine-smoke fuzz-smoke
 
 ## race: the race-detector sweep CI runs on the concurrency-bearing
 ## packages (parallel DD, the corpus scheduler, the shared snapshot cache)
@@ -8,16 +8,20 @@ race:
 	$(GO) test -race -short ./internal/debloat/... ./internal/dd/... ./internal/experiments/...
 
 ## check: everything CI would run — formatting, vet, build, race-enabled
-## tests, and a short fuzz pass over the config parsers
-check: fmt vet build test fuzz-smoke
+## tests, a short fuzz pass over the config parsers and the bytecode
+## compiler, and the cross-engine golden determinism smoke
+check: fmt vet build test fuzz-smoke engine-smoke
 
 # fuzz-smoke: a few seconds of coverage-guided fuzzing on the parsers that
-# take operator-written specs (SLOs, canary stages). Seeds alone run in the
-# normal test pass; this also explores.
+# take operator-written specs (SLOs, canary stages) and on the differential
+# compile/eval harness (walker vs compiled engine must agree byte-for-byte
+# on every observable). Seeds alone run in the normal test pass; this also
+# explores.
 FUZZTIME ?= 5s
 fuzz-smoke:
 	$(GO) test -fuzz FuzzParseSLOs -fuzztime $(FUZZTIME) -run xxx ./internal/obs/monitor
 	$(GO) test -fuzz FuzzParseStages -fuzztime $(FUZZTIME) -run xxx ./internal/rollout
+	$(GO) test -fuzz FuzzCompileEval -fuzztime $(FUZZTIME) -run xxx ./internal/pyruntime
 
 fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
@@ -78,6 +82,20 @@ rollout-smoke:
 	$(GO) run ./cmd/experiments rollout > $(ROLLOUT_SMOKE_DIR)/rollout2.txt
 	cmp $(ROLLOUT_SMOKE_DIR)/rollout.txt $(ROLLOUT_SMOKE_DIR)/rollout2.txt
 	@echo "rollout-smoke: byte-identical across runs"
+
+# engine-smoke: golden determinism across execution engines — the debloating
+# sweep must render byte-identically whether oracle programs run on the
+# compiled closure streams or the reference AST walker, and regardless of
+# the parallel-debloat worker count. cmp fails the job on the first diff.
+ENGINE_SMOKE_DIR ?= engine-smoke-out
+engine-smoke:
+	@mkdir -p $(ENGINE_SMOKE_DIR)
+	$(GO) run ./cmd/experiments -engine walker table2 fig8 > $(ENGINE_SMOKE_DIR)/walker.txt
+	$(GO) run ./cmd/experiments -engine compiled table2 fig8 > $(ENGINE_SMOKE_DIR)/compiled.txt
+	$(GO) run ./cmd/experiments -engine compiled -workers 1 table2 fig8 > $(ENGINE_SMOKE_DIR)/compiled-w1.txt
+	cmp $(ENGINE_SMOKE_DIR)/walker.txt $(ENGINE_SMOKE_DIR)/compiled.txt
+	cmp $(ENGINE_SMOKE_DIR)/compiled.txt $(ENGINE_SMOKE_DIR)/compiled-w1.txt
+	@echo "engine-smoke: byte-identical across engines and worker counts"
 
 experiments:
 	$(GO) run ./cmd/experiments

@@ -26,6 +26,7 @@ import (
 	"repro/internal/faas"
 	"repro/internal/obs/monitor"
 	"repro/internal/profiler"
+	"repro/internal/pyruntime"
 )
 
 var (
@@ -206,9 +207,11 @@ func BenchmarkTable4_Fallback(b *testing.B) {
 // ---------------------------------------------------------------------------
 
 // BenchmarkPipeline_FullDebloat measures λ-trim's full pipeline from
-// scratch on representative apps of increasing size, with and without
-// import-snapshot memoization (the memo arm is the default configuration;
-// both arms produce byte-identical results — only wall-clock differs).
+// scratch on representative apps of increasing size, across two dimensions:
+// import-snapshot memoization on/off, and the compiled engine vs the AST
+// walker. Every arm produces byte-identical simulated results (the engine
+// contract in DESIGN.md §12 and the memo contract in §9) — only real
+// wall-clock and real allocations differ.
 func BenchmarkPipeline_FullDebloat(b *testing.B) {
 	apps := []string{"markdown", "lightgbm", "spacy", "resnet"}
 	if testing.Short() {
@@ -218,13 +221,21 @@ func BenchmarkPipeline_FullDebloat(b *testing.B) {
 		for _, arm := range []struct {
 			label       string
 			disableMemo bool
-		}{{"memo", false}, {"nomemo", true}} {
+			engine      pyruntime.Engine
+		}{
+			{"memo", false, pyruntime.EngineCompiled},
+			{"nomemo", true, pyruntime.EngineCompiled},
+			{"memo-walker", false, pyruntime.EngineWalker},
+			{"nomemo-walker", true, pyruntime.EngineWalker},
+		} {
 			b.Run(name+"/"+arm.label, func(b *testing.B) {
+				b.ReportAllocs()
 				var oracleRuns int
 				for i := 0; i < b.N; i++ {
 					app := appcorpus.MustBuild(name)
 					cfg := debloat.DefaultConfig()
 					cfg.DisableMemo = arm.disableMemo
+					cfg.Engine = arm.engine
 					res, err := debloat.Run(app, cfg)
 					if err != nil {
 						b.Fatal(err)

@@ -33,6 +33,7 @@ import (
 
 	"repro/internal/experiments"
 	"repro/internal/obs"
+	"repro/internal/pyruntime"
 )
 
 type renderer interface{ Render() string }
@@ -81,6 +82,7 @@ func run() int {
 	list := flag.Bool("list", false, "list experiment targets and exit")
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "worker goroutines for the up-front corpus debloat (full runs only)")
 	memo := flag.Bool("memo", true, "memoize module imports across oracle runs (off: re-interpret everything; output is identical either way)")
+	engine := flag.String("engine", "compiled", "pyruntime execution engine: compiled|walker (output is byte-identical either way)")
 	trace := flag.String("trace", "", "write a Chrome trace-event JSON file of the run")
 	events := flag.String("events", "", "write the JSONL event log of the run")
 	metrics := flag.String("metrics", "", "write a JSON metrics snapshot of the run")
@@ -89,6 +91,20 @@ func run() int {
 	cpuprofile := flag.String("cpuprofile", "", "write a real-clock CPU profile of the run to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile (post-GC) at exit to this file")
 	flag.Parse()
+
+	// Reject non-positive worker counts up front: they would reach the
+	// corpus pool and the DD scheduler, which quietly degrade to sequential;
+	// a misconfigured harness should fail loudly and deterministically.
+	if *workers < 1 {
+		fmt.Fprintf(os.Stderr, "-workers must be >= 1 (got %d)\n", *workers)
+		return 2
+	}
+	eng, err := pyruntime.ParseEngine(*engine)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "-engine: %v\n", err)
+		return 2
+	}
+	pyruntime.SetDefaultEngine(eng)
 
 	if *list {
 		fmt.Println("experiment targets:")

@@ -48,6 +48,7 @@ import (
 	"repro/internal/obs/monitor"
 	"repro/internal/powertune"
 	"repro/internal/profiler"
+	"repro/internal/pyruntime"
 )
 
 func main() {
@@ -55,7 +56,8 @@ func main() {
 	k := fs.Int("k", 20, "number of top-ranked modules to debloat")
 	scoring := fs.String("scoring", "combined", "profiler scoring: combined|time|memory|random")
 	granularity := fs.String("granularity", "attr", "DD granularity: attr|stmt")
-	workers := fs.Int("workers", 1, "concurrent oracle evaluations per DD round (with -all: corpus worker pool, default GOMAXPROCS)")
+	workers := fs.Int("workers", 1, "concurrent oracle evaluations per DD round, default 1 (with -all and no explicit -workers, the corpus pool sizes itself to GOMAXPROCS instead)")
+	engine := fs.String("engine", "compiled", "pyruntime execution engine: compiled|walker (both produce byte-identical simulated results)")
 	all := fs.Bool("all", false, "debloat the entire corpus in parallel and print a summary table")
 	dir := fs.String("dir", "", "load the application from this directory instead of the corpus")
 	out := fs.String("out", "", "export the optimized image to this directory")
@@ -80,6 +82,20 @@ func main() {
 		args = args[1:]
 	}
 	fs.Parse(args)
+
+	// A non-positive worker count would otherwise flow into the DD scheduler
+	// and the -all corpus pool; reject it here so every misuse fails the same
+	// way instead of silently degrading to sequential.
+	if *workers < 1 {
+		fmt.Fprintf(os.Stderr, "-workers must be >= 1 (got %d)\n", *workers)
+		os.Exit(2)
+	}
+	eng, err := pyruntime.ParseEngine(*engine)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "-engine: %v\n", err)
+		os.Exit(2)
+	}
+	pyruntime.SetDefaultEngine(eng)
 
 	if *all {
 		corpusWorkers := runtime.GOMAXPROCS(0)
@@ -151,6 +167,7 @@ func main() {
 		cfg.Granularity = debloat.StmtGranularity
 	}
 	cfg.Workers = *workers
+	cfg.Engine = eng
 
 	// One tracer spans the whole run: the debloat pipeline on its virtual
 	// timeline, then every platform measurement on the platform clock.

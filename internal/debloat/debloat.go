@@ -55,6 +55,13 @@ type Config struct {
 	// DisableMemo turns snapshot memoization off entirely (the uncached
 	// arm of the golden determinism test and of the memo benchmarks).
 	DisableMemo bool
+	// Engine selects the runtime execution engine for every interpreter
+	// the pipeline spawns (profiler, oracle runs, attribute loading). The
+	// zero value resolves the process-wide default (compiled). Both
+	// engines produce byte-identical simulated observables, so Results
+	// are engine-independent (DESIGN.md §12); the knob exists for the
+	// differential tests and the engine benchmark arms.
+	Engine pyruntime.Engine
 }
 
 // DefaultConfig mirrors the paper's evaluation settings (§8: "we use K = 20
@@ -139,7 +146,7 @@ func Run(app *appspec.App, cfg Config) (*Result, error) {
 	tr.StartChild(root, "analyze", "pipeline", 0).Finish(0)
 
 	prof, err := profiler.Run(app.Image, app.Entry, profiler.Options{
-		Scoring: cfg.Scoring, Seed: cfg.Seed, Tracer: tr,
+		Scoring: cfg.Scoring, Seed: cfg.Seed, Tracer: tr, Engine: cfg.Engine,
 	})
 	if err != nil {
 		tr.End(root, 0)
@@ -148,7 +155,7 @@ func Run(app *appspec.App, cfg Config) (*Result, error) {
 
 	// Everything downstream of profiling rides the runner's virtual
 	// clock, offset by the profiling time already spent.
-	run, err := newTracedRunner(app, tr, prof.TotalTime, snap, astc)
+	run, err := newTracedRunner(app, tr, prof.TotalTime, snap, astc, cfg.Engine)
 	if err != nil {
 		tr.End(root, prof.TotalTime)
 		return nil, err
@@ -197,7 +204,7 @@ func Run(app *appspec.App, cfg Config) (*Result, error) {
 	// source, not the in-memory ASTs) must still pass the oracle. The
 	// caches are shared: the rewritten modules hash to new keys while the
 	// untouched library chain still replays.
-	final, err := newTracedRunner(optimized, nil, 0, snap, astc)
+	final, err := newTracedRunner(optimized, nil, 0, snap, astc, cfg.Engine)
 	if err != nil {
 		tr.End(root, matAt)
 		return nil, fmt.Errorf("debloat: optimized app fails verification: %w", err)
@@ -401,6 +408,7 @@ func debloatModuleStmts(run *runner, name string, ast *pylang.Module, candidates
 // overrides applied) and returns its namespace attribute names.
 func loadAttrs(run *runner, name string) ([]string, bool) {
 	in := pyruntime.New(run.app.Image)
+	in.SetEngine(run.engine)
 	in.SetASTCache(run.astCache)
 	if run.snap != nil {
 		in.SetSnapshots(run.snap)

@@ -1,0 +1,1622 @@
+package pyruntime
+
+// The compiled engine (EngineCompiled, the default) lowers statements and
+// expressions once into flat streams of pre-resolved Go closures and executes
+// those on subsequent runs, instead of re-dispatching on AST node types every
+// time. Compilation is structural only — it resolves node kinds, pre-boxes
+// literal constants, assigns local-variable slots, and pre-compiles jump
+// structure — never semantic: every operation either inlines the exact
+// behavior of the walker code path or calls straight into it (binop, getAttr,
+// iterate, execStmtInner, ...). The byte-identity contract is that the two
+// engines are indistinguishable through every simulated observable: virtual
+// clock, fuel, simulated allocator, stdout, remote journal, error class,
+// message, position and cause chain, and namespace insertion order. The
+// differential fuzzer (FuzzCompileEval) and the corpus-level engine tests
+// enforce the contract; DESIGN.md §12 documents it.
+//
+// Three allocation optimizations ride on the compiled engine, all invisible
+// to simulated observables because the simulated allocator is only charged by
+// explicit Alloc calls and `is` compares scalars by value:
+//
+//   - interning: small ints and single ASCII-rune strings are boxed once,
+//     process-wide, and literal constants are boxed at compile time;
+//   - arenas: call frames and local-slot vectors are bump-allocated per
+//     interpreter and released LIFO on return (the frame arena is never
+//     reallocated — frames hand out interior pointers);
+//   - slot frames: functions whose locals are statically known skip the
+//     per-call Env map entirely and index a slot vector instead.
+
+import (
+	"reflect"
+	"sync"
+	"time"
+
+	"repro/internal/pylang"
+)
+
+// cStmt is one compiled statement. The statement's clock/fuel charge is taken
+// by the runner (runCStmts) before invocation, mirroring execStmts/execStmt.
+type cStmt func(in *Interp, fr *frame) (ctrl, *PyErr)
+
+// cExpr is one compiled expression.
+type cExpr func(in *Interp, fr *frame) (Value, *PyErr)
+
+// cAssign stores a value through one compiled assignment target.
+type cAssign func(in *Interp, fr *frame, v Value) *PyErr
+
+// maxSlots bounds slot-frame size; larger functions use the generic path.
+const maxSlots = 64
+
+// funcCode is the lazily compiled body of one def/lambda node. One holder is
+// shared (via ASTCache.funcHolder) by every FuncV created from that node, in
+// every interpreter using the cache — Delta Debugging rewrites preserve def
+// statement identity, so all candidates share one compilation.
+type funcCode struct {
+	once sync.Once
+	def  *pylang.DefStmt
+	lam  *pylang.LambdaExpr
+
+	// Populated by compile():
+	slotMode   bool
+	useWalker  bool // pathological signatures (duplicate params) keep the walker call path
+	slotOf     map[string]int
+	nslots     int
+	paramSlots []int          // param index -> slot (slotMode only)
+	paramIdx   map[string]int // param name -> param index
+	body       []cStmt
+	expr       cExpr // lambda body
+}
+
+func (fc *funcCode) ensure(cache *ASTCache) { fc.once.Do(func() { fc.compile(cache) }) }
+
+func (fc *funcCode) compile(cache *ASTCache) {
+	var params []pylang.Param
+	var body []pylang.Stmt
+	var expr pylang.Expr
+	if fc.def != nil {
+		params, body = fc.def.Params, fc.def.Body
+	} else {
+		params, expr = fc.lam.Params, fc.lam.Body
+	}
+	seen := make(map[string]bool, len(params))
+	for _, p := range params {
+		if seen[p.Name] {
+			// Duplicate parameter names make index-based binding diverge from
+			// the walker's name-keyed binding; keep walker semantics verbatim.
+			fc.useWalker = true
+			return
+		}
+		seen[p.Name] = true
+	}
+	comp := &compiler{cache: cache}
+	if slots, ok := analyzeSlots(params, body, expr); ok {
+		fc.slotMode = true
+		fc.slotOf = slots
+		fc.nslots = len(slots)
+		comp.slotOf = slots
+	}
+	fc.paramSlots = make([]int, len(params))
+	fc.paramIdx = make(map[string]int, len(params))
+	for i, p := range params {
+		fc.paramIdx[p.Name] = i
+		if fc.slotMode {
+			fc.paramSlots[i] = fc.slotOf[p.Name]
+		}
+	}
+	if expr != nil {
+		fc.expr = comp.expr(expr)
+	} else {
+		fc.body = comp.stmts(body)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Slot analysis
+// ---------------------------------------------------------------------------
+
+// analyzeSlots decides whether a function body can run on a slot frame and
+// collects its local names. Slot frames drop the per-call Env map; a frame's
+// env then points at the *defining* environment, so eligibility requires that
+// (a) every name the body can bind is statically known, and (b) no construct
+// needs the function's own Env object (closures capturing it, global
+// declarations, name deletion, star imports).
+func analyzeSlots(params []pylang.Param, body []pylang.Stmt, expr pylang.Expr) (map[string]int, bool) {
+	a := &slotAnalysis{names: make(map[string]int)}
+	for _, p := range params {
+		a.add(p.Name)
+	}
+	if expr != nil { // lambda: params are the only locals
+		if !a.scanExpr(expr) || len(a.names) > maxSlots {
+			return nil, false
+		}
+		return a.names, true
+	}
+	for _, s := range body {
+		if !a.scan(s) {
+			return nil, false
+		}
+	}
+	if len(a.names) > maxSlots {
+		return nil, false
+	}
+	return a.names, true
+}
+
+type slotAnalysis struct {
+	names map[string]int
+}
+
+func (a *slotAnalysis) add(name string) {
+	if _, ok := a.names[name]; !ok {
+		a.names[name] = len(a.names)
+	}
+}
+
+// scanExpr checks that an expression subtree contains no lambda (a lambda
+// would capture fr.env, which is the defining scope on slot frames, not the
+// call's locals).
+func (a *slotAnalysis) scanExpr(e pylang.Expr) bool {
+	ok := true
+	pylang.Walk(e, func(n pylang.Node) bool {
+		if _, isLam := n.(*pylang.LambdaExpr); isLam {
+			ok = false
+			return false
+		}
+		return true
+	})
+	return ok
+}
+
+func (a *slotAnalysis) scanAll(body []pylang.Stmt) bool {
+	for _, s := range body {
+		if !a.scan(s) {
+			return false
+		}
+	}
+	return true
+}
+
+// scan collects bound names from one statement; unknown or disqualifying
+// statement forms return false (the conservative default keeps any future
+// bind site from bypassing slot collection).
+func (a *slotAnalysis) scan(s pylang.Stmt) bool {
+	switch v := s.(type) {
+	case *pylang.PassStmt, *pylang.BreakStmt, *pylang.ContinueStmt:
+		return true
+	case *pylang.ExprStmt:
+		return a.scanExpr(v.Value)
+	case *pylang.AssignStmt:
+		for _, t := range v.Targets {
+			if !a.target(t) {
+				return false
+			}
+		}
+		return a.scanExpr(v.Value)
+	case *pylang.AugAssignStmt:
+		return a.target(v.Target) && a.scanExpr(v.Value)
+	case *pylang.ReturnStmt:
+		return v.Value == nil || a.scanExpr(v.Value)
+	case *pylang.IfStmt:
+		return a.scanExpr(v.Cond) && a.scanAll(v.Body) && a.scanAll(v.Else)
+	case *pylang.WhileStmt:
+		return a.scanExpr(v.Cond) && a.scanAll(v.Body) && a.scanAll(v.Else)
+	case *pylang.ForStmt:
+		return a.target(v.Target) && a.scanExpr(v.Iter) && a.scanAll(v.Body) && a.scanAll(v.Else)
+	case *pylang.ImportStmt:
+		for _, al := range v.Names {
+			a.add(al.Bound())
+		}
+		return true
+	case *pylang.FromImportStmt:
+		if v.Star {
+			return false // binds an unknowable name set
+		}
+		for _, al := range v.Names {
+			a.add(al.Bound())
+		}
+		return true
+	case *pylang.RaiseStmt:
+		return v.Value == nil || a.scanExpr(v.Value)
+	case *pylang.TryStmt:
+		if !a.scanAll(v.Body) {
+			return false
+		}
+		for _, ex := range v.Excepts {
+			if ex.Type != nil && !a.scanExpr(ex.Type) {
+				return false
+			}
+			if ex.Name != "" {
+				a.add(ex.Name)
+			}
+			if !a.scanAll(ex.Body) {
+				return false
+			}
+		}
+		return a.scanAll(v.Else) && a.scanAll(v.Finally)
+	case *pylang.AssertStmt:
+		return a.scanExpr(v.Cond) && (v.Msg == nil || a.scanExpr(v.Msg))
+	}
+	// DefStmt (nested closures capture fr.env), ClassStmt, GlobalStmt,
+	// DelStmt (unbinds a name — slots cannot express "deleted"), unknown.
+	return false
+}
+
+func (a *slotAnalysis) target(t pylang.Expr) bool {
+	switch v := t.(type) {
+	case *pylang.NameExpr:
+		a.add(v.Name)
+		return true
+	case *pylang.AttrExpr:
+		return a.scanExpr(v.Value)
+	case *pylang.IndexExpr:
+		return a.scanExpr(v)
+	case *pylang.TupleExpr:
+		for _, e := range v.Elems {
+			if !a.target(e) {
+				return false
+			}
+		}
+		return true
+	case *pylang.ListExpr:
+		for _, e := range v.Elems {
+			if !a.target(e) {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}
+
+// ---------------------------------------------------------------------------
+// Interning
+// ---------------------------------------------------------------------------
+
+const (
+	smallIntMin = -256
+	smallIntMax = 1025
+)
+
+// smallInts and asciiStrs are process-wide interned boxes. Handing out a
+// shared box instead of re-boxing is observationally invisible: `is` compares
+// scalars by value (identical() in interp.go) and the simulated allocator is
+// only charged by explicit Alloc calls.
+var (
+	smallInts [smallIntMax - smallIntMin]Value
+	asciiStrs [128]Value
+	valTrue   Value = BoolV(true)
+	valFalse  Value = BoolV(false)
+	valNone   Value = None
+	zeroSlots       = []Value{} // non-nil: marks a slot frame with no locals
+)
+
+func init() {
+	for i := range smallInts {
+		smallInts[i] = IntV(int64(i) + smallIntMin)
+	}
+	for i := range asciiStrs {
+		asciiStrs[i] = StrV(string(rune(i)))
+	}
+}
+
+func internInt(v int64) Value {
+	if v >= smallIntMin && v < smallIntMax {
+		return smallInts[v-smallIntMin]
+	}
+	return IntV(v)
+}
+
+func internRune(r rune) Value {
+	if r >= 0 && r < 128 {
+		return asciiStrs[r]
+	}
+	return StrV(string(r))
+}
+
+func boolVal(b bool) Value {
+	if b {
+		return valTrue
+	}
+	return valFalse
+}
+
+// ---------------------------------------------------------------------------
+// Arenas
+// ---------------------------------------------------------------------------
+
+const (
+	// Initial chunk sizes; each further chunk doubles. Most interpreters
+	// (one oracle run) stay within the first chunk of each arena; deeply
+	// recursive programs grow toward MaxDepth across a handful of chunks.
+	// Chunks are never reallocated — allocFrame hands out interior
+	// pointers, so growth must append chunks, not resize them.
+	frameChunkSize = 32
+	slotChunkSize  = 256
+	maxChunkShift  = 8 // cap chunk growth at initial<<8
+)
+
+// arenaMark snapshots both arena positions for LIFO release.
+type arenaMark struct {
+	fc, fp, sc, sp int
+}
+
+func (in *Interp) arenaMark() arenaMark {
+	return arenaMark{fc: in.frameChunk, fp: in.framePos, sc: in.slotChunk, sp: in.slotPos}
+}
+
+// releaseTo pops every arena allocation made since mark (defers unwind it
+// correctly past fatal-error panics).
+func (in *Interp) releaseTo(m arenaMark) {
+	in.frameChunk, in.framePos = m.fc, m.fp
+	in.slotChunk, in.slotPos = m.sc, m.sp
+}
+
+func chunkSize(base, idx, n int) int {
+	shift := idx
+	if shift > maxChunkShift {
+		shift = maxChunkShift
+	}
+	size := base << shift
+	if size < n {
+		size = n
+	}
+	return size
+}
+
+func (in *Interp) allocFrame() *frame {
+	for {
+		if in.frameChunk < len(in.frameChunks) {
+			c := in.frameChunks[in.frameChunk]
+			if in.framePos < len(c) {
+				fr := &c[in.framePos]
+				in.framePos++
+				return fr
+			}
+			in.frameChunk++
+			in.framePos = 0
+			continue
+		}
+		in.frameChunks = append(in.frameChunks, make([]frame, chunkSize(frameChunkSize, len(in.frameChunks), 1)))
+	}
+}
+
+func (in *Interp) allocSlots(n int) []Value {
+	if n == 0 {
+		return zeroSlots
+	}
+	for {
+		if in.slotChunk < len(in.slotChunks) {
+			c := in.slotChunks[in.slotChunk]
+			if in.slotPos+n <= len(c) {
+				s := c[in.slotPos : in.slotPos+n : in.slotPos+n]
+				in.slotPos += n
+				for i := range s {
+					s[i] = nil
+				}
+				return s
+			}
+			// The current chunk's tail is too small: move on (the waste is
+			// reclaimed when the mark is released).
+			in.slotChunk++
+			in.slotPos = 0
+			continue
+		}
+		in.slotChunks = append(in.slotChunks, make([]Value, chunkSize(slotChunkSize, len(in.slotChunks), n)))
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Code caches
+// ---------------------------------------------------------------------------
+
+// Code-cache bounds. A Delta Debugging session compiles one candidate body
+// per distinct attribute subset; the caps keep a long-lived shared cache from
+// retaining an unbounded closure graph (which the GC would rescan every
+// cycle). Resetting wholesale is observationally invisible — stable modules
+// simply recompile once after a reset.
+const (
+	mcodeCap = 8192
+	bcodeCap = 4096
+)
+
+// bodyCode is one deduplicated module-body compilation. pin retains the
+// statement nodes whose addresses form the cache key: a key can only match a
+// live body whose statements are these exact nodes, so pointer reuse after a
+// GC can never alias two different bodies to one entry. code stays nil until
+// the body warms up (second execution); walk marks bodies not worth
+// compiling at all.
+type bodyCode struct {
+	pin  []pylang.Stmt
+	code []cStmt
+	walk bool
+}
+
+// bodyComputes reports whether a module body contains any loop outside
+// nested function bodies. Definition-only bodies (def/class/import/assign
+// sequences — the dominant shape of library modules) execute each statement
+// exactly once through semantics shared verbatim with the walker, so a
+// compiled stream cannot beat walking them but its closure graph would sit
+// on the heap for the GC to rescan; such bodies stay walked. Function bodies
+// defined inside them still compile through their own cache on first call.
+func bodyComputes(body []pylang.Stmt) bool {
+	for _, s := range body {
+		switch v := s.(type) {
+		case *pylang.ForStmt, *pylang.WhileStmt:
+			return true
+		case *pylang.IfStmt:
+			if bodyComputes(v.Body) || bodyComputes(v.Else) {
+				return true
+			}
+		case *pylang.TryStmt:
+			if bodyComputes(v.Body) || bodyComputes(v.Else) || bodyComputes(v.Finally) {
+				return true
+			}
+			for _, ex := range v.Excepts {
+				if bodyComputes(ex.Body) {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// bodyKey renders a statement sequence's node identities as a map key. Two
+// bodies with the same key execute identical code: compilation is a pure
+// function of the statement nodes, and DD rewrites filter the original
+// statement list without cloning nodes.
+func bodyKey(body []pylang.Stmt) string {
+	b := make([]byte, 0, len(body)*8)
+	for _, s := range body {
+		p := reflect.ValueOf(s).Pointer()
+		b = append(b, byte(p), byte(p>>8), byte(p>>16), byte(p>>24),
+			byte(p>>32), byte(p>>40), byte(p>>48), byte(p>>56))
+	}
+	return string(b)
+}
+
+// moduleCode returns the compiled form of a module body, or nil to tell the
+// caller to walk it this time. Stable module nodes (parse-cache parses,
+// accepted debloater overrides) hit the node-keyed fast path; everything else
+// deduplicates through the body-identity cache. Import-owned bodies (mod
+// non-nil) warm up JIT-style: the first execution of a never-seen body is
+// walked and only a second execution compiles, so the fresh one-shot
+// candidate module a DD oracle run constructs per test never pays
+// compilation, while the stable modules every oracle run re-imports compile
+// once and run compiled forever after. Walking and running compiled are
+// observationally identical (the byte-identity contract), so the mix is
+// invisible to every simulated observable.
+func (c *ASTCache) moduleCode(mod *pylang.Module, body []pylang.Stmt) []cStmt {
+	if mod != nil {
+		c.codeMu.RLock()
+		code, ok := c.mcode[mod]
+		c.codeMu.RUnlock()
+		if ok {
+			return code
+		}
+	}
+	key := bodyKey(body)
+	c.codeMu.Lock()
+	bc := c.bcode[key]
+	if bc == nil {
+		if len(c.bcode) >= bcodeCap {
+			c.bcode = make(map[string]*bodyCode)
+			c.mcode = make(map[*pylang.Module][]cStmt)
+		}
+		bc = &bodyCode{pin: body}
+		c.bcode[key] = bc
+		if mod != nil {
+			c.codeMu.Unlock()
+			return nil // first sighting: walk it
+		}
+	}
+	code := bc.code
+	walkOnly := bc.walk
+	c.codeMu.Unlock()
+	if walkOnly && mod != nil {
+		return nil
+	}
+	if code == nil {
+		if mod != nil && !bodyComputes(body) {
+			c.codeMu.Lock()
+			bc.walk = true
+			c.codeMu.Unlock()
+			return nil
+		}
+		code = (&compiler{cache: c}).stmts(body)
+		c.codeMu.Lock()
+		if bc.code == nil {
+			bc.code = code
+		} else {
+			code = bc.code // lost a compile race; share the winner
+		}
+		c.codeMu.Unlock()
+	}
+	if mod != nil {
+		c.codeMu.Lock()
+		if len(c.mcode) >= mcodeCap {
+			c.mcode = make(map[*pylang.Module][]cStmt)
+		}
+		c.mcode[mod] = code
+		c.codeMu.Unlock()
+	}
+	return code
+}
+
+// funcHolder returns the shared code holder for a def/lambda node.
+func (c *ASTCache) funcHolder(node pylang.Node) *funcCode {
+	c.codeMu.RLock()
+	fc, ok := c.fcode[node]
+	c.codeMu.RUnlock()
+	if ok {
+		return fc
+	}
+	fc = &funcCode{}
+	switch v := node.(type) {
+	case *pylang.DefStmt:
+		fc.def = v
+	case *pylang.LambdaExpr:
+		fc.lam = v
+	default:
+		return nil
+	}
+	c.codeMu.Lock()
+	if prev, ok := c.fcode[node]; ok {
+		fc = prev
+	} else {
+		c.fcode[node] = fc
+	}
+	c.codeMu.Unlock()
+	return fc
+}
+
+// attachCode equips a freshly created FuncV with the node its shared code
+// holder resolves from on first call (callFunc): definitions are much more
+// common than calls during imports, so definition does no cache work at all.
+// Only the compiled engine attaches; the walker stays a pure reference
+// implementation (and ignores stray code/node fields from mixed-engine
+// values).
+func (in *Interp) attachCode(fn *FuncV, node pylang.Node) {
+	if in.engine != EngineCompiled {
+		return
+	}
+	fn.node = node
+}
+
+// ---------------------------------------------------------------------------
+// Runner and calls
+// ---------------------------------------------------------------------------
+
+// runCStmts drives a compiled statement stream, mirroring execStmts/execStmt:
+// one clock/fuel charge per statement, errors unwind with ctrlNormal.
+func (in *Interp) runCStmts(fr *frame, body []cStmt) (ctrl, *PyErr) {
+	for _, s := range body {
+		in.chargeStmt()
+		c, err := s(in, fr)
+		if err != nil {
+			return ctrlNormal, err
+		}
+		if c.kind != ctrlNone {
+			return c, nil
+		}
+	}
+	return ctrlNormal, nil
+}
+
+// callCompiled invokes a function through its compiled body. Callers must
+// have run fc.ensure and checked !fc.useWalker.
+func (in *Interp) callCompiled(f *FuncV, fc *funcCode, args []Value, kwargs map[string]Value) (Value, *PyErr) {
+	if fc.slotMode {
+		return in.callSlot(f, fc, args, kwargs)
+	}
+	return in.callGeneric(f, fc, args, kwargs)
+}
+
+func (in *Interp) callSlot(f *FuncV, fc *funcCode, args []Value, kwargs map[string]Value) (Value, *PyErr) {
+	if len(args) > len(f.Params) {
+		return nil, in.NewExc("TypeError", "%s() takes %d arguments but %d were given",
+			f.Name, len(f.Params), len(args))
+	}
+	mark := in.arenaMark()
+	defer in.releaseTo(mark)
+	fr := in.allocFrame()
+	slots := in.allocSlots(fc.nslots)
+	fr.globals, fr.env, fr.module = f.Globals, f.Env, f.Module
+	fr.slots, fr.fcode = slots, fc
+	for i, a := range args {
+		slots[fc.paramSlots[i]] = a
+	}
+	if len(kwargs) == 1 {
+		// A single key needs no sort allocation; the binding order of one
+		// element is trivially deterministic.
+		for name, val := range kwargs {
+			pi, ok := fc.paramIdx[name]
+			if !ok {
+				return nil, in.NewExc("TypeError", "%s() got an unexpected keyword argument '%s'", f.Name, name)
+			}
+			si := fc.paramSlots[pi]
+			if slots[si] != nil {
+				return nil, in.NewExc("TypeError", "%s() got multiple values for argument '%s'", f.Name, name)
+			}
+			slots[si] = val
+		}
+	} else if len(kwargs) > 1 {
+		for _, name := range sortedKwargKeys(kwargs) {
+			pi, ok := fc.paramIdx[name]
+			if !ok {
+				return nil, in.NewExc("TypeError", "%s() got an unexpected keyword argument '%s'", f.Name, name)
+			}
+			si := fc.paramSlots[pi]
+			if slots[si] != nil {
+				return nil, in.NewExc("TypeError", "%s() got multiple values for argument '%s'", f.Name, name)
+			}
+			slots[si] = kwargs[name]
+		}
+	}
+	for i := range f.Params {
+		si := fc.paramSlots[i]
+		if slots[si] != nil {
+			continue
+		}
+		if i >= len(f.Defaults) || f.Defaults[i] == nil {
+			return nil, in.NewExc("TypeError", "%s() missing required argument: '%s'", f.Name, f.Params[i].Name)
+		}
+		slots[si] = f.Defaults[i]
+	}
+	if f.Cost > 0 {
+		in.Clock.Advance(time.Duration(f.Cost))
+	}
+	if fc.expr != nil {
+		return fc.expr(in, fr)
+	}
+	c, err := in.runCStmts(fr, fc.body)
+	if err != nil {
+		return nil, err
+	}
+	if c.kind == ctrlReturn {
+		return c.value, nil
+	}
+	return None, nil
+}
+
+func (in *Interp) callGeneric(f *FuncV, fc *funcCode, args []Value, kwargs map[string]Value) (Value, *PyErr) {
+	if len(args) > len(f.Params) {
+		return nil, in.NewExc("TypeError", "%s() takes %d arguments but %d were given",
+			f.Name, len(f.Params), len(args))
+	}
+	env := NewEnv(f.Env)
+	var boundArr [32]bool
+	var bound []bool
+	if len(f.Params) <= len(boundArr) {
+		bound = boundArr[:len(f.Params)]
+	} else {
+		bound = make([]bool, len(f.Params))
+	}
+	for i, a := range args {
+		env.vars[f.Params[i].Name] = a
+		bound[i] = true
+	}
+	if len(kwargs) == 1 {
+		for name, val := range kwargs {
+			pi, ok := fc.paramIdx[name]
+			if !ok {
+				return nil, in.NewExc("TypeError", "%s() got an unexpected keyword argument '%s'", f.Name, name)
+			}
+			if bound[pi] {
+				return nil, in.NewExc("TypeError", "%s() got multiple values for argument '%s'", f.Name, name)
+			}
+			env.vars[name] = val
+			bound[pi] = true
+		}
+	} else if len(kwargs) > 1 {
+		for _, name := range sortedKwargKeys(kwargs) {
+			pi, ok := fc.paramIdx[name]
+			if !ok {
+				return nil, in.NewExc("TypeError", "%s() got an unexpected keyword argument '%s'", f.Name, name)
+			}
+			if bound[pi] {
+				return nil, in.NewExc("TypeError", "%s() got multiple values for argument '%s'", f.Name, name)
+			}
+			env.vars[name] = kwargs[name]
+			bound[pi] = true
+		}
+	}
+	for i, p := range f.Params {
+		if bound[i] {
+			continue
+		}
+		if i >= len(f.Defaults) || f.Defaults[i] == nil {
+			return nil, in.NewExc("TypeError", "%s() missing required argument: '%s'", f.Name, p.Name)
+		}
+		env.vars[p.Name] = f.Defaults[i]
+	}
+	mark := in.arenaMark()
+	defer in.releaseTo(mark)
+	fr := in.allocFrame()
+	fr.globals, fr.env, fr.module = f.Globals, env, f.Module
+	fr.slots, fr.fcode = nil, nil
+	if f.Cost > 0 {
+		in.Clock.Advance(time.Duration(f.Cost))
+	}
+	if fc.expr != nil {
+		return fc.expr(in, fr)
+	}
+	c, err := in.runCStmts(fr, fc.body)
+	if err != nil {
+		return nil, err
+	}
+	if c.kind == ctrlReturn {
+		return c.value, nil
+	}
+	return None, nil
+}
+
+// ---------------------------------------------------------------------------
+// Statement compilation
+// ---------------------------------------------------------------------------
+
+// compiler lowers one lexical scope. slotOf is non-nil when compiling a
+// slot-mode function body; cache provides holders for nested defs/lambdas.
+type compiler struct {
+	cache  *ASTCache
+	slotOf map[string]int
+}
+
+var (
+	cPass cStmt = func(in *Interp, fr *frame) (ctrl, *PyErr) { return ctrlNormal, nil }
+	cBrk  cStmt = func(in *Interp, fr *frame) (ctrl, *PyErr) { return ctrl{kind: ctrlBreak}, nil }
+	cCont cStmt = func(in *Interp, fr *frame) (ctrl, *PyErr) { return ctrl{kind: ctrlContinue}, nil }
+)
+
+func (c *compiler) stmts(body []pylang.Stmt) []cStmt {
+	if len(body) == 0 {
+		return nil
+	}
+	out := make([]cStmt, len(body))
+	for i, s := range body {
+		out[i] = c.stmt(s)
+	}
+	return out
+}
+
+// fallback delegates a statement to the walker's per-statement implementation
+// (after the runner's charge). Used for rare constructs whose semantics are
+// not worth duplicating; slot eligibility excludes the ones that would
+// misbehave on a slot frame.
+func (c *compiler) fallback(s pylang.Stmt) cStmt {
+	return func(in *Interp, fr *frame) (ctrl, *PyErr) {
+		return in.execStmtInner(fr, s)
+	}
+}
+
+func (c *compiler) stmt(s pylang.Stmt) cStmt {
+	switch v := s.(type) {
+	case *pylang.PassStmt:
+		return cPass
+	case *pylang.BreakStmt:
+		return cBrk
+	case *pylang.ContinueStmt:
+		return cCont
+	case *pylang.ExprStmt:
+		e := c.expr(v.Value)
+		return func(in *Interp, fr *frame) (ctrl, *PyErr) {
+			_, err := e(in, fr)
+			return ctrlNormal, err
+		}
+	case *pylang.AssignStmt:
+		valC := c.expr(v.Value)
+		if len(v.Targets) == 1 {
+			asg := c.assign1(v.Targets[0])
+			return func(in *Interp, fr *frame) (ctrl, *PyErr) {
+				val, err := valC(in, fr)
+				if err != nil {
+					return ctrlNormal, err
+				}
+				return ctrlNormal, asg(in, fr, val)
+			}
+		}
+		asgs := make([]cAssign, len(v.Targets))
+		for i, t := range v.Targets {
+			asgs[i] = c.assign1(t)
+		}
+		return func(in *Interp, fr *frame) (ctrl, *PyErr) {
+			val, err := valC(in, fr)
+			if err != nil {
+				return ctrlNormal, err
+			}
+			for _, asg := range asgs {
+				if err := asg(in, fr, val); err != nil {
+					return ctrlNormal, err
+				}
+			}
+			return ctrlNormal, nil
+		}
+	case *pylang.AugAssignStmt:
+		// Like the walker: load the target, evaluate the rhs, combine, store
+		// back through the target (re-evaluating any object expressions).
+		curC := c.expr(v.Target)
+		valC := c.expr(v.Value)
+		asg := c.assign1(v.Target)
+		op, pos := v.Op, v.Pos
+		return func(in *Interp, fr *frame) (ctrl, *PyErr) {
+			cur, err := curC(in, fr)
+			if err != nil {
+				return ctrlNormal, err
+			}
+			rhs, err := valC(in, fr)
+			if err != nil {
+				return ctrlNormal, err
+			}
+			res, err := in.binop(op, cur, rhs, pos)
+			if err != nil {
+				return ctrlNormal, err
+			}
+			return ctrlNormal, asg(in, fr, res)
+		}
+	case *pylang.ReturnStmt:
+		if v.Value == nil {
+			return func(in *Interp, fr *frame) (ctrl, *PyErr) {
+				return ctrl{kind: ctrlReturn, value: valNone}, nil
+			}
+		}
+		valC := c.expr(v.Value)
+		return func(in *Interp, fr *frame) (ctrl, *PyErr) {
+			val, err := valC(in, fr)
+			if err != nil {
+				return ctrlNormal, err
+			}
+			return ctrl{kind: ctrlReturn, value: val}, nil
+		}
+	case *pylang.IfStmt:
+		condC := c.expr(v.Cond)
+		bodyC := c.stmts(v.Body)
+		elseC := c.stmts(v.Else)
+		return func(in *Interp, fr *frame) (ctrl, *PyErr) {
+			cond, err := condC(in, fr)
+			if err != nil {
+				return ctrlNormal, err
+			}
+			if Truth(cond) {
+				return in.runCStmts(fr, bodyC)
+			}
+			return in.runCStmts(fr, elseC)
+		}
+	case *pylang.WhileStmt:
+		condC := c.expr(v.Cond)
+		bodyC := c.stmts(v.Body)
+		elseC := c.stmts(v.Else)
+		return func(in *Interp, fr *frame) (ctrl, *PyErr) {
+			for {
+				cond, err := condC(in, fr)
+				if err != nil {
+					return ctrlNormal, err
+				}
+				if !Truth(cond) {
+					break
+				}
+				cc, err := in.runCStmts(fr, bodyC)
+				if err != nil {
+					return ctrlNormal, err
+				}
+				if cc.kind == ctrlBreak {
+					return ctrlNormal, nil
+				}
+				if cc.kind == ctrlReturn {
+					return cc, nil
+				}
+				in.chargeStmt() // loop back-edge, as in the walker
+			}
+			return in.runCStmts(fr, elseC)
+		}
+	case *pylang.ForStmt:
+		iterC := c.expr(v.Iter)
+		asg := c.assign1(v.Target)
+		bodyC := c.stmts(v.Body)
+		elseC := c.stmts(v.Else)
+		pos := v.Pos
+		return func(in *Interp, fr *frame) (ctrl, *PyErr) {
+			iter, err := iterC(in, fr)
+			if err != nil {
+				return ctrlNormal, err
+			}
+			// Lazy fast paths avoid materializing ranges and strings; the
+			// iteration count, element values and charge schedule are
+			// identical to the walker's materialized loop.
+			switch t := iter.(type) {
+			case *RangeV:
+				start, step := t.Start, t.Step
+				return in.runForLoop(fr, t.Len(), func(i int64) Value { return internInt(start + i*step) }, asg, bodyC, elseC)
+			case StrV:
+				runes := []rune(string(t))
+				return in.runForLoop(fr, int64(len(runes)), func(i int64) Value { return internRune(runes[i]) }, asg, bodyC, elseC)
+			}
+			elems, perr := in.iterate(iter, pos)
+			if perr != nil {
+				return ctrlNormal, perr
+			}
+			return in.runForLoop(fr, int64(len(elems)), func(i int64) Value { return elems[i] }, asg, bodyC, elseC)
+		}
+	case *pylang.RaiseStmt:
+		if v.Value == nil {
+			return func(in *Interp, fr *frame) (ctrl, *PyErr) {
+				return ctrlNormal, in.NewExc("RuntimeError", "no active exception to re-raise")
+			}
+		}
+		valC := c.expr(v.Value)
+		pos := v.Pos
+		return func(in *Interp, fr *frame) (ctrl, *PyErr) {
+			val, err := valC(in, fr)
+			if err != nil {
+				return ctrlNormal, err
+			}
+			return ctrlNormal, in.raiseValue(val, pos, fr.module)
+		}
+	case *pylang.TryStmt:
+		return c.tryStmt(v)
+	case *pylang.DefStmt:
+		// Mirrors the walker's DefStmt case with the per-execution constant
+		// work hoisted to compile time: the shared code holder, the default
+		// expressions, and the decorator expressions.
+		holder := c.cache.funcHolder(v)
+		defIdx, defCs := c.defaults(v.Params)
+		decCs := c.exprs(v.Decorators)
+		nparams := len(v.Params)
+		node := v
+		return func(in *Interp, fr *frame) (ctrl, *PyErr) {
+			defaults, derr := runDefaults(in, fr, nparams, defIdx, defCs)
+			if derr != nil {
+				return ctrlNormal, derr
+			}
+			fn := &FuncV{
+				Name: node.Name, Params: node.Params, Body: node.Body,
+				Globals: fr.globals, Module: fr.module, Env: fr.env,
+				Defaults: defaults, code: holder,
+			}
+			in.Alloc.Alloc(SizeOf(fn) + int64(60*len(node.Body)))
+			var value Value = fn
+			// Apply decorators innermost-first, as the walker does.
+			for i := len(decCs) - 1; i >= 0; i-- {
+				dec, err := decCs[i](in, fr)
+				if err != nil {
+					return ctrlNormal, err
+				}
+				value, err = in.call(dec, []Value{value}, nil, node.Pos)
+				if err != nil {
+					return ctrlNormal, err
+				}
+			}
+			in.bind(fr, node.Name, value)
+			return ctrlNormal, nil
+		}
+	case *pylang.ClassStmt:
+		node := v
+		return func(in *Interp, fr *frame) (ctrl, *PyErr) {
+			return ctrlNormal, in.execClass(fr, node)
+		}
+	case *pylang.ImportStmt:
+		node := v
+		return func(in *Interp, fr *frame) (ctrl, *PyErr) {
+			return in.execImport(fr, node)
+		}
+	case *pylang.FromImportStmt:
+		node := v
+		return func(in *Interp, fr *frame) (ctrl, *PyErr) {
+			return ctrlNormal, in.execFromImport(fr, node)
+		}
+	case *pylang.AssertStmt:
+		condC := c.expr(v.Cond)
+		var msgC cExpr
+		if v.Msg != nil {
+			msgC = c.expr(v.Msg)
+		}
+		return func(in *Interp, fr *frame) (ctrl, *PyErr) {
+			cond, err := condC(in, fr)
+			if err != nil {
+				return ctrlNormal, err
+			}
+			if !Truth(cond) {
+				msg := ""
+				if msgC != nil {
+					m, err := msgC(in, fr)
+					if err != nil {
+						return ctrlNormal, err
+					}
+					msg = Str(m)
+				}
+				return ctrlNormal, in.NewExc("AssertionError", "%s", msg)
+			}
+			return ctrlNormal, nil
+		}
+	}
+	// GlobalStmt, DelStmt and unknown statements share the walker's
+	// implementation via fallback.
+	return c.fallback(s)
+}
+
+// runForLoop executes a compiled for-loop over n elements produced by at,
+// following the walker's charge schedule (one back-edge charge after every
+// non-breaking iteration) and else-clause semantics.
+func (in *Interp) runForLoop(fr *frame, n int64, at func(int64) Value, asg cAssign, body, elseB []cStmt) (ctrl, *PyErr) {
+	broke := false
+	for i := int64(0); i < n; i++ {
+		if err := asg(in, fr, at(i)); err != nil {
+			return ctrlNormal, err
+		}
+		c, err := in.runCStmts(fr, body)
+		if err != nil {
+			return ctrlNormal, err
+		}
+		if c.kind == ctrlBreak {
+			broke = true
+			break
+		}
+		if c.kind == ctrlReturn {
+			return c, nil
+		}
+		in.chargeStmt()
+	}
+	if !broke {
+		return in.runCStmts(fr, elseB)
+	}
+	return ctrlNormal, nil
+}
+
+type cExcept struct {
+	typeC cExpr // nil catches everything
+	name  string
+	body  []cStmt
+}
+
+func (c *compiler) tryStmt(v *pylang.TryStmt) cStmt {
+	bodyC := c.stmts(v.Body)
+	excepts := make([]cExcept, len(v.Excepts))
+	for i, ex := range v.Excepts {
+		var typeC cExpr
+		if ex.Type != nil {
+			typeC = c.expr(ex.Type)
+		}
+		excepts[i] = cExcept{typeC: typeC, name: ex.Name, body: c.stmts(ex.Body)}
+	}
+	elseC := c.stmts(v.Else)
+	hasElse := len(v.Else) > 0
+	finallyC := c.stmts(v.Finally)
+	hasFinally := len(v.Finally) > 0
+	return func(in *Interp, fr *frame) (ctrl, *PyErr) {
+		cc, err := in.runCStmts(fr, bodyC)
+		if err != nil {
+			for i := range excepts {
+				clause := &excepts[i]
+				match := true
+				if clause.typeC != nil {
+					typeVal, terr := clause.typeC(in, fr)
+					if terr != nil {
+						err = terr
+						break
+					}
+					var merr *PyErr
+					match, merr = in.matchExcClasses(typeVal, err)
+					if merr != nil {
+						err = merr
+						break
+					}
+				}
+				if !match {
+					continue
+				}
+				if clause.name != "" {
+					in.bind(fr, clause.name, err.Value)
+				}
+				ctx := err
+				cc, err = in.runCStmts(fr, clause.body)
+				// Implicit chaining (CPython's __context__), as in the walker.
+				chainCause(err, ctx)
+				break
+			}
+		} else if cc.kind == ctrlNone && hasElse {
+			cc, err = in.runCStmts(fr, elseC)
+		}
+		if hasFinally {
+			fc, ferr := in.runCStmts(fr, finallyC)
+			if ferr != nil {
+				return ctrlNormal, ferr // finally's error supersedes
+			}
+			if fc.kind != ctrlNone {
+				return fc, nil
+			}
+		}
+		return cc, err
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Assignment-target compilation
+// ---------------------------------------------------------------------------
+
+func (c *compiler) assign1(t pylang.Expr) cAssign {
+	switch v := t.(type) {
+	case *pylang.NameExpr:
+		name := v.Name
+		if c.slotOf != nil {
+			if i, ok := c.slotOf[name]; ok {
+				return func(in *Interp, fr *frame, val Value) *PyErr {
+					fr.slots[i] = val
+					return nil
+				}
+			}
+		}
+		return func(in *Interp, fr *frame, val Value) *PyErr {
+			in.bind(fr, name, val)
+			return nil
+		}
+	case *pylang.AttrExpr:
+		objC := c.expr(v.Value)
+		attr, pos := v.Attr, v.Pos
+		return func(in *Interp, fr *frame, val Value) *PyErr {
+			obj, err := objC(in, fr)
+			if err != nil {
+				return err
+			}
+			return in.setAttr(obj, attr, val, pos)
+		}
+	case *pylang.IndexExpr:
+		objC := c.expr(v.Value)
+		if v.Slice {
+			return func(in *Interp, fr *frame, val Value) *PyErr {
+				if _, err := objC(in, fr); err != nil {
+					return err
+				}
+				return in.NewExc("TypeError", "slice assignment is not supported")
+			}
+		}
+		idxC := c.expr(v.Index)
+		pos := v.Pos
+		return func(in *Interp, fr *frame, val Value) *PyErr {
+			obj, err := objC(in, fr)
+			if err != nil {
+				return err
+			}
+			idx, err := idxC(in, fr)
+			if err != nil {
+				return err
+			}
+			return in.setItem(obj, idx, val, pos)
+		}
+	case *pylang.TupleExpr:
+		return c.unpackAssign(v.Elems, v.Pos)
+	case *pylang.ListExpr:
+		return c.unpackAssign(v.Elems, v.Pos)
+	}
+	node := t
+	return func(in *Interp, fr *frame, val Value) *PyErr {
+		return in.NewExc("SyntaxError", "cannot assign to %T", node)
+	}
+}
+
+func (c *compiler) unpackAssign(targets []pylang.Expr, pos pylang.Pos) cAssign {
+	asgs := make([]cAssign, len(targets))
+	for i, t := range targets {
+		asgs[i] = c.assign1(t)
+	}
+	return func(in *Interp, fr *frame, val Value) *PyErr {
+		elems, err := in.iterate(val, pos)
+		if err != nil {
+			return err
+		}
+		if len(elems) != len(asgs) {
+			return in.NewExc("ValueError", "cannot unpack %d values into %d targets", len(elems), len(asgs))
+		}
+		for i, asg := range asgs {
+			if err := asg(in, fr, elems[i]); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Expression compilation
+// ---------------------------------------------------------------------------
+
+func constExpr(v Value) cExpr {
+	return func(*Interp, *frame) (Value, *PyErr) { return v, nil }
+}
+
+func (c *compiler) exprs(es []pylang.Expr) []cExpr {
+	out := make([]cExpr, len(es))
+	for i, e := range es {
+		out[i] = c.expr(e)
+	}
+	return out
+}
+
+func (c *compiler) expr(e pylang.Expr) cExpr {
+	switch v := e.(type) {
+	case *pylang.NameExpr:
+		name, pos := v.Name, v.Pos
+		if c.slotOf != nil {
+			if i, ok := c.slotOf[name]; ok {
+				return func(in *Interp, fr *frame) (Value, *PyErr) {
+					if val := fr.slots[i]; val != nil {
+						return val, nil
+					}
+					// Unbound local: fall through the walker's full lookup
+					// (defining env chain, globals, builtins, NameError).
+					return in.lookup(fr, name, pos)
+				}
+			}
+		}
+		return func(in *Interp, fr *frame) (Value, *PyErr) {
+			return in.lookup(fr, name, pos)
+		}
+	case *pylang.IntLit:
+		return constExpr(internInt(v.Value))
+	case *pylang.FloatLit:
+		return constExpr(FloatV(v.Value))
+	case *pylang.StringLit:
+		return constExpr(StrV(v.Value))
+	case *pylang.BoolLit:
+		return constExpr(boolVal(v.Value))
+	case *pylang.NoneLit:
+		return constExpr(valNone)
+	case *pylang.AttrExpr:
+		objC := c.expr(v.Value)
+		attr, pos := v.Attr, v.Pos
+		return func(in *Interp, fr *frame) (Value, *PyErr) {
+			obj, err := objC(in, fr)
+			if err != nil {
+				return nil, err
+			}
+			return in.getAttr(obj, attr, pos)
+		}
+	case *pylang.IndexExpr:
+		objC := c.expr(v.Value)
+		if v.Slice {
+			node := v
+			return func(in *Interp, fr *frame) (Value, *PyErr) {
+				obj, err := objC(in, fr)
+				if err != nil {
+					return nil, err
+				}
+				return in.evalSlice(fr, obj, node)
+			}
+		}
+		idxC := c.expr(v.Index)
+		pos := v.Pos
+		return func(in *Interp, fr *frame) (Value, *PyErr) {
+			obj, err := objC(in, fr)
+			if err != nil {
+				return nil, err
+			}
+			idx, err := idxC(in, fr)
+			if err != nil {
+				return nil, err
+			}
+			// In-bounds list[int] inline; everything else (including the
+			// error cases) takes the walker's getItem.
+			if l, ok := obj.(*ListV); ok {
+				if iv, ok := idx.(IntV); ok {
+					j := int(iv)
+					if j < 0 {
+						j += len(l.Elems)
+					}
+					if j >= 0 && j < len(l.Elems) {
+						return l.Elems[j], nil
+					}
+				}
+			}
+			return in.getItem(obj, idx, pos)
+		}
+	case *pylang.CallExpr:
+		fnC := c.expr(v.Func)
+		argCs := c.exprs(v.Args)
+		var kwNames []string
+		var kwCs []cExpr
+		if len(v.Keywords) > 0 {
+			kwNames = make([]string, len(v.Keywords))
+			kwCs = make([]cExpr, len(v.Keywords))
+			for i, kw := range v.Keywords {
+				kwNames[i] = kw.Name
+				kwCs[i] = c.expr(kw.Value)
+			}
+		}
+		pos := v.Pos
+		return func(in *Interp, fr *frame) (Value, *PyErr) {
+			fn, err := fnC(in, fr)
+			if err != nil {
+				return nil, err
+			}
+			args := make([]Value, len(argCs))
+			for i, ac := range argCs {
+				val, err := ac(in, fr)
+				if err != nil {
+					return nil, err
+				}
+				args[i] = val
+			}
+			var kwargs map[string]Value
+			if len(kwCs) > 0 {
+				kwargs = make(map[string]Value, len(kwCs))
+				for i, kc := range kwCs {
+					val, err := kc(in, fr)
+					if err != nil {
+						return nil, err
+					}
+					kwargs[kwNames[i]] = val
+				}
+			}
+			return in.call(fn, args, kwargs, pos)
+		}
+	case *pylang.BinOp:
+		leftC := c.expr(v.Left)
+		rightC := c.expr(v.Right)
+		op, pos := v.Op, v.Pos
+		switch op {
+		case pylang.Plus, pylang.Minus, pylang.Star:
+			// int ⊕ int inline with interning; all other operand kinds
+			// (and overflow-free by int64 wraparound, same as the walker)
+			// take the shared binop.
+			return func(in *Interp, fr *frame) (Value, *PyErr) {
+				l, err := leftC(in, fr)
+				if err != nil {
+					return nil, err
+				}
+				r, err := rightC(in, fr)
+				if err != nil {
+					return nil, err
+				}
+				if li, ok := l.(IntV); ok {
+					if ri, ok := r.(IntV); ok {
+						switch op {
+						case pylang.Plus:
+							return internInt(int64(li) + int64(ri)), nil
+						case pylang.Minus:
+							return internInt(int64(li) - int64(ri)), nil
+						default:
+							return internInt(int64(li) * int64(ri)), nil
+						}
+					}
+				}
+				return in.binop(op, l, r, pos)
+			}
+		}
+		return func(in *Interp, fr *frame) (Value, *PyErr) {
+			l, err := leftC(in, fr)
+			if err != nil {
+				return nil, err
+			}
+			r, err := rightC(in, fr)
+			if err != nil {
+				return nil, err
+			}
+			return in.binop(op, l, r, pos)
+		}
+	case *pylang.BoolOp:
+		valCs := c.exprs(v.Values)
+		isAnd := v.Op == pylang.KwAnd
+		return func(in *Interp, fr *frame) (Value, *PyErr) {
+			var last Value = valNone
+			for _, vc := range valCs {
+				val, err := vc(in, fr)
+				if err != nil {
+					return nil, err
+				}
+				last = val
+				if isAnd && !Truth(val) {
+					return val, nil
+				}
+				if !isAnd && Truth(val) {
+					return val, nil
+				}
+			}
+			return last, nil
+		}
+	case *pylang.UnaryOp:
+		operC := c.expr(v.Operand)
+		op, pos := v.Op, v.Pos
+		if op == pylang.KwNot {
+			return func(in *Interp, fr *frame) (Value, *PyErr) {
+				val, err := operC(in, fr)
+				if err != nil {
+					return nil, err
+				}
+				return boolVal(!Truth(val)), nil
+			}
+		}
+		return func(in *Interp, fr *frame) (Value, *PyErr) {
+			val, err := operC(in, fr)
+			if err != nil {
+				return nil, err
+			}
+			if op == pylang.Minus {
+				if iv, ok := val.(IntV); ok {
+					return internInt(-int64(iv)), nil
+				}
+			}
+			return in.unary(op, val, pos)
+		}
+	case *pylang.Compare:
+		leftC := c.expr(v.Left)
+		compCs := c.exprs(v.Comparators)
+		ops := v.Ops
+		pos := v.Pos
+		if len(ops) == 1 {
+			op := ops[0]
+			rightC := compCs[0]
+			switch op {
+			case pylang.Lt, pylang.Gt, pylang.Le, pylang.Ge, pylang.Eq, pylang.Ne:
+				return func(in *Interp, fr *frame) (Value, *PyErr) {
+					l, err := leftC(in, fr)
+					if err != nil {
+						return nil, err
+					}
+					r, err := rightC(in, fr)
+					if err != nil {
+						return nil, err
+					}
+					if li, ok := l.(IntV); ok {
+						if ri, ok := r.(IntV); ok {
+							var b bool
+							switch op {
+							case pylang.Lt:
+								b = li < ri
+							case pylang.Gt:
+								b = li > ri
+							case pylang.Le:
+								b = li <= ri
+							case pylang.Ge:
+								b = li >= ri
+							case pylang.Eq:
+								b = li == ri
+							default:
+								b = li != ri
+							}
+							return boolVal(b), nil
+						}
+					}
+					ok, perr := in.compareOne(op, l, r, pos)
+					if perr != nil {
+						return nil, perr
+					}
+					return boolVal(ok), nil
+				}
+			}
+		}
+		return func(in *Interp, fr *frame) (Value, *PyErr) {
+			left, err := leftC(in, fr)
+			if err != nil {
+				return nil, err
+			}
+			for i, op := range ops {
+				right, err := compCs[i](in, fr)
+				if err != nil {
+					return nil, err
+				}
+				ok, perr := in.compareOne(op, left, right, pos)
+				if perr != nil {
+					return nil, perr
+				}
+				if !ok {
+					return valFalse, nil
+				}
+				left = right
+			}
+			return valTrue, nil
+		}
+	case *pylang.ListExpr:
+		elemCs := c.exprs(v.Elems)
+		return func(in *Interp, fr *frame) (Value, *PyErr) {
+			elems := make([]Value, len(elemCs))
+			for i, ec := range elemCs {
+				val, err := ec(in, fr)
+				if err != nil {
+					return nil, err
+				}
+				elems[i] = val
+			}
+			return &ListV{Elems: elems}, nil
+		}
+	case *pylang.TupleExpr:
+		elemCs := c.exprs(v.Elems)
+		return func(in *Interp, fr *frame) (Value, *PyErr) {
+			elems := make([]Value, len(elemCs))
+			for i, ec := range elemCs {
+				val, err := ec(in, fr)
+				if err != nil {
+					return nil, err
+				}
+				elems[i] = val
+			}
+			return &TupleV{Elems: elems}, nil
+		}
+	case *pylang.DictExpr:
+		keyCs := make([]cExpr, len(v.Items))
+		valCs := make([]cExpr, len(v.Items))
+		for i, it := range v.Items {
+			keyCs[i] = c.expr(it.Key)
+			valCs[i] = c.expr(it.Value)
+		}
+		return func(in *Interp, fr *frame) (Value, *PyErr) {
+			d := NewDict()
+			for i := range keyCs {
+				key, err := keyCs[i](in, fr)
+				if err != nil {
+					return nil, err
+				}
+				val, err := valCs[i](in, fr)
+				if err != nil {
+					return nil, err
+				}
+				if !d.Set(key, val) {
+					return nil, in.NewExc("TypeError", "unhashable type: '%s'", key.TypeName())
+				}
+			}
+			return d, nil
+		}
+	case *pylang.CondExpr:
+		condC := c.expr(v.Cond)
+		bodyC := c.expr(v.Body)
+		elseC := c.expr(v.OrElse)
+		return func(in *Interp, fr *frame) (Value, *PyErr) {
+			cond, err := condC(in, fr)
+			if err != nil {
+				return nil, err
+			}
+			if Truth(cond) {
+				return bodyC(in, fr)
+			}
+			return elseC(in, fr)
+		}
+	case *pylang.LambdaExpr:
+		holder := c.cache.funcHolder(v)
+		defIdx, defCs := c.defaults(v.Params)
+		params := v.Params
+		nparams := len(v.Params)
+		body := v.Body
+		return func(in *Interp, fr *frame) (Value, *PyErr) {
+			defaults, err := runDefaults(in, fr, nparams, defIdx, defCs)
+			if err != nil {
+				return nil, err
+			}
+			fn := &FuncV{Name: "<lambda>", Params: params, Expr: body,
+				Globals: fr.globals, Module: fr.module, Env: fr.env,
+				Defaults: defaults, code: holder}
+			in.Alloc.Alloc(SizeOf(fn))
+			return fn, nil
+		}
+	}
+	node := e
+	return func(in *Interp, fr *frame) (Value, *PyErr) {
+		return nil, in.NewExc("RuntimeError", "unknown expression %T", node)
+	}
+}
+
+// defaults compiles parameter default expressions, keeping parameter order
+// (the walker evaluates defaults in declaration order).
+func (c *compiler) defaults(params []pylang.Param) ([]int, []cExpr) {
+	var idx []int
+	var cs []cExpr
+	for i, p := range params {
+		if p.Default == nil {
+			continue
+		}
+		idx = append(idx, i)
+		cs = append(cs, c.expr(p.Default))
+	}
+	return idx, cs
+}
+
+func runDefaults(in *Interp, fr *frame, nparams int, idx []int, cs []cExpr) ([]Value, *PyErr) {
+	if len(cs) == 0 {
+		return nil, nil
+	}
+	out := make([]Value, nparams)
+	for k, dc := range cs {
+		val, err := dc(in, fr)
+		if err != nil {
+			return nil, err
+		}
+		out[idx[k]] = val
+	}
+	return out, nil
+}

@@ -1,0 +1,422 @@
+package pyruntime
+
+// Differential testing of the two execution engines. The compiled engine
+// must be observationally indistinguishable from the AST walker through every
+// simulated observable: stdout, virtual clock, simulated allocator (used and
+// peak), remote-call journal, namespace insertion order, and the full
+// exception chain (class, message, position, location, causes). These tests
+// and FuzzCompileEval enforce that contract program-by-program; the
+// experiments golden tests enforce it corpus-wide.
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/pyparser"
+	"repro/internal/vfs"
+)
+
+// engineObs is everything an engine run can influence, rendered to one
+// comparable string.
+type engineObs struct {
+	stdout  string
+	clockNS int64
+	used    int64
+	peak    int64
+	errs    string
+	names   string
+	remote  string
+}
+
+func (o engineObs) String() string {
+	return fmt.Sprintf("stdout=%q clock=%d used=%d peak=%d err=%q names=%q remote=%q",
+		o.stdout, o.clockNS, o.used, o.peak, o.errs, o.names, o.remote)
+}
+
+// renderChain renders a PyErr with its full implicit-cause chain.
+func renderChain(err *PyErr) string {
+	if err == nil {
+		return ""
+	}
+	var b strings.Builder
+	for depth := 0; err != nil && depth < 64; depth++ {
+		if depth > 0 {
+			b.WriteString(" <- ")
+		}
+		fmt.Fprintf(&b, "%s: %s @%s in %s", err.ClassName(), err.Message(), err.Pos, err.Where)
+		err = err.Cause
+	}
+	return b.String()
+}
+
+// runWithEngine executes src as __main__ over files with the given engine in
+// a fully fresh environment (own FS, interpreter, caches) and returns the
+// rendered observation. The fuel bound keeps fuzz inputs terminating while
+// remaining high enough that both engines hit it at the same statement.
+func runWithEngine(t testing.TB, src string, files map[string]string, e Engine) engineObs {
+	if t != nil {
+		t.Helper()
+	}
+	fs := vfs.New()
+	for path, content := range files {
+		fs.Write(path, content)
+	}
+	in := New(fs)
+	in.SetEngine(e)
+	in.SetFuel(200_000)
+	mod := &ModuleV{Name: "__main__", Dict: NewNamespace()}
+	mod.Dict.Set("__name__", StrV("__main__"))
+	parsed, err := pyparser.Parse("__main__", src)
+	if err != nil {
+		// Callers pre-check parseability; a parse failure is engine-neutral.
+		return engineObs{errs: "parse: " + err.Error()}
+	}
+	perr := in.RunModule(mod, parsed.Body)
+	return engineObs{
+		stdout:  in.OutputString(),
+		clockNS: int64(in.Clock.Now()),
+		used:    in.Alloc.Used(),
+		peak:    in.Alloc.Peak(),
+		errs:    renderChain(perr),
+		names:   strings.Join(mod.Dict.Names(), ","),
+		remote:  fmt.Sprintf("%v", in.RemoteLog),
+	}
+}
+
+// diffEngines runs src through both engines and fails on any divergence.
+func diffEngines(t *testing.T, src string, files map[string]string) {
+	t.Helper()
+	walker := runWithEngine(t, src, files, EngineWalker)
+	compiled := runWithEngine(t, src, files, EngineCompiled)
+	if walker != compiled {
+		t.Errorf("engines diverge on:\n%s\n walker:   %v\n compiled: %v", src, walker, compiled)
+	}
+}
+
+var differentialPrograms = []string{
+	// Slot-mode functions: locals, defaults, kwargs, loops, early return.
+	`
+def f(a, b=10, c=2):
+    total = 0
+    for i in range(a):
+        total = total + i * b
+        if total > 100:
+            break
+    else:
+        total = total + c
+    return total
+print(f(3), f(10), f(b=1, a=4), f(2, c=99))
+`,
+	// Generic (env) functions: closures, nested defs, global declarations.
+	`
+counter = 0
+def make_adder(n):
+    def add(x):
+        return x + n
+    return add
+def bump():
+    global counter
+    counter = counter + 1
+a = make_adder(5)
+bump(); bump()
+print(a(10), counter)
+`,
+	// Classes, methods, instances, attribute errors caught and chained.
+	`
+class Greeter:
+    prefix = "hi"
+    def __init__(self, name):
+        self.name = name
+    def greet(self):
+        return self.prefix + " " + self.name
+g = Greeter("bob")
+print(g.greet())
+try:
+    g.missing
+except AttributeError as e:
+    print("caught", e)
+`,
+	// Exception chains: raise inside except, finally interplay.
+	`
+def boom():
+    try:
+        [] [1]
+    except IndexError:
+        raise ValueError("secondary")
+    finally:
+        print("cleanup")
+try:
+    boom()
+except ValueError as e:
+    print("got", e)
+`,
+	// Uncaught error with a cause chain: exercises renderChain equality.
+	`
+try:
+    {}["k"]
+except KeyError:
+    1 // 0
+`,
+	// String/dict/tuple iteration, containment, slicing, formatting.
+	`
+s = "hello"
+acc = []
+for ch in s:
+    acc.append(ch.upper())
+d = {"a": 1, "b": 2}
+for k in d:
+    acc.append(k)
+t = (1, 2, 3)
+print("-".join(acc), s[1:4], t[::-1] if False else t, "l" in s, "%s=%d" % ("x", 7))
+`,
+	// Augmented assignment through attributes and indexes (double-eval).
+	`
+class Box:
+    pass
+b = Box()
+b.v = 1
+b.v += 2
+xs = [1, 2, 3]
+xs[1] += 10
+print(b.v, xs)
+`,
+	// Deep-ish recursion plus interned small-int identity.
+	`
+def fib(n):
+    if n < 2:
+        return n
+    return fib(n - 1) + fib(n - 2)
+x = 256
+y = 255 + 1
+print(fib(12), x is y, x == y)
+`,
+	// del + name errors, lambda defaults and conditional expressions.
+	`
+x = 5
+del x
+try:
+    print(x)
+except NameError as e:
+    print("gone:", e)
+f = lambda a, b=3: a * b if a > 0 else -a
+print(f(2), f(-4, 10))
+`,
+	// Duplicate parameters keep the walker call path under both engines.
+	`
+def dup(a, a):
+    return a
+print(dup(1, 2))
+`,
+	// Recursion limit: error class, message, and virtual clock must agree.
+	`
+def down(n):
+    return down(n + 1)
+try:
+    down(0)
+except RecursionError as e:
+    print("depth:", e)
+`,
+	// Fuel exhaustion: both engines must die on the same statement.
+	`
+i = 0
+while True:
+    i = i + 1
+`,
+}
+
+func TestEngineDifferentialPrograms(t *testing.T) {
+	for i, src := range differentialPrograms {
+		t.Run(fmt.Sprintf("p%02d", i), func(t *testing.T) { diffEngines(t, src, nil) })
+	}
+}
+
+func TestEngineDifferentialImports(t *testing.T) {
+	files := map[string]string{
+		"site-packages/libfoo/__init__.py": `
+from libfoo.core import work, VERSION
+value = work(3)
+`,
+		"site-packages/libfoo/core.py": `
+VERSION = "1.2"
+def work(n):
+    out = []
+    for i in range(n):
+        out.append(i * i)
+    return out
+`,
+	}
+	src := `
+import libfoo
+from libfoo.core import work
+print(libfoo.value, libfoo.VERSION, work(2))
+try:
+    import nosuchmod
+except ModuleNotFoundError as e:
+    print("missing:", e)
+`
+	diffEngines(t, src, files)
+
+	// Import-owned module bodies warm up JIT-style (walked on first
+	// sighting, compiled from the second on). Re-running the program over a
+	// shared cache makes the second run execute the libfoo bodies as
+	// compiled streams; both runs must match the walker observation.
+	walker := runWithEngine(t, src, files, EngineWalker)
+	shared := NewASTCache()
+	parsed, err := pyparser.Parse("__main__", src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	for round := 0; round < 3; round++ {
+		fs := vfs.New()
+		for path, content := range files {
+			fs.Write(path, content)
+		}
+		in := New(fs)
+		in.SetEngine(EngineCompiled)
+		in.SetASTCache(shared)
+		in.SetFuel(200_000)
+		mod := &ModuleV{Name: "__main__", Dict: NewNamespace()}
+		mod.Dict.Set("__name__", StrV("__main__"))
+		perr := in.RunModule(mod, parsed.Body)
+		got := engineObs{
+			stdout:  in.OutputString(),
+			clockNS: int64(in.Clock.Now()),
+			used:    in.Alloc.Used(),
+			peak:    in.Alloc.Peak(),
+			errs:    renderChain(perr),
+			names:   strings.Join(mod.Dict.Names(), ","),
+			remote:  fmt.Sprintf("%v", in.RemoteLog),
+		}
+		if got != walker {
+			t.Fatalf("compiled round %d (warmup) diverges from walker:\n walker:   %v\n compiled: %v", round, walker, got)
+		}
+	}
+}
+
+// TestEngineSnapshotReplay checks byte-identity when the compiled engine
+// replays captured import windows (FuncV code travels through snapshots).
+func TestEngineSnapshotReplay(t *testing.T) {
+	files := map[string]string{
+		"site-packages/snaplib.py": `
+def triple(x):
+    return x * 3
+table = [triple(i) for i in range(3)] if False else [triple(0), triple(1)]
+`,
+	}
+	src := `
+import snaplib
+print(snaplib.table, snaplib.triple(7))
+`
+	for _, e := range []Engine{EngineWalker, EngineCompiled} {
+		var first engineObs
+		snap := NewSnapshotCache()
+		for round := 0; round < 3; round++ {
+			fs := vfs.New()
+			for path, content := range files {
+				fs.Write(path, content)
+			}
+			in := New(fs)
+			in.SetEngine(e)
+			in.SetSnapshots(snap)
+			mod := &ModuleV{Name: "__main__", Dict: NewNamespace()}
+			mod.Dict.Set("__name__", StrV("__main__"))
+			parsed, err := pyparser.Parse("__main__", src)
+			if err != nil {
+				t.Fatalf("parse: %v", err)
+			}
+			perr := in.RunModule(mod, parsed.Body)
+			got := engineObs{
+				stdout:  in.OutputString(),
+				clockNS: int64(in.Clock.Now()),
+				used:    in.Alloc.Used(),
+				peak:    in.Alloc.Peak(),
+				errs:    renderChain(perr),
+				names:   strings.Join(mod.Dict.Names(), ","),
+			}
+			if round == 0 {
+				first = got
+			} else if got != first {
+				t.Fatalf("engine %v: replay round %d diverges:\n first: %v\n round: %v", e, round, first, got)
+			}
+		}
+	}
+}
+
+// FuzzCompileEval feeds arbitrary programs through both engines and fails on
+// any divergence in value, exception chain, namespace order, or simulated
+// clock/allocator.
+func FuzzCompileEval(f *testing.F) {
+	for _, src := range differentialPrograms {
+		f.Add(src)
+	}
+	f.Add("x = [i for i in (1,2)]")
+	f.Add("print((lambda a=1, b=2: a - b)())")
+	f.Add("try:\n    assert 1 > 2, 'nope'\nexcept AssertionError as e:\n    print(e)")
+	f.Fuzz(func(t *testing.T, src string) {
+		if len(src) > 4096 {
+			return
+		}
+		if _, err := pyparser.Parse("__main__", src); err != nil {
+			return // engine-independent; nothing to compare
+		}
+		walker := runWithEngine(t, src, nil, EngineWalker)
+		compiled := runWithEngine(t, src, nil, EngineCompiled)
+		if walker != compiled {
+			t.Fatalf("engines diverge on:\n%s\n walker:   %v\n compiled: %v", src, walker, compiled)
+		}
+	})
+}
+
+// TestSnapshotCacheInsertBounded hammers insert from many goroutines and
+// asserts the per-key FIFO cap invariant plus consistent entry/eviction
+// accounting.
+func TestSnapshotCacheInsertBounded(t *testing.T) {
+	sc := NewSnapshotCache()
+	const goroutines = 8
+	const perG = 200
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				sc.insert(&snapEntry{
+					name:   fmt.Sprintf("mod%d", i%3), // few keys -> heavy eviction
+					bodyFP: "fp",
+					sfp:    fmt.Sprintf("state-%d-%d", g, i),
+				})
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	sc.mu.RLock()
+	live := int64(0)
+	for key, list := range sc.m {
+		if len(list) > snapEntriesPerKey {
+			t.Errorf("key %q holds %d entries, cap is %d", key, len(list), snapEntriesPerKey)
+		}
+		seen := make(map[string]bool, len(list))
+		for _, e := range list {
+			if seen[e.sfp] {
+				t.Errorf("key %q holds duplicate sfp %q", key, e.sfp)
+			}
+			seen[e.sfp] = true
+		}
+		live += int64(len(list))
+	}
+	sc.mu.RUnlock()
+
+	st := sc.Stats()
+	if st.Entries != live {
+		t.Errorf("Stats.Entries = %d, live entries = %d", st.Entries, live)
+	}
+	// Every distinct sfp was inserted once; all but the live ones must have
+	// been evicted (duplicates were rejected before accounting).
+	if want := int64(goroutines*perG) - live; st.Evictions != want {
+		t.Errorf("Stats.Evictions = %d, want %d (inserted %d, live %d)",
+			st.Evictions, want, goroutines*perG, live)
+	}
+}

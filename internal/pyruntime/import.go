@@ -90,7 +90,7 @@ func (in *Interp) importOne(name string) (*ModuleV, *PyErr) {
 		}
 	}
 
-	body, file := in.moduleBody(name, src)
+	body, file, codeMod := in.moduleBody(name, src)
 
 	mod := &ModuleV{Name: name, Dict: NewNamespace(), File: file}
 	in.Alloc.Alloc(SizeOf(mod))
@@ -106,7 +106,7 @@ func (in *Interp) importOne(name string) (*ModuleV, *PyErr) {
 		h.BeforeModuleExec(name)
 	}
 	fr := &frame{globals: mod.Dict, module: name}
-	_, err := in.execStmts(fr, body)
+	_, err := in.execBody(fr, body, codeMod)
 	for _, h := range in.hooks {
 		if err != nil {
 			h.AfterModuleExec(name, err)
@@ -212,10 +212,13 @@ func (in *Interp) resolveFile(name string) (moduleSource, bool) {
 	return moduleSource{}, false
 }
 
-// moduleBody parses a resolved source into an executable body.
-func (in *Interp) moduleBody(name string, src moduleSource) ([]pylang.Stmt, string) {
+// moduleBody parses a resolved source into an executable body. The returned
+// *pylang.Module, when non-nil, is a stable node the compiled engine may key
+// its code cache on (overrides persist across oracle runs; parsed modules
+// live in the shared parse cache); synthetic error bodies return nil.
+func (in *Interp) moduleBody(name string, src moduleSource) ([]pylang.Stmt, string, *pylang.Module) {
 	if src.override != nil {
-		return src.override.Body, src.path
+		return src.override.Body, src.path, src.override
 	}
 	mod, perr := in.parseCached(src.path, name, src.src)
 	if perr != nil {
@@ -226,9 +229,9 @@ func (in *Interp) moduleBody(name string, src moduleSource) ([]pylang.Stmt, stri
 				Func: &pylang.NameExpr{Name: "ImportError"},
 				Args: []pylang.Expr{&pylang.StringLit{Value: perr.Error()}},
 			},
-		}}, src.path
+		}}, src.path, nil
 	}
-	return mod.Body, src.path
+	return mod.Body, src.path, mod
 }
 
 func (in *Interp) parseCached(path, name, src string) (*pylang.Module, error) {

@@ -99,6 +99,23 @@ type Interp struct {
 	// import window entirely, and stops enclosing windows from recording —
 	// see SetVolatile.
 	volatile map[string]bool
+
+	// engine selects the execution engine (see engine.go); resolved from the
+	// process default at construction time.
+	engine Engine
+
+	// Compiled-engine arenas (see compile.go): call frames and local slot
+	// vectors are bump-allocated from geometrically growing chunks and
+	// released LIFO per invocation. Existing chunks are never reallocated —
+	// frames hand out interior pointers — and they are retained for reuse
+	// across calls, so a typical interpreter allocates a few small chunks
+	// for its whole lifetime.
+	frameChunks [][]frame
+	frameChunk  int // current chunk index
+	framePos    int // next free entry in the current frame chunk
+	slotChunks  [][]Value
+	slotChunk   int
+	slotPos     int
 }
 
 // srcCacheEnt is a memoized module resolution; fp is filled lazily on the
@@ -122,6 +139,7 @@ func New(fs *vfs.FS) *Interp {
 		astCache:   NewASTCache(),
 		fuel:       DefaultFuel,
 		excClasses: buildExceptionClasses(),
+		engine:     DefaultEngine(),
 	}
 	in.builtins = in.buildBuiltins()
 	return in
@@ -135,11 +153,29 @@ func New(fs *vfs.FS) *Interp {
 type ASTCache struct {
 	mu sync.RWMutex
 	m  map[string]*pylang.Module
+
+	// Compiled-code caches (see compile.go). The debloater's rewrites
+	// preserve statement identity across Delta Debugging candidates, so
+	// compiled bodies are shared by every candidate and every interpreter
+	// using this cache. mcode maps stable module nodes to their code (fast
+	// path); bcode deduplicates module bodies by statement-pointer sequence,
+	// so every DD candidate keeping the same statements — including the
+	// accepted rewrite rebuilt from the winning subset — shares one
+	// compilation; fcode holds compiled function/lambda bodies keyed by node.
+	codeMu sync.RWMutex
+	mcode  map[*pylang.Module][]cStmt
+	bcode  map[string]*bodyCode
+	fcode  map[pylang.Node]*funcCode
 }
 
 // NewASTCache returns an empty cache.
 func NewASTCache() *ASTCache {
-	return &ASTCache{m: make(map[string]*pylang.Module)}
+	return &ASTCache{
+		m:     make(map[string]*pylang.Module),
+		mcode: make(map[*pylang.Module][]cStmt),
+		bcode: make(map[string]*bodyCode),
+		fcode: make(map[pylang.Node]*funcCode),
+	}
 }
 
 // Get looks up a cached parse.
@@ -214,11 +250,18 @@ func (in *Interp) OutputString() string {
 // Modules returns the loaded module table (sys.modules).
 func (in *Interp) Modules() map[string]*ModuleV { return in.modules }
 
-// frame is one execution context.
+// frame is one execution context. Under the compiled engine, function frames
+// may carry a local slot vector instead of an Env: slots holds locals indexed
+// by fcode.slotOf, with nil marking an unbound local (no Value is ever a Go
+// nil — None is the boxed NoneV singleton). env then points at the function's
+// defining environment so slot misses resolve through the closure chain
+// exactly like the walker's fresh-Env lookup.
 type frame struct {
 	globals *Namespace
 	env     *Env // nil at module level
 	module  string
+	slots   []Value
+	fcode   *funcCode
 }
 
 // ctrlKind describes non-linear control flow from a statement.
@@ -243,8 +286,21 @@ var ctrlNormal = ctrl{kind: ctrlNone}
 func (in *Interp) RunModule(mod *ModuleV, body []pylang.Stmt) (err *PyErr) {
 	defer in.trapFatal(&err)
 	fr := &frame{globals: mod.Dict, module: mod.Name}
-	_, perr := in.execStmts(fr, body)
+	_, perr := in.execBody(fr, body, nil)
 	return perr
+}
+
+// execBody executes a module-level statement list with the selected engine.
+// mod, when non-nil, identifies an import-owned module body that warms up
+// through the code cache (see moduleCode); a nil moduleCode result means the
+// body is cold and this execution walks it instead.
+func (in *Interp) execBody(fr *frame, body []pylang.Stmt, mod *pylang.Module) (ctrl, *PyErr) {
+	if in.engineCompiled() {
+		if code := in.astCache.moduleCode(mod, body); code != nil {
+			return in.runCStmts(fr, code)
+		}
+	}
+	return in.execStmts(fr, body)
 }
 
 // CallFunction invokes a Python function value with the given arguments,
@@ -292,6 +348,13 @@ func (in *Interp) execStmts(fr *frame, body []pylang.Stmt) (ctrl, *PyErr) {
 
 func (in *Interp) execStmt(fr *frame, s pylang.Stmt) (ctrl, *PyErr) {
 	in.chargeStmt()
+	return in.execStmtInner(fr, s)
+}
+
+// execStmtInner executes one statement after its clock/fuel charge has been
+// taken. The compiled engine delegates rare constructs here so both engines
+// share one implementation of their semantics.
+func (in *Interp) execStmtInner(fr *frame, s pylang.Stmt) (ctrl, *PyErr) {
 	switch v := s.(type) {
 	case *pylang.PassStmt:
 		return ctrlNormal, nil
@@ -409,6 +472,7 @@ func (in *Interp) execStmt(fr *frame, s pylang.Stmt) (ctrl, *PyErr) {
 			Globals: fr.globals, Module: fr.module, Env: fr.env,
 			Defaults: defaults,
 		}
+		in.attachCode(fn, v)
 		in.Alloc.Alloc(SizeOf(fn) + int64(60*len(v.Body)))
 		var value Value = fn
 		// Apply decorators innermost-first.
@@ -427,28 +491,7 @@ func (in *Interp) execStmt(fr *frame, s pylang.Stmt) (ctrl, *PyErr) {
 	case *pylang.ClassStmt:
 		return ctrlNormal, in.execClass(fr, v)
 	case *pylang.ImportStmt:
-		for _, alias := range v.Names {
-			mod, err := in.Import(alias.Name)
-			if err != nil {
-				return ctrlNormal, err
-			}
-			if alias.AsName != "" {
-				// "import a.b as c" binds the leaf module.
-				in.bind(fr, alias.AsName, mod)
-			} else {
-				// "import a.b" binds the root package.
-				root := alias.Name
-				if i := strings.IndexByte(root, '.'); i >= 0 {
-					root = root[:i]
-				}
-				rootMod, ok := in.modules[root]
-				if !ok {
-					return ctrlNormal, in.NewExc("ImportError", "root module %s missing", root)
-				}
-				in.bind(fr, root, rootMod)
-			}
-		}
-		return ctrlNormal, nil
+		return in.execImport(fr, v)
 	case *pylang.FromImportStmt:
 		return ctrlNormal, in.execFromImport(fr, v)
 	case *pylang.RaiseStmt:
@@ -500,6 +543,32 @@ func (in *Interp) execStmt(fr *frame, s pylang.Stmt) (ctrl, *PyErr) {
 	return ctrlNormal, in.NewExc("RuntimeError", "unknown statement %T", s)
 }
 
+// execImport implements "import a.b [as c]", shared by both engines.
+func (in *Interp) execImport(fr *frame, v *pylang.ImportStmt) (ctrl, *PyErr) {
+	for _, alias := range v.Names {
+		mod, err := in.Import(alias.Name)
+		if err != nil {
+			return ctrlNormal, err
+		}
+		if alias.AsName != "" {
+			// "import a.b as c" binds the leaf module.
+			in.bind(fr, alias.AsName, mod)
+		} else {
+			// "import a.b" binds the root package.
+			root := alias.Name
+			if i := strings.IndexByte(root, '.'); i >= 0 {
+				root = root[:i]
+			}
+			rootMod, ok := in.modules[root]
+			if !ok {
+				return ctrlNormal, in.NewExc("ImportError", "root module %s missing", root)
+			}
+			in.bind(fr, root, rootMod)
+		}
+	}
+	return ctrlNormal, nil
+}
+
 func (in *Interp) execClass(fr *frame, v *pylang.ClassStmt) *PyErr {
 	var base *ClassV
 	if len(v.Bases) > 0 {
@@ -519,13 +588,17 @@ func (in *Interp) execClass(fr *frame, v *pylang.ClassStmt) *PyErr {
 	}
 	in.Alloc.Alloc(SizeOf(class))
 	// Execute the class body with the class dict as its local namespace.
+	// The env tracks insertion order: populating the class dict from Go map
+	// iteration would randomize attribute order (and with it dir() output
+	// and method resolution diagnostics) across runs.
 	classEnv := NewEnv(fr.env)
+	classEnv.track = true
 	classFrame := &frame{globals: fr.globals, env: classEnv, module: fr.module}
 	if _, err := in.execStmts(classFrame, v.Body); err != nil {
 		return err
 	}
-	for name, val := range classEnv.vars {
-		class.Dict.Set(name, val)
+	for _, name := range classEnv.order {
+		class.Dict.Set(name, classEnv.vars[name])
 	}
 	var value Value = class
 	for i := len(v.Decorators) - 1; i >= 0; i-- {
@@ -594,6 +667,12 @@ func (in *Interp) exceptMatches(fr *frame, clause pylang.ExceptClause, err *PyEr
 	if terr != nil {
 		return false, terr
 	}
+	return in.matchExcClasses(typeVal, err)
+}
+
+// matchExcClasses reports whether err matches an evaluated except type
+// (a class or tuple of classes); shared by both engines.
+func (in *Interp) matchExcClasses(typeVal Value, err *PyErr) (bool, *PyErr) {
 	classes := []Value{typeVal}
 	if tup, ok := typeVal.(*TupleV); ok {
 		classes = tup.Elems
@@ -652,8 +731,15 @@ func (in *Interp) evalDefaults(fr *frame, params []pylang.Param) ([]Value, *PyEr
 
 // bind assigns a simple name in the correct scope.
 func (in *Interp) bind(fr *frame, name string, v Value) {
-	if fr.env != nil && (fr.env.globalNames == nil || !fr.env.globalNames[name]) {
-		fr.env.vars[name] = v
+	if fr.slots != nil {
+		// Slot frames have no local env and no global declarations (both
+		// disqualify slot compilation); every bindable name has a slot.
+		if i, ok := fr.fcode.slotOf[name]; ok {
+			fr.slots[i] = v
+			return
+		}
+	} else if fr.env != nil && (fr.env.globalNames == nil || !fr.env.globalNames[name]) {
+		fr.env.set(name, v)
 		return
 	}
 	if _, exists := fr.globals.Get(name); !exists {
@@ -722,7 +808,7 @@ func (in *Interp) deleteTarget(fr *frame, target pylang.Expr) *PyErr {
 	case *pylang.NameExpr:
 		if fr.env != nil {
 			if _, ok := fr.env.vars[t.Name]; ok {
-				delete(fr.env.vars, t.Name)
+				fr.env.del(t.Name)
 				return nil
 			}
 		}
@@ -960,6 +1046,7 @@ func (in *Interp) eval(fr *frame, e pylang.Expr) (Value, *PyErr) {
 		fn := &FuncV{Name: "<lambda>", Params: v.Params, Expr: v.Body,
 			Globals: fr.globals, Module: fr.module, Env: fr.env,
 			Defaults: defaults}
+		in.attachCode(fn, v)
 		in.Alloc.Alloc(SizeOf(fn))
 		return fn, nil
 	}
@@ -967,7 +1054,22 @@ func (in *Interp) eval(fr *frame, e pylang.Expr) (Value, *PyErr) {
 }
 
 func (in *Interp) lookup(fr *frame, name string, pos pylang.Pos) (Value, *PyErr) {
-	if fr.env != nil && (fr.env.globalNames == nil || !fr.env.globalNames[name]) {
+	if fr.slots != nil {
+		// Slot frame: locals live in slots; a miss (unbound local or free
+		// variable) resolves through the defining env chain, matching the
+		// walker's fresh-Env-with-parent lookup. The frame's env is the
+		// *defining* scope, so its global declarations do not apply here.
+		if i, ok := fr.fcode.slotOf[name]; ok {
+			if v := fr.slots[i]; v != nil {
+				return v, nil
+			}
+		}
+		if fr.env != nil {
+			if v, ok := fr.env.lookup(name); ok {
+				return v, nil
+			}
+		}
+	} else if fr.env != nil && (fr.env.globalNames == nil || !fr.env.globalNames[name]) {
 		if v, ok := fr.env.lookup(name); ok {
 			return v, nil
 		}
@@ -1044,6 +1146,21 @@ func (in *Interp) call(fn Value, args []Value, kwargs map[string]Value, pos pyla
 }
 
 func (in *Interp) callFunc(f *FuncV, args []Value, kwargs map[string]Value, pos pylang.Pos) (Value, *PyErr) {
+	if in.engineCompiled() {
+		code := f.code
+		if code == nil && f.node != nil {
+			// Deferred from definition time: most defined functions are
+			// never called, so the holder lookup happens here, once.
+			code = in.astCache.funcHolder(f.node)
+			f.code = code
+		}
+		if code != nil {
+			code.ensure(in.astCache)
+			if !code.useWalker {
+				return in.callCompiled(f, code, args, kwargs)
+			}
+		}
+	}
 	env := NewEnv(f.Env)
 	// Bind positional parameters.
 	if len(args) > len(f.Params) {
@@ -1055,8 +1172,10 @@ func (in *Interp) callFunc(f *FuncV, args []Value, kwargs map[string]Value, pos 
 		env.vars[f.Params[i].Name] = a
 		bound[f.Params[i].Name] = true
 	}
-	// Keyword arguments.
-	for name, val := range kwargs {
+	// Keyword arguments, in sorted order: with two or more invalid keywords
+	// the raised error would otherwise depend on Go map iteration order.
+	for _, name := range sortedKwargKeys(kwargs) {
+		val := kwargs[name]
 		found := false
 		for _, p := range f.Params {
 			if p.Name == name {

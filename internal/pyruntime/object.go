@@ -209,6 +209,14 @@ type FuncV struct {
 	// Defaults holds parameter default values evaluated at definition
 	// time (CPython semantics); nil entries mark required parameters.
 	Defaults []Value
+	// code is the lazily compiled body shared by every FuncV created from
+	// the same def/lambda node (see compile.go). nil when the function was
+	// defined under the walker engine; calls then take the walker path.
+	// node, when code is nil, is the def/lambda node a compiled-engine call
+	// resolves the shared holder from on first use — most functions defined
+	// during imports are never called, so definition stays cache-free.
+	code *funcCode
+	node pylang.Node
 }
 
 func (*FuncV) TypeName() string { return "function" }
@@ -344,6 +352,11 @@ type Env struct {
 	parent *Env
 	// globalNames holds names declared global in this scope.
 	globalNames map[string]bool
+	// order records binding insertion order when track is set. Class bodies
+	// enable it so the class dict is populated deterministically instead of
+	// by Go map iteration (which randomized attribute order run to run).
+	order []string
+	track bool
 }
 
 // NewEnv returns a child environment of parent (parent may be nil).
@@ -358,6 +371,29 @@ func (e *Env) lookup(name string) (Value, bool) {
 		}
 	}
 	return nil, false
+}
+
+// set binds name in this scope, maintaining insertion order when tracked.
+func (e *Env) set(name string, v Value) {
+	if e.track {
+		if _, ok := e.vars[name]; !ok {
+			e.order = append(e.order, name)
+		}
+	}
+	e.vars[name] = v
+}
+
+// del unbinds name in this scope, maintaining insertion order when tracked.
+func (e *Env) del(name string) {
+	delete(e.vars, name)
+	if e.track {
+		for i, o := range e.order {
+			if o == name {
+				e.order = append(e.order[:i], e.order[i+1:]...)
+				break
+			}
+		}
+	}
 }
 
 // ---------------------------------------------------------------------------

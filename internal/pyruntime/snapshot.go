@@ -50,10 +50,12 @@ import (
 // a re-execution, never correctness.
 const snapEntriesPerKey = 8
 
-// SnapshotStats reports cache effectiveness.
+// SnapshotStats reports cache effectiveness and occupancy.
 type SnapshotStats struct {
-	Hits   int64
-	Misses int64
+	Hits      int64
+	Misses    int64
+	Entries   int64 // live entries across all keys
+	Evictions int64 // cumulative FIFO evictions
 }
 
 // SnapshotCache memoizes module import windows across interpreter instances.
@@ -62,10 +64,12 @@ type SnapshotStats struct {
 // shared across the goroutines of a parallel DD session and across the apps
 // of a corpus-parallel debloat.
 type SnapshotCache struct {
-	mu     sync.RWMutex
-	m      map[string][]*snapEntry
-	hits   atomic.Int64
-	misses atomic.Int64
+	mu        sync.RWMutex
+	m         map[string][]*snapEntry
+	hits      atomic.Int64
+	misses    atomic.Int64
+	entries   atomic.Int64
+	evictions atomic.Int64
 }
 
 // NewSnapshotCache returns an empty snapshot cache.
@@ -78,7 +82,12 @@ func (sc *SnapshotCache) Stats() SnapshotStats {
 	if sc == nil {
 		return SnapshotStats{}
 	}
-	return SnapshotStats{Hits: sc.hits.Load(), Misses: sc.misses.Load()}
+	return SnapshotStats{
+		Hits:      sc.hits.Load(),
+		Misses:    sc.misses.Load(),
+		Entries:   sc.entries.Load(),
+		Evictions: sc.evictions.Load(),
+	}
 }
 
 func (sc *SnapshotCache) lookup(in *Interp, name, bodyFP string) *snapEntry {
@@ -111,10 +120,17 @@ func (sc *SnapshotCache) insert(e *snapEntry) {
 			return // same state: concurrent or repeated record, keep first
 		}
 	}
-	if len(list) >= snapEntriesPerKey {
-		list = append(list[:0:0], list[1:]...)
+	// Evict oldest-first until the new entry fits. Dropping a single entry
+	// unconditionally only keeps the invariant when lists never exceed the
+	// cap by more than one; a loop holds len <= snapEntriesPerKey for every
+	// interleaving of inserts (and across cap changes).
+	if over := len(list) - (snapEntriesPerKey - 1); over > 0 {
+		list = append(list[:0:0], list[over:]...)
+		sc.entries.Add(int64(-over))
+		sc.evictions.Add(int64(over))
 	}
 	sc.m[key] = append(list, e)
+	sc.entries.Add(1)
 }
 
 // ---------------------------------------------------------------------------
@@ -804,6 +820,8 @@ type (
 		expr     pylang.Expr
 		module   string
 		cost     int64
+		code     *funcCode   // shared compiled-body holder; immutable once built
+		node     pylang.Node // def/lambda node for deferred holder resolution
 		globals  any
 		env      any
 		defaults []any
@@ -964,6 +982,8 @@ func (c *snapCloner) clone(v Value) any {
 			expr:   t.Expr,
 			module: t.Module,
 			cost:   t.Cost,
+			code:   t.code,
+			node:   t.node,
 		}
 		c.memo[v] = node
 		node.globals = c.cloneNS(t.Globals)
@@ -1152,6 +1172,8 @@ func (si *snapInstaller) value(n any) Value {
 			Expr:   t.expr,
 			Module: t.module,
 			Cost:   t.cost,
+			code:   t.code,
+			node:   t.node,
 		}
 		si.memo[t] = f
 		f.Globals = si.ns(t.globals)

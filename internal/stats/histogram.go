@@ -80,9 +80,11 @@ func (h *Histogram) Observe(v float64) {
 	h.counts[histBucket(v)]++
 }
 
-// Merge folds o into h bucket-wise. A nil or empty o is a no-op.
+// Merge folds o into h bucket-wise. A nil or empty o is a no-op, and so is
+// merging a histogram into itself: h.Merge(h) must leave h unchanged, not
+// double every bucket.
 func (h *Histogram) Merge(o *Histogram) {
-	if o == nil || o.count == 0 {
+	if o == nil || o == h || o.count == 0 {
 		return
 	}
 	if h.count == 0 || o.min < h.min {

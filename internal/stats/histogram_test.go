@@ -226,3 +226,29 @@ func TestHistogramMerge(t *testing.T) {
 		t.Error("nil/empty merge changed the histogram")
 	}
 }
+
+func TestHistogramMergeSelf(t *testing.T) {
+	var h Histogram
+	for i := 1; i <= 50; i++ {
+		h.Observe(float64(i))
+	}
+	h.Observe(0)
+	before := h
+	// Self-merge must be a no-op. Without the aliasing guard, count/sum/zeros
+	// double and the bucket loop reads counts it is mutating.
+	h.Merge(&h)
+	if h != before {
+		t.Fatalf("self-merge changed the histogram: count %d -> %d, sum %v -> %v",
+			before.Count(), h.Count(), before.Sum(), h.Sum())
+	}
+	// A merge with an equal but distinct histogram is NOT aliasing and must
+	// still double: the guard keys on identity, not value.
+	other := before
+	h.Merge(&other)
+	if h.Count() != 2*before.Count() {
+		t.Fatalf("copy-merge count = %d, want %d", h.Count(), 2*before.Count())
+	}
+	if math.Abs(h.Sum()-2*before.Sum()) > 1e-9 {
+		t.Fatalf("copy-merge sum = %v, want %v", h.Sum(), 2*before.Sum())
+	}
+}
