@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check fmt vet build test bench bench-smoke race experiments monitor-smoke rollout-smoke engine-smoke fuzz-smoke
+.PHONY: check fmt vet build test bench bench-smoke race experiments monitor-smoke rollout-smoke engine-smoke fleet-smoke fuzz-smoke
 
 ## race: the race-detector sweep CI runs on the concurrency-bearing
 ## packages (parallel DD, the corpus scheduler, the shared snapshot cache)
@@ -96,6 +96,24 @@ engine-smoke:
 	cmp $(ENGINE_SMOKE_DIR)/walker.txt $(ENGINE_SMOKE_DIR)/compiled.txt
 	cmp $(ENGINE_SMOKE_DIR)/compiled.txt $(ENGINE_SMOKE_DIR)/compiled-w1.txt
 	@echo "engine-smoke: byte-identical across engines and worker counts"
+
+# fleet-smoke: worker-count determinism of the sharded fleet replay — the
+# same synthetic fleet day must produce byte-identical report, OpenMetrics
+# exposition, and flamegraph at 1 and 4 worker shards (the engine's core
+# contract; see DESIGN.md §13).
+FLEET_SMOKE_DIR ?= fleet-smoke-out
+fleet-smoke:
+	@mkdir -p $(FLEET_SMOKE_DIR)
+	$(GO) run ./cmd/lambdatrim -fleet -fleet-functions 3000 -fleet-workers 1 \
+		-openmetrics $(FLEET_SMOKE_DIR)/openmetrics-w1.txt \
+		-flame $(FLEET_SMOKE_DIR)/flame-w1.folded > $(FLEET_SMOKE_DIR)/fleet-w1.txt
+	$(GO) run ./cmd/lambdatrim -fleet -fleet-functions 3000 -fleet-workers 4 \
+		-openmetrics $(FLEET_SMOKE_DIR)/openmetrics-w4.txt \
+		-flame $(FLEET_SMOKE_DIR)/flame-w4.folded > $(FLEET_SMOKE_DIR)/fleet-w4.txt
+	cmp $(FLEET_SMOKE_DIR)/fleet-w1.txt $(FLEET_SMOKE_DIR)/fleet-w4.txt
+	cmp $(FLEET_SMOKE_DIR)/openmetrics-w1.txt $(FLEET_SMOKE_DIR)/openmetrics-w4.txt
+	cmp $(FLEET_SMOKE_DIR)/flame-w1.folded $(FLEET_SMOKE_DIR)/flame-w4.folded
+	@echo "fleet-smoke: byte-identical across worker shards"
 
 experiments:
 	$(GO) run ./cmd/experiments

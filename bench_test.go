@@ -24,6 +24,7 @@ import (
 	"repro/internal/debloat"
 	"repro/internal/experiments"
 	"repro/internal/faas"
+	"repro/internal/fleet"
 	"repro/internal/obs/monitor"
 	"repro/internal/profiler"
 	"repro/internal/pyruntime"
@@ -542,6 +543,54 @@ func BenchmarkMonitor_ReplayOverhead(b *testing.B) {
 				replay(arm.mon())
 			}
 			b.ReportMetric(requests, "invocations/op")
+		})
+	}
+}
+
+// BenchmarkFleet_Replay measures the sharded fleet engine on a synthetic
+// corpus-shaped day, with the telemetry plane off (pool dynamics and
+// counters only — the raw replay throughput) and on (TSDB windows, three
+// ledgers, histogram, registry, exemplars, post-hoc SLO evaluation). The
+// metrics report invocations per wall-clock second and allocated bytes per
+// invocation; the on/off ratio is the telemetry overhead. Byte-identity
+// across worker counts is asserted in internal/fleet's tests — here both
+// arms run on GOMAXPROCS shards.
+func BenchmarkFleet_Replay(b *testing.B) {
+	pc := fleet.DefaultPopConfig()
+	if testing.Short() {
+		pc.Functions = 1000
+	}
+	pop := fleet.GeneratePopulation(pc, nil)
+	for _, arm := range []struct {
+		name    string
+		disable bool
+	}{{"telemetry_on", false}, {"telemetry_off", true}} {
+		b.Run(arm.name, func(b *testing.B) {
+			b.ReportAllocs()
+			var ms0, ms1 runtime.MemStats
+			runtime.ReadMemStats(&ms0)
+			b.ResetTimer()
+			var inv uint64
+			for i := 0; i < b.N; i++ {
+				res, err := fleet.Replay(fleet.Config{
+					Period:           pc.Period,
+					SLOs:             fleet.DefaultSLOs(),
+					Seed:             pc.Seed,
+					Pricing:          pc.Pricing,
+					DisableTelemetry: arm.disable,
+				}, pop)
+				if err != nil {
+					b.Fatal(err)
+				}
+				inv = res.Invocations
+			}
+			b.StopTimer()
+			runtime.ReadMemStats(&ms1)
+			total := float64(inv) * float64(b.N)
+			if sec := b.Elapsed().Seconds(); sec > 0 && total > 0 {
+				b.ReportMetric(total/sec, "inv/s")
+				b.ReportMetric(float64(ms1.TotalAlloc-ms0.TotalAlloc)/total, "B/inv")
+			}
 		})
 	}
 }

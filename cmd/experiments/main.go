@@ -64,6 +64,7 @@ var drivers = []struct {
 	{"reliability", "faulted replay comparison", func(s *experiments.Suite) (renderer, error) { return s.Reliability() }},
 	{"monitor", "SLO-monitored replay comparison", func(s *experiments.Suite) (renderer, error) { return s.Monitor() }},
 	{"rollout", "closed-loop canary/breaker/self-heal replay", func(s *experiments.Suite) (renderer, error) { return s.Rollout() }},
+	{"fleet", "fleet-scale sharded replay (10k functions, streaming telemetry)", func(s *experiments.Suite) (renderer, error) { return s.Fleet() }},
 }
 
 func targetNames() []string {
@@ -88,6 +89,8 @@ func run() int {
 	metrics := flag.String("metrics", "", "write a JSON metrics snapshot of the run")
 	flame := flag.String("flame", "", "write a folded-stack flamegraph of the run (speedscope/flamegraph.pl)")
 	openmetrics := flag.String("openmetrics", "", "write an OpenMetrics text exposition of the run's metrics")
+	fleetFunctions := flag.Int("fleet-functions", 0, "population size for the fleet target (0: the 10k default)")
+	fleetWorkers := flag.Int("fleet-workers", 0, "worker shards for the fleet target, 0 = GOMAXPROCS (wall-clock only; output is byte-identical at any count)")
 	cpuprofile := flag.String("cpuprofile", "", "write a real-clock CPU profile of the run to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile (post-GC) at exit to this file")
 	flag.Parse()
@@ -97,6 +100,10 @@ func run() int {
 	// a misconfigured harness should fail loudly and deterministically.
 	if *workers < 1 {
 		fmt.Fprintf(os.Stderr, "-workers must be >= 1 (got %d)\n", *workers)
+		return 2
+	}
+	if *fleetFunctions < 0 || *fleetWorkers < 0 {
+		fmt.Fprintln(os.Stderr, "-fleet-functions and -fleet-workers must be >= 0")
 		return 2
 	}
 	eng, err := pyruntime.ParseEngine(*engine)
@@ -157,6 +164,8 @@ func run() int {
 	suite := experiments.NewSuite()
 	suite.Platform.Tracer = tr
 	suite.DisableMemo = !*memo
+	suite.FleetFunctions = *fleetFunctions
+	suite.FleetWorkers = *fleetWorkers
 
 	// A full run needs every app debloated anyway, so prime the result
 	// cache on the worker pool before the (sequential) drivers render.

@@ -37,12 +37,14 @@ import (
 	"os"
 	"runtime"
 	"strings"
+	"time"
 
 	"repro/internal/appcorpus"
 	"repro/internal/appspec"
 	"repro/internal/debloat"
 	"repro/internal/experiments"
 	"repro/internal/faas"
+	"repro/internal/fleet"
 	"repro/internal/imageio"
 	"repro/internal/obs"
 	"repro/internal/obs/monitor"
@@ -63,10 +65,13 @@ func main() {
 	out := fs.String("out", "", "export the optimized image to this directory")
 	tune := fs.Bool("tune", false, "power-tune memory configurations before and after debloating")
 	faults := fs.Bool("faults", false, "replay a faulted trace workload comparing original, debloated, and fallback deployments")
-	faultSeed := fs.Int64("fault-seed", 7, "seed for the trace generator and fault injector (with -faults/-monitor)")
+	faultSeed := fs.Int64("fault-seed", 7, "seed for the trace generator and fault injector (with -faults/-monitor/-rollout) and for the fleet population (with -fleet)")
 	monitorFlag := fs.Bool("monitor", false, "replay a seeded trace workload under SLO burn-rate monitoring, original vs debloated")
 	rolloutFlag := fs.Bool("rollout", false, "replay a seeded trace through the closed-loop deployment controller: canary, breaker, self-heal — vs static fallback and an oracle-clean baseline")
-	slo := fs.String("slo", "", "comma-separated SLO spec for -monitor, e.g. p95=800ms,err=2%,costinv=2e-7 (default: thresholds derived from cold-start probes)")
+	fleetFlag := fs.Bool("fleet", false, "replay a synthetic corpus-shaped fleet day through the sharded virtual-time engine and print the fleet report (standalone; no app argument)")
+	fleetFunctions := fs.Int("fleet-functions", 10000, "fleet population size (with -fleet)")
+	fleetWorkers := fs.Int("fleet-workers", 0, "fleet worker shards, 0 = GOMAXPROCS (with -fleet; wall-clock only — output is byte-identical at any count)")
+	slo := fs.String("slo", "", "comma-separated SLO spec for -monitor/-fleet, e.g. p95=800ms,err=2%,costinv=2e-7 (default: thresholds derived from cold-start probes, or the fleet defaults)")
 	list := fs.Bool("list", false, "list corpus applications and exit")
 	trace := fs.String("trace", "", "write a Chrome trace-event JSON file of the run (pipeline + platform spans over sim-time)")
 	events := fs.String("events", "", "write the JSONL event log of the run")
@@ -96,6 +101,25 @@ func main() {
 		os.Exit(2)
 	}
 	pyruntime.SetDefaultEngine(eng)
+
+	if *fleetFlag {
+		if *fleetFunctions < 1 || *fleetWorkers < 0 {
+			fmt.Fprintln(os.Stderr, "-fleet-functions must be >= 1 and -fleet-workers >= 0")
+			os.Exit(2)
+		}
+		os.Exit(runFleet(fleetOptions{
+			functions:    *fleetFunctions,
+			workers:      *fleetWorkers,
+			seed:         *faultSeed,
+			sloSpec:      *slo,
+			trace:        *trace,
+			events:       *events,
+			metrics:      *metrics,
+			flame:        *flame,
+			openmetrics:  *openmetrics,
+			traceSummary: *traceSummary,
+		}))
+	}
 
 	if *all {
 		corpusWorkers := runtime.GOMAXPROCS(0)
@@ -326,6 +350,75 @@ func main() {
 			os.Exit(1)
 		}
 	}
+}
+
+type fleetOptions struct {
+	functions    int
+	workers      int
+	seed         int64
+	sloSpec      string
+	trace        string
+	events       string
+	metrics      string
+	flame        string
+	openmetrics  string
+	traceSummary bool
+}
+
+// runFleet is the -fleet mode: generate a corpus-shaped synthetic
+// population (half original, half debloated deployments), replay its day
+// through the sharded fleet engine, and print the merged report. The
+// telemetry flags reuse the run's exporters: -openmetrics gets the fleet
+// exposition directly, while -trace/-events/-metrics/-flame export the
+// replay's bounded span tree and merged counters through a tracer.
+func runFleet(opt fleetOptions) int {
+	pc := fleet.DefaultPopConfig()
+	pc.Functions = opt.functions
+	pc.Seed = opt.seed
+
+	cfg := fleet.Config{
+		Workers:        opt.workers,
+		Period:         pc.Period,
+		SLOs:           fleet.DefaultSLOs(),
+		DashboardEvery: 4 * time.Hour,
+		Seed:           pc.Seed,
+		Pricing:        pc.Pricing,
+	}
+	if opt.sloSpec != "" {
+		slos, err := monitor.ParseSLOs(opt.sloSpec)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "parsing -slo: %v\n", err)
+			return 2
+		}
+		cfg.SLOs = slos
+	}
+
+	res, err := fleet.Replay(cfg, fleet.GeneratePopulation(pc, nil))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fleet replay: %v\n", err)
+		return 1
+	}
+	fmt.Print(res.Render())
+
+	if opt.openmetrics != "" {
+		if err := os.WriteFile(opt.openmetrics, res.OpenMetrics(), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+	}
+	if opt.trace != "" || opt.events != "" || opt.metrics != "" || opt.flame != "" || opt.traceSummary {
+		tr := obs.New()
+		res.EmitSpans(tr)
+		if opt.traceSummary {
+			fmt.Println()
+			fmt.Print(tr.Summary())
+		}
+		if err := tr.WriteFiles(opt.trace, opt.events, opt.metrics, opt.flame, ""); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+	}
+	return 0
 }
 
 // runCorpus is the -all mode: debloat the whole corpus on a worker pool and

@@ -25,6 +25,15 @@ type AppDef struct {
 	// RepAttrs is that module's top-level attribute count (Table 3 "Pre").
 	RepAttrs int
 
+	// RemovableImportS and RemovableMemMB are the calibrated import-time
+	// and memory mass hanging off removable library groups — the share
+	// debloating can recover. They are summed from the generated libraries
+	// during Build (zero until the app has been built at least once) and
+	// parameterize the fleet replay's debloated arm without re-running the
+	// DD pipeline per fleet member.
+	RemovableImportS float64
+	RemovableMemMB   float64
+
 	build func() *appspec.App
 }
 
@@ -134,8 +143,11 @@ func makeLib(name string, deps, exports []string, coreSrc string, attrs, kept in
 func assemble(def *AppDef, handlerSrc string, libs []LibSpec, oracle []appspec.TestCase) *appspec.App {
 	fs := vfs.New()
 	fs.Write("handler.py", handlerSrc)
+	def.RemovableImportS, def.RemovableMemMB = 0, 0
 	for i := range libs {
 		libs[i].WriteTo(fs)
+		def.RemovableImportS += libs[i].RemovableMS() / 1000
+		def.RemovableMemMB += libs[i].RemovableMB()
 	}
 	delayMS := (def.E2ES - def.ImportS - def.ExecS) * 1000
 	if delayMS < 50 {

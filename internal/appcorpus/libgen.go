@@ -112,6 +112,17 @@ func (l *LibSpec) RemovableMS() float64 {
 	return t
 }
 
+// RemovableMB returns the import memory hanging off removable groups and
+// padding — the share debloating can recover (the complement of the core
+// costs, by makeLib's calibration split).
+func (l *LibSpec) RemovableMB() float64 {
+	m := l.PadMemMB
+	for _, g := range l.Groups {
+		m += g.MB
+	}
+	return m
+}
+
 // TopAttrs estimates the top-level attribute count the generated module
 // will expose (excluding magic attributes and machinery bindings).
 func (l *LibSpec) TopAttrs() int {

@@ -3,12 +3,12 @@ package experiments
 import (
 	"fmt"
 	"math"
-	"sort"
 	"strings"
 	"time"
 
 	"repro/internal/appspec"
 	"repro/internal/faas"
+	"repro/internal/fleet"
 	"repro/internal/obs/monitor"
 	"repro/internal/profiler"
 	"repro/internal/trace"
@@ -76,6 +76,10 @@ type MonitorConfig struct {
 	FleetColdBudget float64
 	// FleetResolution is the fleet monitor's TSDB window size.
 	FleetResolution time.Duration
+	// FleetWorkers shards the fleet replay across worker goroutines via
+	// the fleet engine (0 or 1 replays sequentially). The rendered output
+	// is byte-identical at any worker count.
+	FleetWorkers int
 }
 
 // DefaultMonitorConfig replays ~150 requests of the hottest seeded trace
@@ -278,99 +282,69 @@ func MonitorCompare(orig, trim *appspec.App, profile *profiler.Profile, platform
 		}
 	}
 
-	out.Fleet = replayFleet(platform.Pricing, cfg)
+	out.Fleet, err = replayFleet(platform.Pricing, cfg)
+	if err != nil {
+		return nil, err
+	}
 	return out, nil
 }
 
-// replayFleet generates the Azure-shaped fleet trace, runs every function
-// through the keep-alive pool simulation, and feeds the served arrivals —
-// globally sorted by (time, function) — to one fleet monitor.
-func replayFleet(pricing faas.Pricing, cfg MonitorConfig) FleetSummary {
+// replayFleet generates the Azure-shaped fleet trace and replays it
+// through the sharded fleet engine (internal/fleet) with the same pool
+// policy, billing, and cold-fraction objective the hand-rolled loop used
+// to apply. The engine's block-ordered merge plus post-hoc SLO sweep
+// reproduce the globally-sorted live-monitor feed byte-for-byte (see
+// monitor/eval.go), so the rendered section is pinned by a golden test.
+// cfg.FleetWorkers > 1 shards the replay across workers without changing
+// a byte of the output.
+func replayFleet(pricing faas.Pricing, cfg MonitorConfig) (FleetSummary, error) {
 	tr := trace.Generate(trace.GenConfig{
 		Functions: cfg.FleetFunctions, Period: cfg.FleetPeriod, Seed: cfg.Seed,
 	})
-	type fleetEvent struct {
-		at time.Duration
-		id int
-		s  monitor.Sample
-	}
-	var events []fleetEvent
+	fns := make([]fleet.Function, 0, len(tr.Functions))
 	for i := range tr.Functions {
 		f := &tr.Functions[i]
-		dur := time.Duration(f.DurationMS * float64(time.Millisecond))
-		mem := pricing.ConfigureMemory(f.MemoryMB)
-		name := fmt.Sprintf("fleet-%03d", f.ID)
-		trace.SimulatePoolObserved(f.Arrivals, dur, cfg.FleetKeepAlive, func(ev trace.PoolEvent) {
-			var init time.Duration
-			if ev.Cold {
-				init = cfg.FleetColdInit
-			}
-			billed := pricing.BillDuration(init + dur)
-			e2e := init + dur
-			events = append(events, fleetEvent{at: ev.At + e2e, id: f.ID, s: monitor.Sample{
-				Function:   name,
-				Cold:       ev.Cold,
-				Class:      "ok",
-				Init:       init,
-				Exec:       dur,
-				E2E:        e2e,
-				BilledInit: init,
-				BilledExec: dur,
-				Billed:     billed,
-				MemoryMB:   mem,
-				CostUSD:    pricing.Cost(billed, mem),
-			}})
+		fns = append(fns, fleet.Function{
+			ID:       f.ID,
+			Name:     fmt.Sprintf("fleet-%03d", f.ID),
+			ColdInit: cfg.FleetColdInit,
+			Exec:     time.Duration(f.DurationMS * float64(time.Millisecond)),
+			MemoryMB: pricing.ConfigureMemory(f.MemoryMB),
+			Arrivals: f.SortedArrivals(),
 		})
 	}
-	// The per-function pool replays interleave on the fleet timeline:
-	// order globally by completion time (function ID tiebreak) before
-	// feeding the monitor, so its tick sequence is well-defined.
-	sort.SliceStable(events, func(i, j int) bool {
-		if events[i].at != events[j].at {
-			return events[i].at < events[j].at
-		}
-		return events[i].id < events[j].id
-	})
-
-	mon := monitor.New(monitor.Config{
+	workers := cfg.FleetWorkers
+	if workers <= 0 {
+		workers = 1
+	}
+	res, err := fleet.Replay(fleet.Config{
+		Workers:    workers,
+		Period:     cfg.FleetPeriod,
 		Resolution: cfg.FleetResolution,
+		Windows:    monitor.DefaultWindows,
+		KeepAlive:  cfg.FleetKeepAlive,
+		Pricing:    pricing,
+		Seed:       cfg.Seed,
 		SLOs: []monitor.SLO{
 			{Name: "fleet-cold-fraction", Kind: monitor.KindColdFraction, Budget: cfg.FleetColdBudget},
 		},
-	})
-	for _, ev := range events {
-		mon.Observe(ev.at, ev.s)
+	}, fns)
+	if err != nil {
+		return FleetSummary{}, fmt.Errorf("fleet replay: %w", err)
 	}
-	mon.Finish()
 
-	ledger := mon.Ledger()
-	total := ledger.Total()
 	sum := FleetSummary{
-		Functions:   len(tr.Functions),
-		Invocations: total.Invocations,
-		ColdStarts:  total.ColdStarts,
-		CostUSD:     total.CostUSD(),
-		AlertLog:    mon.AlertLog(),
+		Functions:   res.Functions,
+		Invocations: res.Invocations,
+		ColdStarts:  res.ColdStarts,
+		CostUSD:     res.CostUSD(),
+		AlertsFired: res.AlertsFired(),
+		AlertLog:    res.AlertLog(),
 	}
-	for _, fc := range mon.FireCounts() {
-		sum.AlertsFired += fc.Fired
+	for _, sp := range res.TopSpenders(5) {
+		sum.TopSpenders = append(sum.TopSpenders, FleetFunctionRow{Function: sp.Function, Phase: sp.Phase})
 	}
-	rows := make([]FleetFunctionRow, 0, len(tr.Functions))
-	for _, name := range ledger.Functions() {
-		rows = append(rows, FleetFunctionRow{Function: name, Phase: ledger.Function(name)})
-	}
-	sort.SliceStable(rows, func(i, j int) bool {
-		ci, cj := rows[i].Phase.CostUSD(), rows[j].Phase.CostUSD()
-		if ci != cj {
-			return ci > cj
-		}
-		return rows[i].Function < rows[j].Function
-	})
-	if len(rows) > 5 {
-		rows = rows[:5]
-	}
-	sum.TopSpenders = rows
-	return sum
+	return sum, nil
 }
 
 // describeSLO renders one objective's parameters for the result header.
@@ -455,14 +429,22 @@ func (r *MonitorResult) Render() string {
 		b.WriteByte('\n')
 	}
 
-	f := r.Fleet
-	fmt.Fprintf(&b, "fleet replay: %d functions over %s, keep-alive %s\n",
-		f.Functions, r.Config.FleetPeriod, r.Config.FleetKeepAlive)
+	renderFleetSection(&b, r.Fleet, r.Config)
+	b.WriteString("the original pages on latency and cost where the debloated deployment stays inside budget; the delta row is init-phase dollars debloating removed\n")
+	return b.String()
+}
+
+// renderFleetSection renders the fleet replay's lines of the monitor
+// report. Split out so the golden test can pin the section (and only the
+// section) against the pre-engine output byte-for-byte.
+func renderFleetSection(b *strings.Builder, f FleetSummary, cfg MonitorConfig) {
+	fmt.Fprintf(b, "fleet replay: %d functions over %s, keep-alive %s\n",
+		f.Functions, cfg.FleetPeriod, cfg.FleetKeepAlive)
 	coldPct := 0.0
 	if f.Invocations > 0 {
 		coldPct = 100 * float64(f.ColdStarts) / float64(f.Invocations)
 	}
-	fmt.Fprintf(&b, "  invocations=%d cold=%d (%.1f%%) cost=$%.6f alerts=%d\n",
+	fmt.Fprintf(b, "  invocations=%d cold=%d (%.1f%%) cost=$%.6f alerts=%d\n",
 		f.Invocations, f.ColdStarts, coldPct, f.CostUSD, f.AlertsFired)
 	if f.AlertLog != "" {
 		for _, line := range strings.Split(strings.TrimRight(f.AlertLog, "\n"), "\n") {
@@ -472,9 +454,7 @@ func (r *MonitorResult) Render() string {
 	b.WriteString("  top spenders:\n")
 	for _, row := range f.TopSpenders {
 		ph := row.Phase
-		fmt.Fprintf(&b, "    %-12s invoc=%-6d cold=%-5d init$=%.6f handler$=%.6f total$=%.6f\n",
+		fmt.Fprintf(b, "    %-12s invoc=%-6d cold=%-5d init$=%.6f handler$=%.6f total$=%.6f\n",
 			row.Function, ph.Invocations, ph.ColdStarts, ph.InitUSD, ph.ExecUSD, ph.CostUSD())
 	}
-	b.WriteString("the original pages on latency and cost where the debloated deployment stays inside budget; the delta row is init-phase dollars debloating removed\n")
-	return b.String()
 }

@@ -1,0 +1,36 @@
+package experiments
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/faas"
+)
+
+// TestFleetSectionGolden pins the monitor experiment's rendered fleet
+// section against the output the pre-engine implementation produced (a
+// hand-rolled loop feeding one live Monitor from a globally time-sorted
+// event list). The section must stay byte-identical now that the replay
+// runs through the sharded fleet engine — and at any worker count.
+func TestFleetSectionGolden(t *testing.T) {
+	golden, err := os.ReadFile(filepath.Join("testdata", "fleet_section.golden"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultMonitorConfig()
+	for _, workers := range []int{1, 4} {
+		cfg.FleetWorkers = workers
+		sum, err := replayFleet(faas.AWSPricing(), cfg)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		var b strings.Builder
+		renderFleetSection(&b, sum, cfg)
+		if got := b.String(); got != string(golden) {
+			t.Errorf("workers=%d: fleet section drifted from golden:\n--- got\n%s--- want\n%s",
+				workers, got, golden)
+		}
+	}
+}

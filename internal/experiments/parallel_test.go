@@ -38,6 +38,7 @@ var goldenDrivers = []struct {
 	{"reliability", func(s *Suite) (goldenRenderer, error) { return s.Reliability() }},
 	{"monitor", func(s *Suite) (goldenRenderer, error) { return s.Monitor() }},
 	{"rollout", func(s *Suite) (goldenRenderer, error) { return s.Rollout() }},
+	{"fleet", func(s *Suite) (goldenRenderer, error) { return s.Fleet() }},
 }
 
 func renderEverything(t *testing.T, s *Suite) string {

@@ -46,6 +46,13 @@ type Suite struct {
 	ASTs        *pyruntime.ASTCache
 	DisableMemo bool
 
+	// FleetFunctions and FleetWorkers parameterize the fleet target
+	// (cmd/experiments -fleet-functions/-fleet-workers). Zero values take
+	// the defaults: a 10k-function population on GOMAXPROCS worker shards.
+	// The worker count never changes a byte of the rendered result.
+	FleetFunctions int
+	FleetWorkers   int
+
 	mu        sync.Mutex
 	apps      map[string]*appspec.App
 	debloated map[string]*debloat.Result

@@ -1,0 +1,459 @@
+// Package fleet is the sharded virtual-time fleet replay engine: it
+// partitions a population of thousands of serverless functions into
+// contiguous ID-ordered blocks, replays each block's keep-alive pool
+// dynamics on a private worker shard — each shard feeding its own
+// monitor.Store, cost ledgers, and obs.Registry — and folds the shard
+// results back together in block order at the end of the replay.
+//
+// The engine's contract is byte-identity across worker counts. Every
+// accumulator is either order-independent (integer counters, window
+// counts, histogram buckets, max-folds, top-K selections under a total
+// order) or folded in a fixed order that does not depend on scheduling:
+// functions fold sequentially in ID order within their block, and blocks
+// merge in index order — so the net floating-point fold order is function
+// ID order no matter how many workers ran or how the OS scheduled them.
+// The number of blocks (not workers) is what pins the partition, and it
+// is part of the replay configuration.
+//
+// Telemetry is streaming: no per-invocation record is ever materialized.
+// Arrivals come from seeded per-function Poisson streams
+// (trace.ArrivalStream), pool state is bounded by peak concurrency
+// (trace.SimulatePoolStream), and every observation lands in mergeable
+// rollups (monitor.Store windows), phase ledgers, log-scale histograms,
+// and small fixed-size exemplar sets. Resident memory is therefore
+// proportional to blocks × windows, flat in the invocation count — a day
+// of millions of arrivals replays in seconds within a few tens of MB.
+//
+// SLO alerting over the merged result is exact, not approximate: a
+// monitor boundary at T reads only windows strictly before T and windows
+// partition samples by timestamp, so monitor.EvaluateSLOs over the merged
+// store reproduces the alert log a single live Monitor observing the
+// globally-ordered sample sequence would have produced (see
+// monitor/eval.go for the full argument).
+package fleet
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"time"
+
+	"repro/internal/faas"
+	"repro/internal/obs"
+	"repro/internal/obs/monitor"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// Function is one fleet member. Arrivals may be given explicitly (small
+// hand-built or pre-generated fleets) or generated on the fly from a
+// seeded Poisson stream when Arrivals is nil — the streaming form is what
+// keeps memory flat at fleet scale.
+type Function struct {
+	// ID orders the function inside the corpus; the block partition and
+	// every floating-point fold follow this order.
+	ID int
+	// Name labels the function in the ledger and exemplars.
+	Name string
+	// Archetype and Arm classify the member for attribution (corpus app
+	// it was derived from, and "original" vs "debloated"). Either may be
+	// empty for unclassified fleets.
+	Archetype string
+	Arm       string
+	// ColdInit is the init latency a cold start pays; Exec the handler
+	// duration; MemoryMB the billed memory configuration.
+	ColdInit time.Duration
+	Exec     time.Duration
+	MemoryMB int
+	// Arrivals, when non-nil, are explicit sorted invocation offsets.
+	// When nil, arrivals stream from ArrivalStream(Seed, Rate, Period).
+	Arrivals []time.Duration
+	// Rate is the expected arrival count over the replay period; Seed
+	// keys the function's private arrival stream.
+	Rate float64
+	Seed int64
+}
+
+// Config parameterizes a fleet replay.
+type Config struct {
+	// Workers is the worker-goroutine count. It affects wall-clock time
+	// only — never any byte of the result (default GOMAXPROCS).
+	Workers int
+	// Blocks is the merge-partition count. It is part of the replay's
+	// identity: the same Blocks value yields bit-identical results at any
+	// worker count, while changing it may perturb last-bit floating-point
+	// rollup sums (default 64, clamped to the function count).
+	Blocks int
+	// Period is the replay horizon for streamed arrivals.
+	Period time.Duration
+	// Resolution and Windows size the per-shard stores. Windows defaults
+	// to cover Period plus six hours of completion tail so nothing slides
+	// out of the ring and post-hoc SLO evaluation stays exact.
+	Resolution time.Duration
+	Windows    int
+	// KeepAlive is the pool keep-alive policy (default 15 minutes).
+	KeepAlive time.Duration
+	// SLOs are evaluated over the merged store after the replay.
+	SLOs []monitor.SLO
+	// DashboardEvery renders a dashboard frame at this virtual interval
+	// from the merged windows (0 disables frames).
+	DashboardEvery time.Duration
+	// TopSpenders and Exemplars size the top-K tables (defaults 5).
+	TopSpenders int
+	Exemplars   int
+	// Seed keys the deterministic exemplar sampler.
+	Seed int64
+	// Pricing bills each invocation (default AWS).
+	Pricing faas.Pricing
+	// DisableTelemetry replays only the pool dynamics and counters — the
+	// overhead baseline for benchmarking the telemetry plane.
+	DisableTelemetry bool
+
+	// blockDone, when set, runs on the merge goroutine after each block
+	// has been folded and released (test hook for memory-flatness
+	// assertions).
+	blockDone func(merged int)
+}
+
+func (cfg Config) withDefaults() Config {
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.Blocks <= 0 {
+		cfg.Blocks = 64
+	}
+	if cfg.Resolution <= 0 {
+		cfg.Resolution = monitor.DefaultResolution
+	}
+	if cfg.Windows <= 0 {
+		cfg.Windows = int(cfg.Period/cfg.Resolution) + int(6*time.Hour/cfg.Resolution) + 1
+	}
+	if cfg.KeepAlive <= 0 {
+		cfg.KeepAlive = 15 * time.Minute
+	}
+	if cfg.TopSpenders <= 0 {
+		cfg.TopSpenders = 5
+	}
+	if cfg.Exemplars <= 0 {
+		cfg.Exemplars = 5
+	}
+	if cfg.Pricing == (faas.Pricing{}) {
+		cfg.Pricing = faas.AWSPricing()
+	}
+	return cfg
+}
+
+// DefaultSLOs are the objectives a CLI fleet replay evaluates when the
+// operator gives none: the cold-start budget FaaSLight motivates (at most
+// 15% of invocations may pay an init) and an hourly spend budget sized to
+// a 10k-function day. Both use the standard multi-window burn-rate
+// parameters (SLO.WithDefaults).
+func DefaultSLOs() []monitor.SLO {
+	return []monitor.SLO{
+		{Name: "fleet-cold-fraction", Kind: monitor.KindColdFraction, Budget: 0.15},
+		{Name: "fleet-cost-burn", Kind: monitor.KindCostRate, BudgetUSD: 12},
+	}
+}
+
+// partial is one block's private telemetry shard. A partial is owned by
+// exactly one worker goroutine while its block replays, then handed to
+// the merger; no accumulator is ever written from two goroutines.
+type partial struct {
+	store  *monitor.Store
+	ledger *monitor.Ledger // per function
+	arms   *monitor.Ledger // per arm
+	arch   *monitor.Ledger // per "archetype/arm"
+	reg    *obs.Registry
+	hist   *stats.Histogram
+	ex     *exemplars
+
+	invocations uint64
+	coldStarts  uint64
+	errors      uint64
+	latest      time.Duration
+	peakLive    int
+	armFns      map[string]int
+}
+
+func newPartial(cfg *Config) *partial {
+	p := &partial{armFns: make(map[string]int)}
+	if cfg.DisableTelemetry {
+		return p
+	}
+	p.store = monitor.NewStore(cfg.Resolution, cfg.Windows)
+	p.ledger = monitor.NewLedger()
+	p.arms = monitor.NewLedger()
+	p.arch = monitor.NewLedger()
+	p.reg = obs.NewRegistry()
+	p.hist = stats.NewHistogram()
+	p.ex = newExemplars(cfg.Exemplars, cfg.Seed)
+	return p
+}
+
+// merge folds o into p. Call order across partials must be block-index
+// order: that is the only scheduling-independent total order, and it is
+// what makes every floating-point sum reproducible.
+func (p *partial) merge(o *partial) error {
+	if err := p.store.Merge(o.store); err != nil {
+		return err
+	}
+	p.ledger.Merge(o.ledger)
+	p.arms.Merge(o.arms)
+	p.arch.Merge(o.arch)
+	p.reg.Merge(o.reg)
+	if p.hist != nil {
+		p.hist.Merge(o.hist)
+	}
+	if p.ex != nil {
+		p.ex.merge(o.ex)
+	}
+	p.invocations += o.invocations
+	p.coldStarts += o.coldStarts
+	p.errors += o.errors
+	if o.latest > p.latest {
+		p.latest = o.latest
+	}
+	if o.peakLive > p.peakLive {
+		p.peakLive = o.peakLive
+	}
+	for arm, n := range o.armFns {
+		p.armFns[arm] += n
+	}
+	return nil
+}
+
+// replayFunction streams one function's arrivals through the keep-alive
+// pool and folds every served invocation into the block's shard.
+func replayFunction(cfg *Config, fn *Function, p *partial) {
+	next := fn.arrivalSource(cfg.Period)
+	var seq uint64
+	fnKey := exemplarFnKey(cfg.Seed, fn.ID)
+	res := trace.SimulatePoolStream(next, fn.Exec, cfg.KeepAlive, func(ev trace.PoolEvent) {
+		var init time.Duration
+		if ev.Cold {
+			init = fn.ColdInit
+		}
+		e2e := init + fn.Exec
+		at := ev.At + e2e // samples land at completion time
+		p.invocations++
+		if ev.Cold {
+			p.coldStarts++
+		}
+		if at > p.latest {
+			p.latest = at
+		}
+		if cfg.DisableTelemetry {
+			seq++
+			return
+		}
+		billed := cfg.Pricing.BillDuration(e2e)
+		s := monitor.Sample{
+			Function:   fn.Name,
+			Cold:       ev.Cold,
+			Class:      "ok",
+			Init:       init,
+			Exec:       fn.Exec,
+			E2E:        e2e,
+			BilledInit: init,
+			BilledExec: fn.Exec,
+			Billed:     billed,
+			MemoryMB:   fn.MemoryMB,
+			CostUSD:    cfg.Pricing.Cost(billed, fn.MemoryMB),
+		}
+		monitor.FoldSample(p.store, at, s, cfg.SLOs)
+		p.ledger.Record(s)
+		if fn.Arm != "" {
+			armed := s
+			armed.Function = fn.Arm
+			p.arms.Record(armed)
+			if fn.Archetype != "" {
+				armed.Function = fn.Archetype + "/" + fn.Arm
+				p.arch.Record(armed)
+			}
+		}
+		p.hist.Observe(s.E2E.Seconds())
+		p.reg.Inc("fleet.invocations", 1)
+		if ev.Cold {
+			p.reg.Inc("fleet.cold_starts", 1)
+		}
+		p.ex.offer(Exemplar{
+			Function:  fn.Name,
+			Archetype: fn.Archetype,
+			Arm:       fn.Arm,
+			At:        at,
+			E2E:       e2e,
+			CostUSD:   s.CostUSD,
+			Cold:      ev.Cold,
+			seq:       seq,
+			key:       exemplarSampleKey(fnKey, seq),
+		})
+		seq++
+	})
+	if res.MaxInstances > p.peakLive {
+		p.peakLive = res.MaxInstances
+	}
+	if fn.Arm != "" {
+		p.armFns[fn.Arm]++
+	}
+}
+
+// arrivalSource returns the function's arrival iterator: the explicit
+// slice when present, the seeded Poisson stream otherwise.
+func (fn *Function) arrivalSource(period time.Duration) func() (time.Duration, bool) {
+	if fn.Arrivals != nil {
+		arr := fn.Arrivals
+		i := 0
+		return func() (time.Duration, bool) {
+			if i >= len(arr) {
+				return 0, false
+			}
+			at := arr[i]
+			i++
+			return at, true
+		}
+	}
+	return trace.ArrivalStream(fn.Seed, fn.Rate, period)
+}
+
+func validate(cfg *Config, fns []Function) error {
+	if cfg.Period <= 0 {
+		streamed := false
+		for i := range fns {
+			if fns[i].Arrivals == nil {
+				streamed = true
+				break
+			}
+		}
+		if streamed {
+			return fmt.Errorf("fleet: streamed arrivals need a positive Period")
+		}
+	}
+	for i := range fns {
+		fn := &fns[i]
+		if fn.Name == "" {
+			return fmt.Errorf("fleet: function %d has no name", i)
+		}
+		if fn.Exec <= 0 {
+			return fmt.Errorf("fleet: function %q has non-positive Exec", fn.Name)
+		}
+		if fn.MemoryMB <= 0 {
+			return fmt.Errorf("fleet: function %q has non-positive MemoryMB", fn.Name)
+		}
+		if !sort.SliceIsSorted(fn.Arrivals, func(a, b int) bool { return fn.Arrivals[a] < fn.Arrivals[b] }) {
+			return fmt.Errorf("fleet: function %q has unsorted arrivals", fn.Name)
+		}
+	}
+	return nil
+}
+
+// Replay runs the sharded replay and returns the merged result. fns must
+// be in corpus order (ascending ID is conventional; what matters is that
+// the caller presents the same order every run — the slice order IS the
+// fold order).
+func Replay(cfg Config, fns []Function) (*Result, error) {
+	cfg = cfg.withDefaults()
+	if err := validate(&cfg, fns); err != nil {
+		return nil, err
+	}
+	// Pre-apply SLO defaults once: FoldSample needs the final parameters
+	// to route per-SLO bad series, and EvaluateSLOs applies the same
+	// idempotent defaults again.
+	slos := make([]monitor.SLO, 0, len(cfg.SLOs))
+	for _, def := range cfg.SLOs {
+		slos = append(slos, def.WithDefaults(cfg.Resolution))
+	}
+	cfg.SLOs = slos
+
+	n := len(fns)
+	blocks := cfg.Blocks
+	if blocks > n {
+		blocks = n
+	}
+	if blocks < 1 {
+		blocks = 1
+	}
+	workers := cfg.Workers
+	if workers > blocks {
+		workers = blocks
+	}
+
+	// Contiguous ID-ordered block ranges: block b replays fns[b*n/B,
+	// (b+1)*n/B). The partition depends only on (n, Blocks), never on
+	// Workers.
+	parts := make([]*partial, blocks)
+	done := make([]chan struct{}, blocks)
+	for b := range done {
+		done[b] = make(chan struct{})
+	}
+	jobs := make(chan int)
+	for w := 0; w < workers; w++ {
+		go func() {
+			for b := range jobs {
+				p := newPartial(&cfg)
+				lo, hi := b*n/blocks, (b+1)*n/blocks
+				for i := lo; i < hi; i++ {
+					replayFunction(&cfg, &fns[i], p)
+				}
+				parts[b] = p
+				close(done[b])
+			}
+		}()
+	}
+	go func() {
+		for b := 0; b < blocks; b++ {
+			jobs <- b
+		}
+		close(jobs)
+	}()
+
+	// Fold shards in block-index order as they complete, releasing each
+	// one immediately — live telemetry is bounded by the merged result
+	// plus the shards still in flight, regardless of invocation volume.
+	final := newPartial(&cfg)
+	for b := 0; b < blocks; b++ {
+		<-done[b]
+		if err := final.merge(parts[b]); err != nil {
+			return nil, err
+		}
+		parts[b] = nil
+		if cfg.blockDone != nil {
+			cfg.blockDone(b + 1)
+		}
+	}
+
+	res := &Result{
+		Functions:   n,
+		Workers:     workers,
+		Blocks:      blocks,
+		Period:      cfg.Period,
+		Resolution:  cfg.Resolution,
+		KeepAlive:   cfg.KeepAlive,
+		Seed:        cfg.Seed,
+		Invocations: final.invocations,
+		ColdStarts:  final.coldStarts,
+		Errors:      final.errors,
+		PeakLive:    final.peakLive,
+		Latest:      final.latest,
+		SLOs:        cfg.SLOs,
+		Store:       final.store,
+		Ledger:      final.ledger,
+		Arms:        final.arms,
+		Archetypes:  final.arch,
+		Registry:    final.reg,
+		Latency:     final.hist,
+		ArmFns:      final.armFns,
+		topK:        cfg.TopSpenders,
+	}
+	if !cfg.DisableTelemetry {
+		res.Alerts, res.FireCounts = monitor.EvaluateSLOs(final.store, cfg.SLOs, final.latest)
+		if cfg.DashboardEvery > 0 {
+			res.Frames = renderFrames(&cfg, final, res.Alerts)
+		}
+		if final.ex != nil {
+			res.Slowest = final.ex.slowest.sorted()
+			res.Priciest = final.ex.priciest.sorted()
+			res.Sampled = final.ex.sampled.sorted()
+		}
+	}
+	return res, nil
+}

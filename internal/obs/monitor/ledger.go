@@ -135,16 +135,23 @@ func (l *Ledger) Function(name string) Phase {
 	return Phase{}
 }
 
-// Total folds every function's bucket into one.
+// Total folds every function's bucket into one, in name order — the fold
+// order is fixed so the floating-point dollar sums are reproducible across
+// processes rather than subject to map iteration order.
 func (l *Ledger) Total() Phase {
 	if l == nil {
 		return Phase{}
 	}
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	names := make([]string, 0, len(l.perFn))
+	for name := range l.perFn {
+		names = append(names, name)
+	}
+	sort.Strings(names)
 	var out Phase
-	for _, ph := range l.perFn {
-		out.merge(*ph)
+	for _, name := range names {
+		out.merge(*l.perFn[name])
 	}
 	return out
 }

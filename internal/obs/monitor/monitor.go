@@ -68,6 +68,7 @@ type Monitor struct {
 	store  *Store
 	ledger *Ledger
 	states []sloState
+	defs   []SLO // states[i].def, for FoldSample
 	alerts []AlertEvent
 	frames []string
 	hist   *stats.Histogram // cumulative E2E seconds
@@ -98,7 +99,9 @@ func New(cfg Config) *Monitor {
 		m.nextFrame = cfg.DashboardEvery
 	}
 	for _, def := range cfg.SLOs {
-		m.states = append(m.states, sloState{def: def.withDefaults(cfg.Resolution)})
+		full := def.withDefaults(cfg.Resolution)
+		m.states = append(m.states, sloState{def: full})
+		m.defs = append(m.defs, full)
 	}
 	return m
 }
@@ -117,25 +120,7 @@ func (m *Monitor) Observe(at time.Duration, s Sample) {
 	if at > m.latest {
 		m.latest = at
 	}
-	m.store.Record(seriesTotal, at, s.E2E.Seconds())
-	if s.Class != "ok" {
-		m.store.Record(seriesErrors, at, 1)
-	}
-	if s.Cold {
-		m.store.Record(seriesCold, at, 1)
-	}
-	m.store.Record(seriesCost, at, s.CostUSD)
-	for i := range m.states {
-		def := m.states[i].def
-		switch def.Kind {
-		case KindErrorRate, KindColdFraction, KindCostRate:
-			// shared series above
-		default:
-			if def.bad(s) {
-				m.store.Record(def.badSeries(), at, 1)
-			}
-		}
-	}
+	FoldSample(m.store, at, s, m.defs)
 	m.ledger.Record(s)
 	m.hist.Observe(s.E2E.Seconds())
 }

@@ -91,12 +91,78 @@ func TestStoreMergeMatchesSequential(t *testing.T) {
 	if a.Total("x") != seq.Total("x") {
 		t.Errorf("merged total %+v != %+v", a.Total("x"), seq.Total("x"))
 	}
-	// Geometry mismatch is ignored, not corrupting.
+	// Geometry mismatch is an explicit error, with nothing folded.
 	other := NewStore(time.Minute, 8)
 	other.Record("x", 0, 100)
-	a.Merge(other)
+	if err := a.Merge(other); err == nil {
+		t.Error("geometry-mismatched merge should error")
+	}
 	if a.Total("x") != seq.Total("x") {
 		t.Error("geometry-mismatched merge changed the store")
+	}
+}
+
+// Satellite regression: every geometry mismatch (resolution, capacity, or
+// both) must be rejected with an error and leave the destination untouched,
+// while matched geometry merges cleanly.
+func TestStoreMergeGeometryMismatch(t *testing.T) {
+	mk := func(res time.Duration, windows int) *Store {
+		st := NewStore(res, windows)
+		st.Record("x", 0, 1)
+		return st
+	}
+	dst := mk(time.Second, 8)
+	want := dst.Total("x")
+	cases := []*Store{
+		mk(time.Minute, 8),  // resolution differs
+		mk(time.Second, 16), // capacity differs
+		mk(time.Minute, 16), // both differ
+	}
+	for i, src := range cases {
+		if err := dst.Merge(src); err == nil {
+			t.Errorf("case %d: mismatched merge returned nil error", i)
+		}
+		if dst.Total("x") != want {
+			t.Errorf("case %d: mismatched merge mutated the destination", i)
+		}
+	}
+	if err := dst.Merge(mk(time.Second, 8)); err != nil {
+		t.Errorf("matched-geometry merge errored: %v", err)
+	}
+	if got := dst.Total("x").Count; got != 2 {
+		t.Errorf("matched merge count = %d, want 2", got)
+	}
+	// Nil receiver/operand keep the nil-monitor no-op semantics.
+	var nilStore *Store
+	if err := nilStore.Merge(dst); err != nil {
+		t.Errorf("nil receiver merge errored: %v", err)
+	}
+	if err := dst.Merge(nil); err != nil {
+		t.Errorf("nil operand merge errored: %v", err)
+	}
+}
+
+// Satellite regression: negative timestamps clamp into window 0 — they stay
+// queryable (first window, cumulative total) instead of aliasing ring slots
+// through negative index arithmetic.
+func TestStoreNegativeTimestampsClampToWindowZero(t *testing.T) {
+	st := NewStore(time.Second, 8)
+	st.Record("x", -5*time.Second, 3)
+	st.Record("x", -time.Nanosecond, 4)
+	st.Record("x", 0, 5)
+	first := st.Range("x", 0, time.Second)
+	if first.Count != 3 || first.Sum != 12 {
+		t.Errorf("window 0 = %+v, want all three clamped samples", first)
+	}
+	if tot := st.Total("x"); tot.Count != 3 || tot.Sum != 12 {
+		t.Errorf("total = %+v, want 3 samples", tot)
+	}
+	if d := st.Dropped("x"); d != 0 {
+		t.Errorf("dropped = %d, want 0 (clamped, not dropped)", d)
+	}
+	// A negative `from` in Range clamps the same way.
+	if got := st.Range("x", -time.Minute, time.Second); got != first {
+		t.Errorf("negative-from range %+v != window-0 range %+v", got, first)
 	}
 }
 
@@ -157,6 +223,63 @@ func TestSLOAlertFiresAndResolves(t *testing.T) {
 	fc := m.FireCounts()
 	if len(fc) != 1 || fc[0].Fired < 1 || fc[0].Firing {
 		t.Errorf("fire counts = %+v", fc)
+	}
+}
+
+// The sharded-replay contract: folding the same sample stream into a bare
+// store with FoldSample and sweeping it post-hoc with EvaluateSLOs must
+// reproduce the live Monitor's alert transitions and fire counts exactly —
+// boundary evaluation at T only reads windows strictly before T, so online
+// and after-the-fact evaluation see identical rollups.
+func TestEvaluateSLOsMatchesLiveMonitor(t *testing.T) {
+	slos := []SLO{
+		{Name: "lat", Kind: KindLatency, Threshold: 100 * time.Millisecond,
+			Budget: 0.1, ShortWindow: 2 * time.Second, LongWindow: 4 * time.Second},
+		{Name: "errs", Kind: KindErrorRate, Budget: 0.2,
+			ShortWindow: 2 * time.Second, LongWindow: 4 * time.Second},
+		{Name: "spend", Kind: KindCostRate, BudgetUSD: 1e-4,
+			ShortWindow: 2 * time.Second, LongWindow: 4 * time.Second},
+	}
+	m := New(Config{Resolution: time.Second, SLOs: slos})
+	st := NewStore(time.Second, DefaultWindows)
+	at := func(s float64) time.Duration { return time.Duration(s * float64(time.Second)) }
+	var latest time.Duration
+	feed := func(ts time.Duration, smp Sample) {
+		m.Observe(ts, smp)
+		FoldSample(st, ts, smp, slos)
+		if ts > latest {
+			latest = ts
+		}
+	}
+	for i := 0; i < 8; i++ {
+		class := "ok"
+		if i%3 == 0 {
+			class = "handler-error"
+		}
+		feed(at(0.5*float64(i)), Sample{Function: "f", Class: class,
+			E2E: 500 * time.Millisecond, CostUSD: 2e-7})
+	}
+	for i := 0; i < 12; i++ {
+		feed(at(4+0.5*float64(i)), Sample{Function: "f", Class: "ok",
+			E2E: 10 * time.Millisecond, CostUSD: 1e-9})
+	}
+	m.Finish()
+
+	alerts, counts := EvaluateSLOs(st, slos, latest)
+	if got, want := RenderAlertLog(alerts), m.AlertLog(); got != want {
+		t.Errorf("post-hoc alert log differs from live monitor:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+	live := m.FireCounts()
+	if len(counts) != len(live) {
+		t.Fatalf("fire counts: %d vs live %d", len(counts), len(live))
+	}
+	for i := range counts {
+		if counts[i] != live[i] {
+			t.Errorf("fire count %d: %+v vs live %+v", i, counts[i], live[i])
+		}
+	}
+	if RenderAlertLog(alerts) == "" {
+		t.Error("scenario should produce at least one transition")
 	}
 }
 

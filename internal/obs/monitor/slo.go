@@ -75,6 +75,12 @@ type SLO struct {
 	Burn float64
 }
 
+// WithDefaults fills zero fields from the store resolution — the exact
+// parameter set a Monitor at that resolution would evaluate. Idempotent,
+// so callers may pre-apply it before FoldSample/EvaluateSLOs (which
+// applies it again internally).
+func (s SLO) WithDefaults(res time.Duration) SLO { return s.withDefaults(res) }
+
 // withDefaults fills zero fields from the store resolution.
 func (s SLO) withDefaults(res time.Duration) SLO {
 	if s.Budget <= 0 {
@@ -167,32 +173,11 @@ type sloState struct {
 	fired  int // fire transitions, for summaries
 }
 
-// burn computes the burn rate over the trailing window ending at T.
-// Windows are clipped at the start of the run so early evaluations use the
-// data that exists instead of diluting it with emptiness.
+// burn computes the burn rate over the trailing window ending at T — the
+// shared implementation lives in burnOver (eval.go) so the live monitor and
+// the post-hoc sharded-replay sweep evaluate identically.
 func (m *Monitor) burn(def SLO, T, window time.Duration) float64 {
-	from := T - window
-	if from < 0 {
-		from = 0
-	}
-	if def.Kind == KindCostRate {
-		if def.BudgetUSD <= 0 {
-			return 0
-		}
-		hours := (T - from).Hours()
-		if hours <= 0 {
-			return 0
-		}
-		cost := m.store.Range(seriesCost, from, T)
-		return (cost.Sum / hours) / def.BudgetUSD
-	}
-	total := m.store.Range(seriesTotal, from, T)
-	if total.Count == 0 {
-		return 0
-	}
-	bad := m.store.Range(def.badSeries(), from, T)
-	frac := float64(bad.Count) / float64(total.Count)
-	return frac / def.Budget
+	return burnOver(m.store, def, T, window)
 }
 
 // ParseSLOs parses a compact SLO spec of comma-separated key=value pairs:

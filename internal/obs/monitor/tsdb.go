@@ -14,6 +14,7 @@
 package monitor
 
 import (
+	"fmt"
 	"sort"
 	"sync"
 	"time"
@@ -47,6 +48,11 @@ func (r *Rollup) merge(o Rollup) {
 	r.Count += o.Count
 	r.Sum += o.Sum
 }
+
+// Merge folds another rollup into r (sums add, max folds idempotently) —
+// the same combine Store.Merge applies window-wise, exported for callers
+// accumulating window scans outside the package.
+func (r *Rollup) Merge(o Rollup) { r.merge(o) }
 
 // Mean is the windowed average (0 when empty).
 func (r Rollup) Mean() float64 {
@@ -104,7 +110,14 @@ func (s *Store) Resolution() time.Duration {
 	return s.res
 }
 
-// windowIndex maps a timestamp to its absolute window index.
+// windowIndex maps a timestamp to its absolute window index. Negative
+// timestamps clamp to window 0: the simulated timeline starts at zero, so a
+// negative `at` can only come from caller arithmetic underflow (e.g. a
+// trailing window reaching before the run began), and folding it into the
+// first window keeps such samples queryable instead of corrupting the ring
+// with a negative index (int64 division would otherwise round toward zero
+// and alias windows -res..res onto index 0 while windows further back went
+// negative).
 func (s *Store) windowIndex(at time.Duration) int64 {
 	if at < 0 {
 		at = 0
@@ -230,19 +243,24 @@ func (s *Store) Names() []string {
 
 // Merge folds another store window-wise into s by absolute window index.
 // Both stores must share resolution and capacity (the caller constructs
-// per-worker stores from one config); mismatched geometry is ignored
-// rather than corrupting windows. o must not be written concurrently.
-func (s *Store) Merge(o *Store) {
+// per-worker stores from one config); mismatched geometry returns an
+// explicit error with nothing folded — absolute window indices only line up
+// when both rings share a resolution, so a silent partial merge would
+// corrupt every series. A nil s or o is a no-op (nil monitor semantics).
+// o must not be written concurrently.
+func (s *Store) Merge(o *Store) error {
 	if s == nil || o == nil {
-		return
+		return nil
 	}
 	// Copy o's state out under its own lock, then fold under ours —
 	// never holding both (see Registry.Merge for the deadlock this
 	// avoids).
 	o.mu.Lock()
 	if o.res != s.res || o.cap != s.cap {
+		ores, ocap := o.res, o.cap
 		o.mu.Unlock()
-		return
+		return fmt.Errorf("monitor: Store.Merge geometry mismatch: %v×%d windows into %v×%d",
+			ores, ocap, s.res, s.cap)
 	}
 	type snap struct {
 		name string
@@ -287,4 +305,5 @@ func (s *Store) Merge(o *Store) {
 			dst.ring[w%int64(s.cap)].merge(sn.se.ring[w%int64(s.cap)])
 		}
 	}
+	return nil
 }

@@ -91,28 +91,54 @@ func Generate(cfg GenConfig) *Trace {
 // poissonArrivals samples a diurnally-modulated Poisson process with the
 // given expected total count over the period, by thinning.
 func poissonArrivals(rng *rand.Rand, expected float64, period time.Duration) []time.Duration {
-	// Base rate per second; modulation peaks mid-period at 1.6x, troughs
-	// at 0.4x (the day/night swing in the Azure trace).
+	var out []time.Duration
+	next := poissonStream(rng, expected, period)
+	for {
+		at, ok := next()
+		if !ok {
+			return out
+		}
+		out = append(out, at)
+	}
+}
+
+// poissonStream is the streaming core of poissonArrivals: it yields the
+// same thinned, diurnally-modulated arrival sequence one offset at a time
+// (peak mid-period at 1.6x, trough at 0.4x — the day/night swing in the
+// Azure trace) without materializing the sequence.
+func poissonStream(rng *rand.Rand, expected float64, period time.Duration) func() (time.Duration, bool) {
 	base := expected / period.Seconds()
 	maxRate := base * 1.6
-	if maxRate <= 0 {
-		return nil
-	}
-	var out []time.Duration
 	t := 0.0
 	limit := period.Seconds()
-	for {
-		t += rng.ExpFloat64() / maxRate
-		if t >= limit {
-			break
+	return func() (time.Duration, bool) {
+		if maxRate <= 0 {
+			return 0, false
 		}
-		phase := 2 * math.Pi * t / limit
-		rate := base * (1 + 0.6*math.Sin(phase-math.Pi/2))
-		if rng.Float64() < rate/maxRate {
-			out = append(out, time.Duration(t*float64(time.Second)))
+		for {
+			t += rng.ExpFloat64() / maxRate
+			if t >= limit {
+				return 0, false
+			}
+			phase := 2 * math.Pi * t / limit
+			rate := base * (1 + 0.6*math.Sin(phase-math.Pi/2))
+			if rng.Float64() < rate/maxRate {
+				return time.Duration(t * float64(time.Second)), true
+			}
 		}
 	}
-	return out
+}
+
+// ArrivalStream returns a deterministic generator of diurnally-modulated
+// Poisson arrivals for one function, seeded independently of any shared
+// RNG. Successive calls yield sorted offsets within [0, period) and then
+// (0, false) forever. Because each stream owns its seed, a sharded fleet
+// replay can generate per-function workloads on any number of workers in
+// any order and still produce exactly the arrivals a sequential generation
+// would have produced — and it never materializes the sequence, so memory
+// stays flat no matter how hot the function is.
+func ArrivalStream(seed int64, expected float64, period time.Duration) func() (time.Duration, bool) {
+	return poissonStream(rand.New(rand.NewSource(seed)), expected, period)
 }
 
 // PoolResult summarizes a keep-alive simulation of one function.
@@ -146,12 +172,35 @@ func SimulatePool(arrivals []time.Duration, duration time.Duration, keepAlive ti
 // served arrival, in arrival order. A nil observer reproduces SimulatePool
 // exactly; the observer cannot perturb the pool dynamics either way.
 func SimulatePoolObserved(arrivals []time.Duration, duration time.Duration, keepAlive time.Duration, observe func(PoolEvent)) PoolResult {
+	i := 0
+	return SimulatePoolStream(func() (time.Duration, bool) {
+		if i >= len(arrivals) {
+			return 0, false
+		}
+		at := arrivals[i]
+		i++
+		return at, true
+	}, duration, keepAlive, observe)
+}
+
+// SimulatePoolStream runs the keep-alive pool dynamics over an arrival
+// iterator instead of a materialized slice: next() yields sorted offsets
+// and then (0, false). The pool state is bounded by the function's peak
+// concurrency, so a stream of millions of arrivals simulates in flat
+// memory — the substrate the sharded fleet replay engine runs on. The
+// dynamics are identical to SimulatePoolObserved (which wraps this).
+func SimulatePoolStream(next func() (time.Duration, bool), duration time.Duration, keepAlive time.Duration, observe func(PoolEvent)) PoolResult {
 	type inst struct {
 		freeAt time.Duration
 	}
 	var pool []inst
-	res := PoolResult{Invocations: len(arrivals)}
-	for _, at := range arrivals {
+	var res PoolResult
+	for {
+		at, ok := next()
+		if !ok {
+			return res
+		}
+		res.Invocations++
 		// Find the most-recently-freed idle, non-expired instance (greedy
 		// MRU assignment minimizes cold starts for a single function).
 		best := -1
@@ -184,7 +233,6 @@ func SimulatePoolObserved(arrivals []time.Duration, duration time.Duration, keep
 			observe(PoolEvent{At: at, Cold: cold, Live: len(pool)})
 		}
 	}
-	return res
 }
 
 // NearestFunction returns the trace function minimizing the L2 norm of

@@ -253,3 +253,83 @@ func TestSimulatePoolObservedMatchesResult(t *testing.T) {
 		t.Errorf("second overlapping arrival live = %d, want 2", events[1].Live)
 	}
 }
+
+func TestSimulatePoolStreamMatchesSlice(t *testing.T) {
+	tr := Generate(GenConfig{Functions: 12, Period: 2 * time.Hour, Seed: 3})
+	for _, f := range tr.Functions {
+		dur := time.Duration(f.DurationMS * float64(time.Millisecond))
+		var sliceEvents, streamEvents []PoolEvent
+		want := SimulatePoolObserved(f.Arrivals, dur, 10*time.Minute, func(ev PoolEvent) {
+			sliceEvents = append(sliceEvents, ev)
+		})
+		i := 0
+		got := SimulatePoolStream(func() (time.Duration, bool) {
+			if i >= len(f.Arrivals) {
+				return 0, false
+			}
+			at := f.Arrivals[i]
+			i++
+			return at, true
+		}, dur, 10*time.Minute, func(ev PoolEvent) {
+			streamEvents = append(streamEvents, ev)
+		})
+		if got != want {
+			t.Fatalf("fn %d: stream result %+v != slice result %+v", f.ID, got, want)
+		}
+		if len(streamEvents) != len(sliceEvents) {
+			t.Fatalf("fn %d: %d stream events vs %d slice events", f.ID, len(streamEvents), len(sliceEvents))
+		}
+		for j := range streamEvents {
+			if streamEvents[j] != sliceEvents[j] {
+				t.Fatalf("fn %d event %d: %+v != %+v", f.ID, j, streamEvents[j], sliceEvents[j])
+			}
+		}
+	}
+}
+
+func TestArrivalStreamDeterministicAndSorted(t *testing.T) {
+	collect := func() []time.Duration {
+		next := ArrivalStream(42, 500, 6*time.Hour)
+		var out []time.Duration
+		for {
+			at, ok := next()
+			if !ok {
+				return out
+			}
+			out = append(out, at)
+		}
+	}
+	a, b := collect(), collect()
+	if len(a) == 0 {
+		t.Fatal("expected arrivals from a 500-expected stream")
+	}
+	if len(a) != len(b) {
+		t.Fatalf("same seed produced %d vs %d arrivals", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("arrival %d: %v != %v (same seed)", i, a[i], b[i])
+		}
+		if i > 0 && a[i] < a[i-1] {
+			t.Fatalf("arrivals out of order at %d: %v < %v", i, a[i], a[i-1])
+		}
+		if a[i] < 0 || a[i] >= 6*time.Hour {
+			t.Fatalf("arrival %d = %v outside the period", i, a[i])
+		}
+	}
+	// Count should be in the right ballpark for the expected rate.
+	if len(a) < 300 || len(a) > 800 {
+		t.Errorf("arrival count %d implausible for expected 500", len(a))
+	}
+	// Exhausted streams keep returning false.
+	next := ArrivalStream(42, 0, time.Hour)
+	if _, ok := next(); ok {
+		t.Error("zero-rate stream should be empty")
+	}
+	// Different seeds diverge.
+	c := ArrivalStream(43, 500, 6*time.Hour)
+	c0, _ := c()
+	if c0 == a[0] {
+		t.Error("different seeds should produce different first arrivals")
+	}
+}
