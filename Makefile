@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check fmt vet build test bench bench-smoke race experiments monitor-smoke rollout-smoke engine-smoke fleet-smoke fuzz-smoke
+.PHONY: check fmt vet build test bench bench-smoke race experiments monitor-smoke rollout-smoke engine-smoke fleet-smoke query-smoke fuzz-smoke
 
 ## race: the race-detector sweep CI runs on the concurrency-bearing
 ## packages (parallel DD, the corpus scheduler, the shared snapshot cache)
@@ -22,6 +22,7 @@ fuzz-smoke:
 	$(GO) test -fuzz FuzzParseSLOs -fuzztime $(FUZZTIME) -run xxx ./internal/obs/monitor
 	$(GO) test -fuzz FuzzParseStages -fuzztime $(FUZZTIME) -run xxx ./internal/rollout
 	$(GO) test -fuzz FuzzCompileEval -fuzztime $(FUZZTIME) -run xxx ./internal/pyruntime
+	$(GO) test -fuzz FuzzParseQuery -fuzztime $(FUZZTIME) -run xxx ./internal/obs/query
 
 fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
@@ -114,6 +115,42 @@ fleet-smoke:
 	cmp $(FLEET_SMOKE_DIR)/openmetrics-w1.txt $(FLEET_SMOKE_DIR)/openmetrics-w4.txt
 	cmp $(FLEET_SMOKE_DIR)/flame-w1.folded $(FLEET_SMOKE_DIR)/flame-w4.folded
 	@echo "fleet-smoke: byte-identical across worker shards"
+
+# query-smoke: worker-count determinism of the query surface — a canned
+# query set (selectors, rules, label matchers, ratios, a range query) and
+# the exemplar-annotated exposition must produce byte-identical JSON and
+# OpenMetrics at 1 and 4 worker shards (see DESIGN.md §14).
+QUERY_SMOKE_DIR ?= query-smoke-out
+QUERY_SMOKE_RULES = fleet:cost_usd:sum5m = sum(cost.usd[5m]); fleet:req:rate5m = rate(req.total[5m])
+query-smoke:
+	@mkdir -p $(QUERY_SMOKE_DIR)
+	$(GO) run ./cmd/lambdatrim -fleet-functions 3000 -fleet-workers 1 \
+		-rules '$(QUERY_SMOKE_RULES)' \
+		-query 'cost.usd / req.total' \
+		-query 'sum(cost.usd{phase="init"}[24h]) / sum(cost.usd[24h])' \
+		-query 'rate(req.total{arm="debloated"}[6h])' \
+		-query 'fleet:cost_usd:sum5m' \
+		-query 'max(fleet:req:rate5m[24h])' \
+		-openmetrics $(QUERY_SMOKE_DIR)/openmetrics-w1.txt > $(QUERY_SMOKE_DIR)/query-w1.json
+	$(GO) run ./cmd/lambdatrim -fleet-functions 3000 -fleet-workers 4 \
+		-rules '$(QUERY_SMOKE_RULES)' \
+		-query 'cost.usd / req.total' \
+		-query 'sum(cost.usd{phase="init"}[24h]) / sum(cost.usd[24h])' \
+		-query 'rate(req.total{arm="debloated"}[6h])' \
+		-query 'fleet:cost_usd:sum5m' \
+		-query 'max(fleet:req:rate5m[24h])' \
+		-openmetrics $(QUERY_SMOKE_DIR)/openmetrics-w4.txt > $(QUERY_SMOKE_DIR)/query-w4.json
+	$(GO) run ./cmd/lambdatrim -fleet-functions 3000 -fleet-workers 1 \
+		-rules '$(QUERY_SMOKE_RULES)' -query 'fleet:req:rate5m' \
+		-query-step 4h > $(QUERY_SMOKE_DIR)/range-w1.json
+	$(GO) run ./cmd/lambdatrim -fleet-functions 3000 -fleet-workers 4 \
+		-rules '$(QUERY_SMOKE_RULES)' -query 'fleet:req:rate5m' \
+		-query-step 4h > $(QUERY_SMOKE_DIR)/range-w4.json
+	cmp $(QUERY_SMOKE_DIR)/query-w1.json $(QUERY_SMOKE_DIR)/query-w4.json
+	cmp $(QUERY_SMOKE_DIR)/range-w1.json $(QUERY_SMOKE_DIR)/range-w4.json
+	cmp $(QUERY_SMOKE_DIR)/openmetrics-w1.txt $(QUERY_SMOKE_DIR)/openmetrics-w4.txt
+	grep -q 'span_id="' $(QUERY_SMOKE_DIR)/openmetrics-w1.txt
+	@echo "query-smoke: byte-identical across worker shards"
 
 experiments:
 	$(GO) run ./cmd/experiments

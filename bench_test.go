@@ -26,6 +26,7 @@ import (
 	"repro/internal/faas"
 	"repro/internal/fleet"
 	"repro/internal/obs/monitor"
+	"repro/internal/obs/query"
 	"repro/internal/profiler"
 	"repro/internal/pyruntime"
 )
@@ -561,10 +562,26 @@ func BenchmarkFleet_Replay(b *testing.B) {
 		pc.Functions = 1000
 	}
 	pop := fleet.GeneratePopulation(pc, nil)
+	// The rules arm layers per-shard incremental recording rules on top of
+	// full telemetry; its delta against telemetry_on is the rule-evaluation
+	// overhead (a per-block boundary sweep — a few percent, not a second
+	// pass over the samples).
+	benchRules, err := query.ParseRules(`
+		fleet:cost_usd:sum5m = sum(cost.usd[5m])
+		fleet:req:rate5m = rate(req.total[5m])
+	`)
+	if err != nil {
+		b.Fatal(err)
+	}
 	for _, arm := range []struct {
 		name    string
 		disable bool
-	}{{"telemetry_on", false}, {"telemetry_off", true}} {
+		rules   []query.Rule
+	}{
+		{"telemetry_on", false, nil},
+		{"telemetry_on_rules", false, benchRules},
+		{"telemetry_off", true, nil},
+	} {
 		b.Run(arm.name, func(b *testing.B) {
 			b.ReportAllocs()
 			var ms0, ms1 runtime.MemStats
@@ -578,6 +595,7 @@ func BenchmarkFleet_Replay(b *testing.B) {
 					Seed:             pc.Seed,
 					Pricing:          pc.Pricing,
 					DisableTelemetry: arm.disable,
+					Rules:            arm.rules,
 				}, pop)
 				if err != nil {
 					b.Fatal(err)
@@ -618,4 +636,45 @@ func BenchmarkReliability_FaultedReplay(b *testing.B) {
 	}
 	b.ReportMetric(100*failRate, "debloated_fail_%")
 	b.ReportMetric(retryAmp, "retry_amplification_x")
+}
+
+// BenchmarkQuery_RangeEval measures the mql engine sweeping a day of
+// fleet telemetry: a ratio of rates (two trailing-window scans per
+// boundary) and a quantile (a scan plus a sort) evaluated at every
+// resolution boundary. The metric is boundary evaluations per second —
+// the server's /query?step= cost model.
+func BenchmarkQuery_RangeEval(b *testing.B) {
+	pc := fleet.DefaultPopConfig()
+	pc.Functions = 1000
+	res, err := fleet.Replay(fleet.Config{
+		Period:      pc.Period,
+		SLOs:        fleet.DefaultSLOs(),
+		Seed:        pc.Seed,
+		Pricing:     pc.Pricing,
+		LabelSeries: true,
+	}, fleet.GeneratePopulation(pc, nil))
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng := res.QueryEngine()
+	for _, bench := range []struct{ name, q string }{
+		{"rate_ratio", `rate(cost.usd[1h]) / rate(req.total[1h])`},
+		{"labeled_sum", `sum(cost.usd{phase="init"}[1h])`},
+		{"p95", `p95(req.total[1h])`},
+	} {
+		x, err := query.Parse(bench.q)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(bench.name, func(b *testing.B) {
+			b.ReportAllocs()
+			var points int
+			for i := 0; i < b.N; i++ {
+				points = len(eng.Range(x, 0, -1, 0))
+			}
+			if sec := b.Elapsed().Seconds(); sec > 0 {
+				b.ReportMetric(float64(points)*float64(b.N)/sec, "boundaries/s")
+			}
+		})
+	}
 }

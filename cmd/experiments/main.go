@@ -65,6 +65,7 @@ var drivers = []struct {
 	{"monitor", "SLO-monitored replay comparison", func(s *experiments.Suite) (renderer, error) { return s.Monitor() }},
 	{"rollout", "closed-loop canary/breaker/self-heal replay", func(s *experiments.Suite) (renderer, error) { return s.Rollout() }},
 	{"fleet", "fleet-scale sharded replay (10k functions, streaming telemetry)", func(s *experiments.Suite) (renderer, error) { return s.Fleet() }},
+	{"query", "metrics query engine over a fleet replay (rules, exemplars, 1-vs-4-worker identity)", func(s *experiments.Suite) (renderer, error) { return s.Query() }},
 }
 
 func targetNames() []string {

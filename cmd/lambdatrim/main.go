@@ -48,6 +48,8 @@ import (
 	"repro/internal/imageio"
 	"repro/internal/obs"
 	"repro/internal/obs/monitor"
+	"repro/internal/obs/query"
+	"repro/internal/obs/serve"
 	"repro/internal/powertune"
 	"repro/internal/profiler"
 	"repro/internal/pyruntime"
@@ -71,6 +73,13 @@ func main() {
 	fleetFlag := fs.Bool("fleet", false, "replay a synthetic corpus-shaped fleet day through the sharded virtual-time engine and print the fleet report (standalone; no app argument)")
 	fleetFunctions := fs.Int("fleet-functions", 10000, "fleet population size (with -fleet)")
 	fleetWorkers := fs.Int("fleet-workers", 0, "fleet worker shards, 0 = GOMAXPROCS (with -fleet; wall-clock only — output is byte-identical at any count)")
+	var queries multiFlag
+	fs.Var(&queries, "query", "evaluate an mql query over the fleet replay and print one JSON line (repeatable; implies -fleet and suppresses the text report)")
+	queryStep := fs.Duration("query-step", 0, "evaluate -query as a range query at this step instead of a single instant")
+	rulesFlag := fs.String("rules", "", "recording rules for the fleet replay, 'name = expr' separated by ';' (or @file to load from a file); evaluated incrementally per shard, byte-identical at any -fleet-workers")
+	spanFlag := fs.String("span", "", "print the span subtree behind this exemplar span ID after the fleet replay (implies -fleet)")
+	serveAddr := fs.String("serve", "", "after the fleet replay, serve /metrics, /query, /alerts, /dashboard, and /span on this address (implies -fleet)")
+	serveFrameDelay := fs.Duration("serve-frame-delay", time.Second, "pacing between SSE dashboard frames on /dashboard")
 	slo := fs.String("slo", "", "comma-separated SLO spec for -monitor/-fleet, e.g. p95=800ms,err=2%,costinv=2e-7 (default: thresholds derived from cold-start probes, or the fleet defaults)")
 	list := fs.Bool("list", false, "list corpus applications and exit")
 	trace := fs.String("trace", "", "write a Chrome trace-event JSON file of the run (pipeline + platform spans over sim-time)")
@@ -102,6 +111,9 @@ func main() {
 	}
 	pyruntime.SetDefaultEngine(eng)
 
+	if len(queries) > 0 || *rulesFlag != "" || *spanFlag != "" || *serveAddr != "" {
+		*fleetFlag = true // the query surface reads a fleet replay
+	}
 	if *fleetFlag {
 		if *fleetFunctions < 1 || *fleetWorkers < 0 {
 			fmt.Fprintln(os.Stderr, "-fleet-functions must be >= 1 and -fleet-workers >= 0")
@@ -112,6 +124,12 @@ func main() {
 			workers:      *fleetWorkers,
 			seed:         *faultSeed,
 			sloSpec:      *slo,
+			queries:      queries,
+			queryStep:    *queryStep,
+			rules:        *rulesFlag,
+			span:         *spanFlag,
+			serve:        *serveAddr,
+			frameDelay:   *serveFrameDelay,
 			trace:        *trace,
 			events:       *events,
 			metrics:      *metrics,
@@ -352,11 +370,23 @@ func main() {
 	}
 }
 
+// multiFlag collects a repeatable string flag.
+type multiFlag []string
+
+func (m *multiFlag) String() string     { return strings.Join(*m, "; ") }
+func (m *multiFlag) Set(v string) error { *m = append(*m, v); return nil }
+
 type fleetOptions struct {
 	functions    int
 	workers      int
 	seed         int64
 	sloSpec      string
+	queries      []string
+	queryStep    time.Duration
+	rules        string
+	span         string
+	serve        string
+	frameDelay   time.Duration
 	trace        string
 	events       string
 	metrics      string
@@ -370,12 +400,16 @@ type fleetOptions struct {
 // through the sharded fleet engine, and print the merged report. The
 // telemetry flags reuse the run's exporters: -openmetrics gets the fleet
 // exposition directly, while -trace/-events/-metrics/-flame export the
-// replay's bounded span tree and merged counters through a tracer.
+// replay's bounded span tree and merged counters through a tracer. The
+// query surface (-query/-rules/-span/-serve) turns on labeled series and
+// reads the same merged result: every output stays byte-identical at any
+// -fleet-workers count.
 func runFleet(opt fleetOptions) int {
 	pc := fleet.DefaultPopConfig()
 	pc.Functions = opt.functions
 	pc.Seed = opt.seed
 
+	querying := len(opt.queries) > 0 || opt.rules != "" || opt.span != "" || opt.serve != ""
 	cfg := fleet.Config{
 		Workers:        opt.workers,
 		Period:         pc.Period,
@@ -383,6 +417,7 @@ func runFleet(opt fleetOptions) int {
 		DashboardEvery: 4 * time.Hour,
 		Seed:           pc.Seed,
 		Pricing:        pc.Pricing,
+		LabelSeries:    querying,
 	}
 	if opt.sloSpec != "" {
 		slos, err := monitor.ParseSLOs(opt.sloSpec)
@@ -392,13 +427,51 @@ func runFleet(opt fleetOptions) int {
 		}
 		cfg.SLOs = slos
 	}
+	if opt.rules != "" {
+		src := opt.rules
+		if strings.HasPrefix(src, "@") {
+			data, err := os.ReadFile(src[1:])
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "reading -rules: %v\n", err)
+				return 2
+			}
+			src = string(data)
+		}
+		rules, err := query.ParseRules(src)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "parsing -rules: %v\n", err)
+			return 2
+		}
+		cfg.Rules = rules
+	}
 
 	res, err := fleet.Replay(cfg, fleet.GeneratePopulation(pc, nil))
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "fleet replay: %v\n", err)
 		return 1
 	}
-	fmt.Print(res.Render())
+
+	// -query suppresses the text report: stdout is then exactly one JSON
+	// line per query, suitable for golden comparison with cmp.
+	if len(opt.queries) > 0 {
+		eng := res.QueryEngine()
+		for _, q := range opt.queries {
+			var out string
+			var err error
+			if opt.queryStep > 0 {
+				out, err = eng.RangeJSON(q, 0, -1, opt.queryStep)
+			} else {
+				out, err = eng.InstantJSON(q, -1)
+			}
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "query %q: %v\n", q, err)
+				return 2
+			}
+			fmt.Println(out)
+		}
+	} else {
+		fmt.Print(res.Render())
+	}
 
 	if opt.openmetrics != "" {
 		if err := os.WriteFile(opt.openmetrics, res.OpenMetrics(), 0o644); err != nil {
@@ -406,14 +479,43 @@ func runFleet(opt fleetOptions) int {
 			return 1
 		}
 	}
-	if opt.trace != "" || opt.events != "" || opt.metrics != "" || opt.flame != "" || opt.traceSummary {
-		tr := obs.New()
+
+	var tr *obs.Tracer
+	if opt.span != "" || opt.serve != "" || opt.trace != "" || opt.events != "" ||
+		opt.metrics != "" || opt.flame != "" || opt.traceSummary {
+		tr = obs.New()
 		res.EmitSpans(tr)
-		if opt.traceSummary {
-			fmt.Println()
-			fmt.Print(tr.Summary())
+	}
+	if opt.span != "" {
+		s := tr.FindSpan(opt.span)
+		if s == nil {
+			fmt.Fprintf(os.Stderr, "no span with id %s (IDs ride the exemplar annotations in -openmetrics output)\n", opt.span)
+			return 1
 		}
+		fmt.Print(s.Subtree())
+	}
+	if opt.traceSummary {
+		fmt.Println()
+		fmt.Print(tr.Summary())
+	}
+	if tr != nil {
 		if err := tr.WriteFiles(opt.trace, opt.events, opt.metrics, opt.flame, ""); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+	}
+
+	if opt.serve != "" {
+		site := &serve.Site{
+			OpenMetrics: res.OpenMetrics,
+			Engine:      res.QueryEngine(),
+			AlertLog:    res.AlertLog(),
+			Frames:      res.Frames,
+			FindSpan:    tr.FindSpan,
+			FrameDelay:  opt.frameDelay,
+		}
+		fmt.Fprintf(os.Stderr, "serving fleet replay on %s (/metrics /query /alerts /dashboard /span)\n", opt.serve)
+		if err := site.ListenAndServe(opt.serve); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			return 1
 		}

@@ -1,0 +1,150 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/fleet"
+	"repro/internal/obs"
+	"repro/internal/obs/query"
+)
+
+// QueryReport is the query-engine demonstration target: a fleet replay
+// with labeled series and recording rules enabled, a canned mql query set
+// evaluated over the merged store, and an exemplar resolved back to its
+// span subtree. The replay runs twice — at 1 worker and at 4 — and every
+// rendered byte is checked equal across the two before rendering, making
+// the report double as a determinism proof for the query surface.
+type QueryReport struct {
+	Functions int
+	Rules     []query.Rule
+	Instant   []string // canned instant queries, JSON lines
+	Range     string   // one canned range query, JSON line
+	Exemplar  string   // the slowest invocation's exemplar line + subtree
+}
+
+// queryRules are the canned recording rules: each one is in the linear
+// fragment, so per-shard evaluation merged in block order equals global
+// evaluation (DESIGN.md §14).
+const queryRules = `
+	fleet:cost_usd:sum5m = sum(cost.usd[5m])
+	fleet:req:rate5m = rate(req.total[5m])
+	fleet:init_usd:sum1h = sum(cost.usd{phase="init"}[1h])
+`
+
+// queryInstant is the canned instant-query set, exercising selectors,
+// range aggregations, label matching, rule series, and binary ratios.
+var queryInstant = []string{
+	`cost.usd / req.total`,
+	`sum(cost.usd{phase="init"}[24h]) / sum(cost.usd[24h])`,
+	`rate(req.total{arm="debloated"}[6h]) / rate(req.total{arm="original"}[6h])`,
+	`p95(req.total[24h])`,
+	`fleet:cost_usd:sum5m`,
+	`max(fleet:req:rate5m[24h])`,
+}
+
+const queryRange = `fleet:init_usd:sum1h`
+
+// Query runs the query target (population size from FleetFunctions; the
+// default keeps the cross-worker double replay under a second).
+func (s *Suite) Query() (*QueryReport, error) {
+	functions := 2000
+	if s.FleetFunctions > 0 {
+		functions = s.FleetFunctions
+	}
+	rules, err := query.ParseRules(queryRules)
+	if err != nil {
+		return nil, err
+	}
+
+	pc := fleet.DefaultPopConfig()
+	pc.Functions = functions
+	pc.Seed = 1
+	pc.Pricing = s.Platform.Pricing
+	pop := fleet.GeneratePopulation(pc, nil)
+
+	render := func(workers int) (string, error) {
+		res, err := fleet.Replay(fleet.Config{
+			Workers:        workers,
+			Period:         pc.Period,
+			SLOs:           fleet.DefaultSLOs(),
+			DashboardEvery: 4 * time.Hour,
+			Seed:           pc.Seed,
+			Pricing:        pc.Pricing,
+			LabelSeries:    true,
+			Rules:          rules,
+		}, pop)
+		if err != nil {
+			return "", err
+		}
+		eng := res.QueryEngine()
+		var b strings.Builder
+		for _, q := range queryInstant {
+			line, err := eng.InstantJSON(q, -1)
+			if err != nil {
+				return "", fmt.Errorf("query %q: %w", q, err)
+			}
+			b.WriteString(line + "\n")
+		}
+		line, err := eng.RangeJSON(queryRange, 0, -1, 4*time.Hour)
+		if err != nil {
+			return "", err
+		}
+		b.WriteString(line + "\n")
+		b.WriteByte(0) // section separator inside the compared blob
+
+		// The exemplar round trip: exposition annotation → span subtree.
+		tr := obs.New()
+		res.EmitSpans(tr)
+		e := res.Slowest[0]
+		sp := tr.FindSpan(e.SpanID())
+		if sp == nil {
+			return "", fmt.Errorf("exemplar span %s not found in trace", e.SpanID())
+		}
+		fmt.Fprintf(&b, "slowest exemplar: %s e2e=%s span_id=%s\n%s",
+			e.Function, e.E2E, e.SpanID(), sp.Subtree())
+		return b.String(), nil
+	}
+
+	one, err := render(1)
+	if err != nil {
+		return nil, err
+	}
+	four, err := render(4)
+	if err != nil {
+		return nil, err
+	}
+	if one != four {
+		return nil, fmt.Errorf("query output differs between 1 and 4 workers:\n--- 1\n%s\n--- 4\n%s", one, four)
+	}
+
+	parts := strings.SplitN(one, "\x00", 2)
+	lines := strings.Split(strings.TrimRight(parts[0], "\n"), "\n")
+	return &QueryReport{
+		Functions: functions,
+		Rules:     rules,
+		Instant:   lines[:len(lines)-1],
+		Range:     lines[len(lines)-1],
+		Exemplar:  parts[1],
+	}, nil
+}
+
+// Render prints the canned rules, the query results, and the resolved
+// exemplar subtree.
+func (r *QueryReport) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "metrics query engine — fleet replay of %d functions, byte-identical at 1 and 4 workers\n",
+		r.Functions)
+	b.WriteString("recording rules (evaluated per shard, merged in block order):\n")
+	for _, rule := range r.Rules {
+		b.WriteString("  " + rule.String() + "\n")
+	}
+	b.WriteString("instant queries:\n")
+	for _, line := range r.Instant {
+		b.WriteString("  " + line + "\n")
+	}
+	b.WriteString("range query (4h step):\n  " + r.Range + "\n")
+	b.WriteString(r.Exemplar)
+	return b.String()
+}

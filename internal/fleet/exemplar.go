@@ -1,6 +1,9 @@
 package fleet
 
-import "time"
+import (
+	"strconv"
+	"time"
+)
 
 // Exemplar is one concrete invocation kept as evidence behind the
 // aggregates: the rollups say "p99 got worse", an exemplar names a
@@ -13,8 +16,10 @@ type Exemplar struct {
 	Function  string
 	Archetype string
 	Arm       string
-	// At is the completion time on the virtual timeline.
+	// At is the completion time on the virtual timeline; Init the init
+	// phase the invocation paid (0 warm).
 	At      time.Duration
+	Init    time.Duration
 	E2E     time.Duration
 	CostUSD float64
 	Cold    bool
@@ -27,6 +32,37 @@ type Exemplar struct {
 	// smallest keys" is a uniform random sample that every worker count
 	// agrees on.
 	key uint64
+	// span is the invocation's span identity (a further hash round off
+	// key, so sampling order and identity stay uncorrelated); SpanID is
+	// its rendered form.
+	span uint64
+}
+
+// SpanID renders the invocation's stable span identity as 16 hex digits.
+// The span tree EmitSpans builds for the exemplar sets carries the same
+// IDs, so an exemplar annotation in the OpenMetrics exposition resolves
+// via obs.Tracer.FindSpan to the subtree explaining the outlier. Derived
+// from (replay seed, function ID, seq) only — identical at any worker
+// count, like every other replay artifact.
+func (e Exemplar) SpanID() string {
+	if e.span == 0 {
+		return ""
+	}
+	s := strconv.FormatUint(e.span, 16)
+	for len(s) < 16 {
+		s = "0" + s
+	}
+	return s
+}
+
+// exemplarSpanKey derives the span identity from the sampling key with one
+// more mix round (never 0, which SpanID reserves for "no identity").
+func exemplarSpanKey(sampleKey uint64) uint64 {
+	k := splitmix64(sampleKey ^ 0xD6E8FEB86659FD93)
+	if k == 0 {
+		k = 1
+	}
+	return k
 }
 
 // splitmix64 is the SplitMix64 finalizer: a cheap, well-mixed 64-bit

@@ -41,6 +41,7 @@ import (
 	"repro/internal/faas"
 	"repro/internal/obs"
 	"repro/internal/obs/monitor"
+	"repro/internal/obs/query"
 	"repro/internal/stats"
 	"repro/internal/trace"
 )
@@ -108,6 +109,22 @@ type Config struct {
 	// DisableTelemetry replays only the pool dynamics and counters — the
 	// overhead baseline for benchmarking the telemetry plane.
 	DisableTelemetry bool
+	// LabelSeries additionally records labeled series into the shard
+	// stores for mql label matchers: the built-in series under {arm="..."}
+	// per arm, and the cost series split pro rata into
+	// cost.usd{phase="init"} / cost.usd{phase="handler"} (the ledger's
+	// decomposition, as queryable time series). Label cardinality is
+	// bounded by the arm count, never the function count, so shard memory
+	// stays flat.
+	LabelSeries bool
+	// Rules are recording rules (query.ParseRules) evaluated incrementally
+	// during the replay: each shard sweeps its block's window boundaries
+	// after the block replays and records the rule series into its private
+	// store, and the shards merge in block-index order like every other
+	// artifact. ParseRules restricts bodies to the distributive fragment,
+	// which is exactly what makes the merged rule series independent of
+	// the worker count.
+	Rules []query.Rule
 
 	// blockDone, when set, runs on the merge goroutine after each block
 	// has been folded and released (test hook for memory-flatness
@@ -222,12 +239,28 @@ func (p *partial) merge(o *partial) error {
 	return nil
 }
 
+// Phase-labeled cost series (LabelSeries): the ledger's pro-rata init/
+// handler split, re-recorded as queryable time series. Package-level so
+// the canonical encoding is paid once per process, not per invocation.
+var (
+	costInitSeries = monitor.LabeledSeries("cost.usd", monitor.Label{Key: "phase", Val: "init"})
+	costExecSeries = monitor.LabeledSeries("cost.usd", monitor.Label{Key: "phase", Val: "handler"})
+)
+
 // replayFunction streams one function's arrivals through the keep-alive
 // pool and folds every served invocation into the block's shard.
 func replayFunction(cfg *Config, fn *Function, p *partial) {
 	next := fn.arrivalSource(cfg.Period)
 	var seq uint64
 	fnKey := exemplarFnKey(cfg.Seed, fn.ID)
+	// Labeled series names are per label set, not per sample: build them
+	// before the arrival loop so the replay's hot path never allocates a
+	// name.
+	var armNames *monitor.SeriesNames
+	if cfg.LabelSeries && !cfg.DisableTelemetry && fn.Arm != "" {
+		names := monitor.NamedSeries(monitor.Label{Key: "arm", Val: fn.Arm})
+		armNames = &names
+	}
 	res := trace.SimulatePoolStream(next, fn.Exec, cfg.KeepAlive, func(ev trace.PoolEvent) {
 		var init time.Duration
 		if ev.Cold {
@@ -261,6 +294,22 @@ func replayFunction(cfg *Config, fn *Function, p *partial) {
 			CostUSD:    cfg.Pricing.Cost(billed, fn.MemoryMB),
 		}
 		monitor.FoldSample(p.store, at, s, cfg.SLOs)
+		if cfg.LabelSeries {
+			if armNames != nil {
+				monitor.FoldSampleInto(p.store, at, s, *armNames)
+			}
+			// Pro-rata duration-bill split, mirroring Phase.add: the
+			// same dollars the ledger attributes to init/handler, as
+			// series mql can window and ratio.
+			if s.Billed > 0 && s.CostUSD > 0 {
+				if s.BilledInit > 0 {
+					p.store.Record(costInitSeries, at, s.CostUSD*float64(s.BilledInit)/float64(s.Billed))
+				}
+				if s.BilledExec > 0 {
+					p.store.Record(costExecSeries, at, s.CostUSD*float64(s.BilledExec)/float64(s.Billed))
+				}
+			}
+		}
 		p.ledger.Record(s)
 		if fn.Arm != "" {
 			armed := s
@@ -276,16 +325,19 @@ func replayFunction(cfg *Config, fn *Function, p *partial) {
 		if ev.Cold {
 			p.reg.Inc("fleet.cold_starts", 1)
 		}
+		key := exemplarSampleKey(fnKey, seq)
 		p.ex.offer(Exemplar{
 			Function:  fn.Name,
 			Archetype: fn.Archetype,
 			Arm:       fn.Arm,
 			At:        at,
+			Init:      init,
 			E2E:       e2e,
 			CostUSD:   s.CostUSD,
 			Cold:      ev.Cold,
 			seq:       seq,
-			key:       exemplarSampleKey(fnKey, seq),
+			key:       key,
+			span:      exemplarSpanKey(key),
 		})
 		seq++
 	})
@@ -393,6 +445,17 @@ func Replay(cfg Config, fns []Function) (*Result, error) {
 				lo, hi := b*n/blocks, (b+1)*n/blocks
 				for i := lo; i < hi; i++ {
 					replayFunction(&cfg, &fns[i], p)
+				}
+				// Recording rules run here, on the worker, while the
+				// block's shard is still private: each shard sweeps the
+				// boundaries its own block reached, and the per-shard rule
+				// series then merge window-wise like any other series.
+				// Rule bodies are restricted to the distributive fragment
+				// (query.ParseRules), so the merged series equals the
+				// global rule value — and the sweep depends only on the
+				// block partition, never on the worker count.
+				if len(cfg.Rules) > 0 && !cfg.DisableTelemetry {
+					query.EvalRules(p.store, cfg.Rules, p.latest)
 				}
 				parts[b] = p
 				close(done[b])

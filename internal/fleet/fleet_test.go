@@ -12,6 +12,7 @@ import (
 	"repro/internal/faas"
 	"repro/internal/obs"
 	"repro/internal/obs/monitor"
+	"repro/internal/obs/query"
 	"repro/internal/trace"
 )
 
@@ -29,6 +30,14 @@ func testArchetypes() []Archetype {
 }
 
 func testConfig(workers int) Config {
+	rules, err := query.ParseRules(`
+		fleet:cost_usd:sum5m = sum(cost.usd[5m])
+		fleet:req:rate1m = rate(req.total[1m])
+		fleet:cost_cold = sum(cost.usd[5m]) - count(req.cold[5m])
+	`)
+	if err != nil {
+		panic(err)
+	}
 	return Config{
 		Workers:        workers,
 		Blocks:         16,
@@ -37,6 +46,8 @@ func testConfig(workers int) Config {
 		KeepAlive:      10 * time.Minute,
 		DashboardEvery: time.Hour,
 		Seed:           42,
+		LabelSeries:    true,
+		Rules:          rules,
 		SLOs: []monitor.SLO{
 			{Name: "cold-fraction", Kind: monitor.KindColdFraction, Budget: 0.25},
 			{Name: "cost-burn", Kind: monitor.KindCostRate, BudgetUSD: 0.02},
@@ -46,12 +57,32 @@ func testConfig(workers int) Config {
 
 func artifacts(t *testing.T, r *Result) map[string]string {
 	t.Helper()
+	e := r.QueryEngine()
+	var queries strings.Builder
+	for _, q := range []string{
+		"cost.usd / req.total",
+		"fleet:cost_usd:sum5m",
+		`sum(cost.usd{phase="init"}[1h]) / sum(cost.usd[1h])`,
+		`rate(req.total{arm="debloated"}[30m])`,
+	} {
+		out, err := e.InstantJSON(q, -1)
+		if err != nil {
+			t.Fatalf("InstantJSON(%q): %v", q, err)
+		}
+		queries.WriteString(out + "\n")
+	}
+	rng, err := e.RangeJSON("fleet:req:rate1m", 0, -1, 30*time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries.WriteString(rng + "\n")
 	return map[string]string{
 		"render":      r.Render(),
 		"openmetrics": string(r.OpenMetrics()),
 		"alertlog":    r.AlertLog(),
 		"dashboard":   r.Dashboard(),
 		"ledger":      r.Ledger.RenderTable(),
+		"queries":     queries.String(),
 	}
 }
 
@@ -98,10 +129,62 @@ func TestReplayByteIdenticalAcrossWorkers(t *testing.T) {
 func renderSpans(spans []*obs.Span, depth int) string {
 	var b strings.Builder
 	for _, s := range spans {
-		fmt.Fprintf(&b, "%*s%s [%d,%d]\n", depth*2, "", s.Name, s.Start, s.End)
+		fmt.Fprintf(&b, "%*s%s [%d,%d] id=%s\n", depth*2, "", s.Name, s.Start, s.End, s.ID)
 		b.WriteString(renderSpans(s.Children, depth+1))
 	}
 	return b.String()
+}
+
+// TestExemplarSpanResolves closes the loop the exemplars exist for: the
+// span ID carried by an OpenMetrics exemplar annotation must resolve, via
+// FindSpan on a tracer that received EmitSpans, to a real span in the
+// trace tree (and survive the Chrome trace export).
+func TestExemplarSpanResolves(t *testing.T) {
+	pop := GeneratePopulation(PopConfig{
+		Functions: 200, Period: 2 * time.Hour, Seed: 7,
+		DebloatedFraction: 0.5, RateMedian: 30, RateSigma: 1.8, RateCap: 20000,
+	}, testArchetypes())
+	res, err := Replay(testConfig(4), pop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Slowest) == 0 {
+		t.Fatal("no exemplars kept")
+	}
+
+	// The exposition carries at least one exemplar annotation with the
+	// slowest invocation's span ID.
+	om := string(res.OpenMetrics())
+	want := `span_id="` + res.Slowest[0].SpanID() + `"`
+	if !strings.Contains(om, want) {
+		t.Fatalf("exposition lacks exemplar %s:\n%s", want, clip(om))
+	}
+
+	tr := obs.New()
+	res.EmitSpans(tr)
+	for _, e := range []Exemplar{res.Slowest[0], res.Priciest[0], res.Sampled[0]} {
+		s := tr.FindSpan(e.SpanID())
+		if s == nil {
+			t.Fatalf("span %s (function %s) not found in trace", e.SpanID(), e.Function)
+		}
+		if s.Name != e.Function || s.End != e.At || s.Dur() != e.E2E {
+			t.Errorf("span %s = %s [%v,%v], want %s ending %v spanning %v",
+				e.SpanID(), s.Name, s.Start, s.End, e.Function, e.At, e.E2E)
+		}
+		if e.Init > 0 && (len(s.Children) != 2 || s.Children[0].Name != "init" ||
+			s.Children[0].Dur() != e.Init) {
+			t.Errorf("span %s children = %v, want init/exec phases", e.SpanID(), s.Children)
+		}
+	}
+
+	// And the ID survives the Chrome trace export.
+	chromeBytes, err := tr.ChromeTrace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(chromeBytes), `"span_id":"`+res.Slowest[0].SpanID()+`"`) {
+		t.Error("chrome trace export lost the exemplar span ID")
+	}
 }
 
 func clip(s string) string {

@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/obs"
 	"repro/internal/obs/monitor"
+	"repro/internal/obs/query"
 	"repro/internal/stats"
 )
 
@@ -74,6 +75,13 @@ func (r *Result) AlertsFired() int {
 
 // AlertLog renders the alert transitions in the canonical log format.
 func (r *Result) AlertLog() string { return monitor.RenderAlertLog(r.Alerts) }
+
+// QueryEngine returns an mql engine over the merged store, anchored at the
+// replay's newest sample. Nil-store results evaluate to zero, matching the
+// DisableTelemetry contract.
+func (r *Result) QueryEngine() *query.Engine {
+	return &query.Engine{Store: r.Store, Latest: r.Latest}
+}
 
 // Dashboard returns the concatenated dashboard frames.
 func (r *Result) Dashboard() string { return strings.Join(r.Frames, "") }
@@ -316,23 +324,44 @@ func writeFamily(b *strings.Builder, name, typ string, lines ...string) {
 	}
 }
 
+// exemplarFor attaches OpenMetrics exemplars to the exposition: the
+// slowest invocation rides req.total's max line and the priciest rides
+// cost.usd's, each carrying the function name and the span ID that
+// resolves (via obs.Tracer.FindSpan after EmitSpans) to the invocation's
+// span subtree. Exemplar sets are fold-order independent, so the
+// annotations inherit the exposition's byte stability.
+func (r *Result) exemplarFor(series, kind string) string {
+	if kind != "max" {
+		return ""
+	}
+	pick := func(xs []Exemplar, v func(Exemplar) float64) string {
+		if len(xs) == 0 {
+			return ""
+		}
+		e := xs[0]
+		return monitor.ExemplarAnnotation([]monitor.Label{
+			{Key: "function", Val: e.Function},
+			{Key: "span_id", Val: e.SpanID()},
+		}, v(e), e.At)
+	}
+	switch series {
+	case "req.total":
+		return pick(r.Slowest, func(e Exemplar) float64 { return e.E2E.Seconds() })
+	case "cost.usd":
+		return pick(r.Priciest, func(e Exemplar) float64 { return e.CostUSD })
+	}
+	return ""
+}
+
 // OpenMetrics renders the merged result in the monitor's exposition
-// format — per-series cumulative rollups, SLO firing state, latency
-// quantiles, phase dollars — plus fleet-level families: member and
-// invocation counts and per-arm attribution. Byte-stable for a fixed
-// (Config minus Workers, fns).
+// format — per-series cumulative rollups (with exemplar annotations on
+// the outlier families), SLO firing state, latency quantiles, phase
+// dollars — plus fleet-level families: member and invocation counts and
+// per-arm attribution. Byte-stable for a fixed (Config minus Workers,
+// fns).
 func (r *Result) OpenMetrics() []byte {
 	var b strings.Builder
-	for _, name := range r.Store.Names() {
-		tot := r.Store.Total(name)
-		mn := monitor.MetricName(name)
-		writeFamily(&b, mn+"_count", "counter",
-			mn+"_count "+strconv.FormatUint(tot.Count, 10))
-		writeFamily(&b, mn+"_sum", "gauge",
-			mn+"_sum "+fmtFloat(tot.Sum))
-		writeFamily(&b, mn+"_max", "gauge",
-			mn+"_max "+fmtFloat(tot.Max))
-	}
+	monitor.StoreFamilies(&b, r.Store, r.exemplarFor)
 
 	if len(r.FireCounts) > 0 {
 		firing := make([]string, 0, len(r.FireCounts))
@@ -445,5 +474,61 @@ func (r *Result) EmitSpans(tr *obs.Tracer) {
 		tr.End(s, cursor)
 	}
 	tr.End(root, total)
+	r.emitExemplarSpans(tr)
 	tr.Metrics().Merge(r.Registry)
+}
+
+// emitExemplarSpans records a second root holding one span per kept
+// exemplar on the real replay timeline ([At-E2E, At], init/exec phase
+// children), each carrying the span ID that the OpenMetrics exemplar
+// annotations reference — FindSpan(id) on the receiving tracer lands on
+// the invocation behind the annotation. The three sets are deduplicated
+// by span identity and laid out in (At, Function, seq) order, so the
+// subtree is a pure function of the merged exemplar sets.
+func (r *Result) emitExemplarSpans(tr *obs.Tracer) {
+	var xs []Exemplar
+	seen := map[uint64]bool{}
+	for _, set := range [][]Exemplar{r.Slowest, r.Priciest, r.Sampled} {
+		for _, e := range set {
+			if e.span != 0 && !seen[e.span] {
+				seen[e.span] = true
+				xs = append(xs, e)
+			}
+		}
+	}
+	if len(xs) == 0 {
+		return
+	}
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && tiebreak(&xs[j], &xs[j-1]); j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+	first := xs[0].At - xs[0].E2E
+	last := xs[0].At
+	root := tr.StartChild(nil, "fleet.exemplars", "fleet", first)
+	for _, e := range xs {
+		start := e.At - e.E2E
+		if start < first {
+			first = start
+		}
+		if e.At > last {
+			last = e.At
+		}
+		s := tr.StartChild(root, e.Function, "fleet.exemplar", start)
+		s.ID = e.SpanID()
+		s.Add(
+			obs.String("archetype", e.Archetype),
+			obs.String("arm", e.Arm),
+			obs.Bool("cold", e.Cold),
+			obs.Attr{Key: "cost_usd", Val: fmtFloat(e.CostUSD)},
+		)
+		if e.Init > 0 {
+			tr.StartChild(s, "init", "fleet.phase", start).Finish(start + e.Init)
+		}
+		tr.StartChild(s, "exec", "fleet.phase", start+e.Init).Finish(e.At)
+		tr.End(s, e.At)
+	}
+	root.Start = first
+	tr.End(root, last)
 }

@@ -51,11 +51,18 @@ func (t *Tracer) ChromeTrace() ([]byte, error) {
 	events := []chromeEvent{}
 	t.Walk(func(s *Span, depth int) {
 		dur := usFloat(s.Dur())
+		args := attrArgs(s.Attrs)
+		if s.ID != "" {
+			if args == nil {
+				args = make(map[string]string, 1)
+			}
+			args["span_id"] = s.ID
+		}
 		events = append(events, chromeEvent{
 			Name: s.Name, Cat: s.Cat, Ph: "X",
 			Ts: usFloat(s.Start), Dur: &dur,
 			Pid: 1, Tid: 1,
-			Args: attrArgs(s.Attrs),
+			Args: args,
 		})
 	})
 	for _, e := range t.Events() {

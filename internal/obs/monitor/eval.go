@@ -37,6 +37,40 @@ func FoldSample(st *Store, at time.Duration, s Sample, slos []SLO) {
 	}
 }
 
+// SeriesNames binds the built-in sample series to one precomputed label
+// set: high-rate producers (the fleet replay folds millions of samples) pay
+// the LabeledSeries encoding once per label set instead of once per sample.
+type SeriesNames struct {
+	Total, Errors, Cold, Cost string
+}
+
+// NamedSeries precomputes the built-in series names for a label set.
+func NamedSeries(labels ...Label) SeriesNames {
+	return SeriesNames{
+		Total:  LabeledSeries(seriesTotal, labels...),
+		Errors: LabeledSeries(seriesErrors, labels...),
+		Cold:   LabeledSeries(seriesCold, labels...),
+		Cost:   LabeledSeries(seriesCost, labels...),
+	}
+}
+
+// FoldSampleInto records one sample into a precomputed labeled series set,
+// mirroring FoldSample's built-in series. Per-SLO bad series stay
+// unlabeled (objectives are fleet-wide), so they are not duplicated here.
+func FoldSampleInto(st *Store, at time.Duration, s Sample, names SeriesNames) {
+	if st == nil {
+		return
+	}
+	st.Record(names.Total, at, s.E2E.Seconds())
+	if s.Class != "ok" {
+		st.Record(names.Errors, at, 1)
+	}
+	if s.Cold {
+		st.Record(names.Cold, at, 1)
+	}
+	st.Record(names.Cost, at, s.CostUSD)
+}
+
 // burnOver computes an objective's burn rate over the trailing window ending
 // at boundary T, reading the given store. Windows are clipped at the start
 // of the run so early evaluations use the data that exists instead of

@@ -55,6 +55,11 @@ type Config struct {
 	// DashboardEvery renders a text dashboard frame at this virtual-time
 	// interval (0 disables frames).
 	DashboardEvery time.Duration
+	// LabelSeries additionally records the built-in series under a
+	// {function="..."} label per sample (the LabeledSeries encoding), which
+	// is what mql label matchers select on. Off by default: labeled series
+	// multiply store cardinality by the function count.
+	LabelSeries bool
 }
 
 // Monitor watches a replay on the simulated timeline: samples land in the
@@ -72,6 +77,8 @@ type Monitor struct {
 	alerts []AlertEvent
 	frames []string
 	hist   *stats.Histogram // cumulative E2E seconds
+
+	labeled map[string]SeriesNames // per-function labeled series names (LabelSeries)
 
 	nextTick  time.Duration
 	nextFrame time.Duration // negative when frames are disabled
@@ -121,6 +128,17 @@ func (m *Monitor) Observe(at time.Duration, s Sample) {
 		m.latest = at
 	}
 	FoldSample(m.store, at, s, m.defs)
+	if m.cfg.LabelSeries && s.Function != "" {
+		names, ok := m.labeled[s.Function]
+		if !ok {
+			names = NamedSeries(Label{Key: "function", Val: s.Function})
+			if m.labeled == nil {
+				m.labeled = make(map[string]SeriesNames)
+			}
+			m.labeled[s.Function] = names
+		}
+		FoldSampleInto(m.store, at, s, names)
+	}
 	m.ledger.Record(s)
 	m.hist.Observe(s.E2E.Seconds())
 }

@@ -1,8 +1,10 @@
 package monitor
 
 import (
+	"sort"
 	"strconv"
 	"strings"
+	"time"
 )
 
 // metricName sanitizes a series name into an OpenMetrics metric name:
@@ -40,6 +42,108 @@ func writeFamily(b *strings.Builder, name, typ string, lines ...string) {
 	}
 }
 
+// labelBlock renders a decoded label set as an OpenMetrics label block
+// ("" for unlabeled series). Keys arrive sorted (SplitSeries preserves the
+// canonical encoding's order) and values are written verbatim, mirroring
+// the LabeledSeries producer contract.
+func labelBlock(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteString(`="`)
+		b.WriteString(l.Val)
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// ExemplarAnnotation renders an OpenMetrics exemplar suffix for a metric
+// line: " # {labels} value timestamp", with the timestamp in seconds of
+// simulated time. Appended verbatim by StoreFamilies exemplar callbacks.
+func ExemplarAnnotation(labels []Label, value float64, ts time.Duration) string {
+	var b strings.Builder
+	b.WriteString(" # ")
+	b.WriteString(labelBlock(labels))
+	if len(labels) == 0 {
+		b.WriteString("{}")
+	}
+	b.WriteByte(' ')
+	b.WriteString(fmtFloat(value))
+	b.WriteByte(' ')
+	b.WriteString(fmtFloat(ts.Seconds()))
+	return b.String()
+}
+
+// StoreFamilies renders every series in a store as OpenMetrics
+// count/sum/max families. Labeled series (the LabeledSeries encoding) are
+// grouped under their family's TYPE lines with proper OpenMetrics label
+// blocks — within a family the unlabeled series (if any) comes first,
+// labeled series follow in canonical-name order, and families are emitted
+// in sorted order, so a store holding only unlabeled series renders
+// byte-identically to the historical per-series writer. The optional
+// exemplar callback receives each (store series name, kind) pair — kind is
+// "count", "sum", or "max" — and returns an annotation suffix (typically
+// ExemplarAnnotation output) or "".
+func StoreFamilies(b *strings.Builder, st *Store, exemplar func(series, kind string) string) {
+	type member struct {
+		name   string // full store series name
+		labels []Label
+	}
+	byFam := make(map[string][]member)
+	var fams []string
+	// Names() is sorted, which within one family already yields the order
+	// we emit (the bare family name is a strict prefix of every labeled
+	// variant); families themselves are re-sorted below because '{' sorts
+	// above letters and could interleave prefix families.
+	for _, name := range st.Names() {
+		fam, labels := SplitSeries(name)
+		if _, ok := byFam[fam]; !ok {
+			fams = append(fams, fam)
+		}
+		byFam[fam] = append(byFam[fam], member{name, labels})
+	}
+	sort.Strings(fams)
+	kinds := []struct {
+		kind, suffix, typ string
+	}{
+		{"count", "_count", "counter"},
+		{"sum", "_sum", "gauge"},
+		{"max", "_max", "gauge"},
+	}
+	for _, fam := range fams {
+		mn := metricName(fam)
+		for _, k := range kinds {
+			lines := make([]string, 0, len(byFam[fam]))
+			for _, m := range byFam[fam] {
+				tot := st.Total(m.name)
+				var val string
+				switch k.kind {
+				case "count":
+					val = strconv.FormatUint(tot.Count, 10)
+				case "sum":
+					val = fmtFloat(tot.Sum)
+				default:
+					val = fmtFloat(tot.Max)
+				}
+				line := mn + k.suffix + labelBlock(m.labels) + " " + val
+				if exemplar != nil {
+					line += exemplar(m.name, k.kind)
+				}
+				lines = append(lines, line)
+			}
+			writeFamily(b, mn+k.suffix, k.typ, lines...)
+		}
+	}
+}
+
 // OpenMetrics renders the monitor state as an OpenMetrics text exposition:
 // per-series cumulative count/sum/max, per-objective firing state and fire
 // counts, cumulative E2E latency quantiles, and the ledger's per-phase
@@ -52,16 +156,7 @@ func (m *Monitor) OpenMetrics() []byte {
 		b.WriteString("# EOF\n")
 		return []byte(b.String())
 	}
-	for _, name := range m.store.Names() {
-		tot := m.store.Total(name)
-		mn := metricName(name)
-		writeFamily(&b, mn+"_count", "counter",
-			mn+"_count "+strconv.FormatUint(tot.Count, 10))
-		writeFamily(&b, mn+"_sum", "gauge",
-			mn+"_sum "+fmtFloat(tot.Sum))
-		writeFamily(&b, mn+"_max", "gauge",
-			mn+"_max "+fmtFloat(tot.Max))
-	}
+	StoreFamilies(&b, m.store, nil)
 
 	counts := m.FireCounts()
 	if len(counts) > 0 {

@@ -1,0 +1,90 @@
+package monitor
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Rollup.Merge is the combine applied window-wise by Store.Merge, so the
+// fleet's any-worker-count byte-identity rests on its algebra: it must be
+// commutative and associative with the empty rollup as identity, and safe
+// to apply to a value merged with itself (the aliasing shape that bit
+// Histogram.Merge in PR 6). Test values are small multiples of 1/64 —
+// exactly representable in a float64 — so associativity holds bitwise, not
+// just approximately; the store's merge order is fixed (block-index order)
+// precisely because float addition is not associative for arbitrary
+// values.
+
+func randRollup(rng *rand.Rand) Rollup {
+	if rng.Intn(8) == 0 {
+		return Rollup{}
+	}
+	var r Rollup
+	n := rng.Intn(6) + 1
+	for i := 0; i < n; i++ {
+		r.add(float64(rng.Intn(256)) / 64)
+	}
+	return r
+}
+
+func TestRollupMergeCommutative(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 1000; i++ {
+		a, b := randRollup(rng), randRollup(rng)
+		ab, ba := a, b
+		ab.Merge(b)
+		ba.Merge(a)
+		if ab != ba {
+			t.Fatalf("merge not commutative: %+v ∪ %+v → %+v vs %+v", a, b, ab, ba)
+		}
+	}
+}
+
+func TestRollupMergeAssociative(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 1000; i++ {
+		a, b, c := randRollup(rng), randRollup(rng), randRollup(rng)
+		// (a ∪ b) ∪ c
+		left := a
+		left.Merge(b)
+		left.Merge(c)
+		// a ∪ (b ∪ c)
+		bc := b
+		bc.Merge(c)
+		right := a
+		right.Merge(bc)
+		if left != right {
+			t.Fatalf("merge not associative for %+v, %+v, %+v: %+v vs %+v", a, b, c, left, right)
+		}
+	}
+}
+
+func TestRollupMergeEmptyIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 1000; i++ {
+		a := randRollup(rng)
+		left := Rollup{}
+		left.Merge(a)
+		right := a
+		right.Merge(Rollup{})
+		if left != a || right != a {
+			t.Fatalf("empty not identity for %+v: left %+v right %+v", a, left, right)
+		}
+	}
+}
+
+func TestRollupMergeSelf(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 1000; i++ {
+		a := randRollup(rng)
+		got := a
+		got.Merge(got) // argument is a copy: self-merge must double, not corrupt
+		want := Rollup{Count: 2 * a.Count, Sum: a.Sum + a.Sum, Max: a.Max}
+		if a.Count == 0 {
+			want = Rollup{}
+		}
+		if got != want {
+			t.Fatalf("self-merge of %+v = %+v, want %+v", a, got, want)
+		}
+	}
+}

@@ -197,6 +197,41 @@ func (s *Store) Range(name string, from, to time.Duration) Rollup {
 	return out
 }
 
+// Scan visits the in-ring windows of a series intersecting [from, to) in
+// ascending time order, calling fn with each window's start offset and its
+// rollup (empty windows included — a window the timeline skipped is a real
+// zero observation, which is what per-window quantiles need). Windows that
+// slid out of the ring and windows past the series' latest write are not
+// visited. fn runs under the store lock: it must not call back into the
+// store (record rule output after the scan returns, not inside it). This
+// is the query engine's window-scan primitive; Range is the fused
+// aggregate of the same walk.
+func (s *Store) Scan(name string, from, to time.Duration, fn func(start time.Duration, r Rollup)) {
+	if s == nil || to <= from {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	se, ok := s.series[name]
+	if !ok || se.latest < 0 {
+		return
+	}
+	lo := s.windowIndex(from)
+	hi := s.windowIndex(to - 1)
+	if min := se.latest - int64(s.cap) + 1; lo < min {
+		lo = min
+	}
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > se.latest {
+		hi = se.latest
+	}
+	for w := lo; w <= hi; w++ {
+		fn(time.Duration(w)*s.res, se.ring[w%int64(s.cap)])
+	}
+}
+
 // Total returns the series' cumulative rollup across the whole run,
 // including samples that have slid out of the ring.
 func (s *Store) Total(name string) Rollup {

@@ -48,6 +48,10 @@ type Span struct {
 	Cat   string
 	Start time.Duration
 	End   time.Duration
+	// ID optionally names the span for cross-referencing from outside the
+	// trace tree (OpenMetrics exemplars carry span IDs). Producers derive
+	// IDs deterministically from their own seeds; "" means unindexed.
+	ID    string
 	Attrs []Attr
 	// Children are in creation order, which instrumentation keeps
 	// deterministic (concurrent layers create child spans only at
@@ -258,4 +262,61 @@ func walkSpan(s *Span, depth int, fn func(*Span, int)) {
 	for _, c := range s.Children {
 		walkSpan(c, depth+1, fn)
 	}
+}
+
+// FindSpan returns the first span (depth-first, creation order) whose ID
+// matches, or nil. This is the exemplar join: an exemplar annotation in the
+// exposition carries a span ID, and FindSpan resolves it back to the trace
+// subtree that explains the outlier. Linear in the trace size — exemplar
+// lookups are interactive-path only.
+func (t *Tracer) FindSpan(id string) *Span {
+	if t == nil || id == "" {
+		return nil
+	}
+	var found *Span
+	t.Walk(func(s *Span, _ int) {
+		if found == nil && s.ID == id {
+			found = s
+		}
+	})
+	return found
+}
+
+// Subtree renders the span and its descendants as indented text, one span
+// per line with timing and attributes — the human-readable answer to "what
+// was this exemplar doing". Deterministic for a deterministic trace.
+func (s *Span) Subtree() string {
+	var b []byte
+	var walk func(sp *Span, depth int)
+	walk = func(sp *Span, depth int) {
+		for i := 0; i < depth; i++ {
+			b = append(b, "  "...)
+		}
+		b = append(b, sp.Name...)
+		if sp.Cat != "" {
+			b = append(b, " ["...)
+			b = append(b, sp.Cat...)
+			b = append(b, ']')
+		}
+		b = append(b, fmt.Sprintf(" %s +%s", sp.Start, sp.Dur())...)
+		if sp.ID != "" {
+			b = append(b, " id="...)
+			b = append(b, sp.ID...)
+		}
+		for _, a := range sp.Attrs {
+			b = append(b, ' ')
+			b = append(b, a.Key...)
+			b = append(b, '=')
+			b = append(b, a.Val...)
+		}
+		b = append(b, '\n')
+		for _, c := range sp.Children {
+			walk(c, depth+1)
+		}
+	}
+	if s == nil {
+		return ""
+	}
+	walk(s, 0)
+	return string(b)
 }

@@ -1,0 +1,304 @@
+package query
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/obs/monitor"
+)
+
+// Parse parses one mql expression. The whole input must be consumed; a
+// trailing range selector outside an aggregation call (`x[5m]` bare) is
+// therefore rejected, matching the language rule that window reads always
+// go through an aggregation function.
+func Parse(q string) (Expr, error) {
+	p := &parser{s: q}
+	x, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	p.ws()
+	if p.i < len(p.s) {
+		return nil, p.errf("unexpected %q", p.s[p.i:])
+	}
+	return x, nil
+}
+
+// functions are the range aggregations; an identifier followed by '(' must
+// be one of these.
+var functions = map[string]bool{
+	"sum": true, "count": true, "max": true, "mean": true, "rate": true,
+	"p50": true, "p90": true, "p95": true, "p99": true,
+}
+
+type parser struct {
+	s string
+	i int
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return fmt.Errorf("mql: %s (at offset %d of %q)", fmt.Sprintf(format, args...), p.i, p.s)
+}
+
+func (p *parser) ws() {
+	for p.i < len(p.s) {
+		switch p.s[p.i] {
+		case ' ', '\t', '\r', '\n':
+			p.i++
+		default:
+			return
+		}
+	}
+}
+
+func (p *parser) peek() byte {
+	if p.i >= len(p.s) {
+		return 0
+	}
+	return p.s[p.i]
+}
+
+func (p *parser) expect(c byte) error {
+	p.ws()
+	if p.peek() != c {
+		return p.errf("expected %q", string(c))
+	}
+	p.i++
+	return nil
+}
+
+func isIdentStart(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_'
+}
+
+func isIdentByte(c byte) bool {
+	return isIdentStart(c) || c >= '0' && c <= '9' || c == '.' || c == ':'
+}
+
+func (p *parser) ident() string {
+	start := p.i
+	for p.i < len(p.s) && isIdentByte(p.s[p.i]) {
+		p.i++
+	}
+	return p.s[start:p.i]
+}
+
+// stringLit scans a double-quoted literal. No escape sequences: the
+// canonical renderer never needs them ('"', '{', and '}' are rejected
+// where they would be ambiguous), which keeps parse→String→parse exact.
+func (p *parser) stringLit() (string, error) {
+	p.i++ // opening quote, already peeked
+	start := p.i
+	for p.i < len(p.s) {
+		if p.s[p.i] == '"' {
+			v := p.s[start:p.i]
+			p.i++
+			return v, nil
+		}
+		if p.s[p.i] == '\n' {
+			break
+		}
+		p.i++
+	}
+	return "", p.errf("unterminated string")
+}
+
+func (p *parser) expr() (Expr, error) {
+	l, err := p.term()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		p.ws()
+		op := p.peek()
+		if op != '+' && op != '-' {
+			return l, nil
+		}
+		p.i++
+		r, err := p.term()
+		if err != nil {
+			return nil, err
+		}
+		l = Binary{Op: op, L: l, R: r}
+	}
+}
+
+func (p *parser) term() (Expr, error) {
+	l, err := p.unary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		p.ws()
+		op := p.peek()
+		if op != '*' && op != '/' {
+			return l, nil
+		}
+		p.i++
+		r, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		l = Binary{Op: op, L: l, R: r}
+	}
+}
+
+func (p *parser) unary() (Expr, error) {
+	p.ws()
+	if p.peek() == '-' {
+		p.i++
+		x, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		return Unary{X: x}, nil
+	}
+	return p.primary()
+}
+
+func (p *parser) primary() (Expr, error) {
+	p.ws()
+	switch c := p.peek(); {
+	case c == '(':
+		p.i++
+		x, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(')'); err != nil {
+			return nil, err
+		}
+		return x, nil
+	case c >= '0' && c <= '9' || c == '.':
+		return p.number()
+	case c == '"':
+		return p.selector()
+	case isIdentStart(c):
+		save := p.i
+		name := p.ident()
+		p.ws()
+		if p.peek() == '(' {
+			if !functions[name] {
+				return nil, p.errf("unknown function %q", name)
+			}
+			return p.call(name)
+		}
+		p.i = save
+		return p.selector()
+	case c == 0:
+		return nil, p.errf("unexpected end of query")
+	default:
+		return nil, p.errf("unexpected %q", string(c))
+	}
+}
+
+func (p *parser) number() (Expr, error) {
+	start := p.i
+	for p.i < len(p.s) && (p.s[p.i] >= '0' && p.s[p.i] <= '9' || p.s[p.i] == '.') {
+		p.i++
+	}
+	if p.i < len(p.s) && (p.s[p.i] == 'e' || p.s[p.i] == 'E') {
+		p.i++
+		if p.i < len(p.s) && (p.s[p.i] == '+' || p.s[p.i] == '-') {
+			p.i++
+		}
+		for p.i < len(p.s) && p.s[p.i] >= '0' && p.s[p.i] <= '9' {
+			p.i++
+		}
+	}
+	v, err := strconv.ParseFloat(p.s[start:p.i], 64)
+	if err != nil {
+		return nil, p.errf("bad number %q", p.s[start:p.i])
+	}
+	return Number(v), nil
+}
+
+// call parses the argument list of a range aggregation:
+// "(" selector "[" duration "]" ")".
+func (p *parser) call(fn string) (Expr, error) {
+	p.i++ // '(' already peeked
+	sel, err := p.selector()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect('['); err != nil {
+		return nil, err
+	}
+	end := strings.IndexByte(p.s[p.i:], ']')
+	if end < 0 {
+		return nil, p.errf("unterminated range selector")
+	}
+	raw := strings.TrimSpace(p.s[p.i : p.i+end])
+	d, derr := time.ParseDuration(raw)
+	if derr != nil || d <= 0 {
+		return nil, p.errf("bad window %q (want a positive Go duration)", raw)
+	}
+	p.i += end + 1
+	if err := p.expect(')'); err != nil {
+		return nil, err
+	}
+	return Call{Fn: fn, Sel: sel, Window: d}, nil
+}
+
+func (p *parser) selector() (Selector, error) {
+	p.ws()
+	var fam string
+	switch c := p.peek(); {
+	case c == '"':
+		v, err := p.stringLit()
+		if err != nil {
+			return Selector{}, err
+		}
+		// A brace in a quoted family would collide with the canonical
+		// label encoding and with label blocks; reject rather than
+		// produce a selector that cannot round-trip.
+		if strings.ContainsAny(v, "{}") {
+			return Selector{}, p.errf("series name %q must not contain braces", v)
+		}
+		fam = v
+	case isIdentStart(c):
+		fam = p.ident()
+	default:
+		return Selector{}, p.errf("expected a series name")
+	}
+	var labels []monitor.Label
+	p.ws()
+	if p.peek() == '{' {
+		p.i++
+		for {
+			p.ws()
+			if p.peek() == '}' {
+				p.i++
+				break
+			}
+			if len(labels) > 0 {
+				if err := p.expect(','); err != nil {
+					return Selector{}, err
+				}
+				p.ws()
+			}
+			if !isIdentStart(p.peek()) {
+				return Selector{}, p.errf("expected a label name")
+			}
+			key := p.ident()
+			if err := p.expect('='); err != nil {
+				return Selector{}, err
+			}
+			p.ws()
+			if p.peek() != '"' {
+				return Selector{}, p.errf("label value must be a quoted string")
+			}
+			val, err := p.stringLit()
+			if err != nil {
+				return Selector{}, err
+			}
+			if strings.ContainsAny(val, "{},") {
+				return Selector{}, p.errf("label value %q must not contain braces or commas", val)
+			}
+			labels = append(labels, monitor.Label{Key: key, Val: val})
+		}
+	}
+	return Selector{Name: monitor.LabeledSeries(fam, labels...)}, nil
+}

@@ -1,0 +1,118 @@
+package query
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func mustParse(t *testing.T, q string) Expr {
+	t.Helper()
+	x, err := Parse(q)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", q, err)
+	}
+	return x
+}
+
+func TestParseShapes(t *testing.T) {
+	cases := []struct {
+		in   string
+		want string // canonical String() form
+	}{
+		{"req.total", "req.total"},
+		{"  req.total  ", "req.total"},
+		{"42", "42"},
+		{"4.5e3", "4500"},
+		{"-3", "(-3)"},
+		{`req.total{function="f1"}`, `req.total{function="f1"}`},
+		{`req.total{function="f1",arm="debloated"}`, `req.total{arm="debloated",function="f1"}`},
+		{`"slo.fleet-cold-fraction.bad"`, `"slo.fleet-cold-fraction.bad"`},
+		{`"slo.x.bad"{arm="a"}`, `slo.x.bad{arm="a"}`}, // dots are ident-safe: canonical form drops the quotes
+		{"sum(cost.usd[5m])", "sum(cost.usd[5m0s])"},
+		{"rate(req.error[1h])", "rate(req.error[1h0m0s])"},
+		{"p95(req.total[30m])", "p95(req.total[30m0s])"},
+		{"cost.usd / req.total", "(cost.usd / req.total)"},
+		{"a + b * c", "(a + (b * c))"},
+		{"(a + b) * c", "((a + b) * c)"},
+		{"a - b - c", "((a - b) - c)"},
+		{"-a * b", "((-a) * b)"},
+		{"fleet:cost_usd:rate1h", "fleet:cost_usd:rate1h"},
+		{`sum(req.total{function="f"}[2m])`, `sum(req.total{function="f"}[2m0s])`},
+		{"max(req.total[1m])/mean(req.total[1m])", "(max(req.total[1m0s]) / mean(req.total[1m0s]))"},
+		{`req.total{}`, "req.total"},
+	}
+	for _, c := range cases {
+		x := mustParse(t, c.in)
+		if got := x.String(); got != c.want {
+			t.Errorf("Parse(%q).String() = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestParseCanonicalRoundTrip(t *testing.T) {
+	for _, q := range []string{
+		"req.total",
+		`req.total{arm="debloated",function="f1"}`,
+		"sum(cost.usd[5m])",
+		"(rate(cost.usd[1h]) / rate(req.total[1h]))",
+		"((-3) + (a * 2))",
+		`"weird name!"{x="1"}`,
+	} {
+		x := mustParse(t, q)
+		once := x.String()
+		twice := mustParse(t, once).String()
+		if once != twice {
+			t.Errorf("canonical form not stable: %q → %q → %q", q, once, twice)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, q := range []string{
+		"",
+		"   ",
+		"req.total[5m]",       // bare range selector: windows go through aggregations
+		"sum(req.total)",      // aggregation without a window
+		"frob(req.total[1m])", // unknown function
+		"sum(req.total[0s])",  // non-positive window
+		"sum(req.total[xyz])",
+		"sum(req.total[5m)",
+		"a +",
+		"(a",
+		"a)",
+		"1.2.3",
+		`req.total{function}`,
+		`req.total{function=}`,
+		`req.total{function=f}`,  // unquoted label value
+		`req.total{function="f"`, // unterminated block
+		`"unterminated`,
+		`"no{braces}"`, // braces in quoted family
+		`x{k="a,b"}`,   // comma in label value
+		`x{k="a{b"}`,   // brace in label value
+		"a $ b",
+		"req total",
+	} {
+		if x, err := Parse(q); err == nil {
+			t.Errorf("Parse(%q) = %v, want error", q, x)
+		}
+	}
+}
+
+func TestParseWindow(t *testing.T) {
+	x := mustParse(t, "sum(cost.usd[1h30m])")
+	c, ok := x.(Call)
+	if !ok || c.Window != 90*time.Minute {
+		t.Fatalf("parsed %#v, want 90m window call", x)
+	}
+	if c.Sel.Name != "cost.usd" {
+		t.Fatalf("selector = %q", c.Sel.Name)
+	}
+}
+
+func TestParseErrorMentionsOffset(t *testing.T) {
+	_, err := Parse("sum(req.total[5m]) + frob(x[1m])")
+	if err == nil || !strings.Contains(err.Error(), "frob") {
+		t.Fatalf("err = %v, want mention of the unknown function", err)
+	}
+}

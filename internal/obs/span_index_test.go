@@ -1,0 +1,78 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestFindSpanByID(t *testing.T) {
+	tr := New()
+	root := tr.Start("root", "test", 0)
+	a := tr.StartChild(root, "a", "test", time.Second)
+	a.ID = "aaaa000011112222"
+	a.Finish(2 * time.Second)
+	b := tr.StartChild(root, "b", "test", 2*time.Second)
+	b.ID = "bbbb000011112222"
+	b.Finish(3 * time.Second)
+	tr.End(root, 3*time.Second)
+
+	if got := tr.FindSpan("bbbb000011112222"); got != b {
+		t.Fatalf("FindSpan returned %v, want span b", got)
+	}
+	if got := tr.FindSpan("aaaa000011112222"); got != a {
+		t.Fatalf("FindSpan returned %v, want span a", got)
+	}
+	if got := tr.FindSpan("missing"); got != nil {
+		t.Fatalf("FindSpan(missing) = %v, want nil", got)
+	}
+	if got := tr.FindSpan(""); got != nil {
+		t.Fatalf("FindSpan(\"\") = %v, want nil (unindexed spans have empty IDs)", got)
+	}
+	var nilT *Tracer
+	if got := nilT.FindSpan("x"); got != nil {
+		t.Fatalf("nil tracer FindSpan = %v", got)
+	}
+}
+
+func TestSpanSubtree(t *testing.T) {
+	tr := New()
+	root := tr.Start("invocation", "exemplar", time.Second)
+	root.ID = "cafe000011112222"
+	root.Add(String("function", "fn-1"))
+	child := tr.StartChild(root, "init", "phase", time.Second)
+	child.Finish(1500 * time.Millisecond)
+	tr.End(root, 2*time.Second)
+
+	out := root.Subtree()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("subtree has %d lines:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[0], "invocation [exemplar]") ||
+		!strings.Contains(lines[0], "id=cafe000011112222") ||
+		!strings.Contains(lines[0], "function=fn-1") {
+		t.Fatalf("root line = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "  init") {
+		t.Fatalf("child line not indented: %q", lines[1])
+	}
+	var nilSpan *Span
+	if nilSpan.Subtree() != "" {
+		t.Fatal("nil span subtree not empty")
+	}
+}
+
+func TestChromeTraceSpanID(t *testing.T) {
+	tr := New()
+	s := tr.Start("x", "test", 0)
+	s.ID = "feed000011112222"
+	tr.End(s, time.Second)
+	b, err := tr.ChromeTrace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(b), `"span_id":"feed000011112222"`) {
+		t.Fatalf("trace missing span_id arg:\n%s", b)
+	}
+}
