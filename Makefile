@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check fmt vet build test bench bench-smoke race experiments monitor-smoke rollout-smoke engine-smoke fleet-smoke query-smoke fuzz-smoke
+.PHONY: check fmt vet build test bench bench-smoke race experiments monitor-smoke rollout-smoke engine-smoke fleet-smoke query-smoke chaos-smoke fuzz-smoke
 
 ## race: the race-detector sweep CI runs on the concurrency-bearing
 ## packages (parallel DD, the corpus scheduler, the shared snapshot cache)
@@ -23,6 +23,7 @@ fuzz-smoke:
 	$(GO) test -fuzz FuzzParseStages -fuzztime $(FUZZTIME) -run xxx ./internal/rollout
 	$(GO) test -fuzz FuzzCompileEval -fuzztime $(FUZZTIME) -run xxx ./internal/pyruntime
 	$(GO) test -fuzz FuzzParseQuery -fuzztime $(FUZZTIME) -run xxx ./internal/obs/query
+	$(GO) test -fuzz FuzzParseIncidents -fuzztime $(FUZZTIME) -run xxx ./internal/chaos
 
 fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
@@ -151,6 +152,27 @@ query-smoke:
 	cmp $(QUERY_SMOKE_DIR)/openmetrics-w1.txt $(QUERY_SMOKE_DIR)/openmetrics-w4.txt
 	grep -q 'span_id="' $(QUERY_SMOKE_DIR)/openmetrics-w1.txt
 	@echo "query-smoke: byte-identical across worker shards"
+
+# chaos-smoke: worker-count determinism of the chaos replay — the canonical
+# incident day over a 4-arm fleet must produce byte-identical report,
+# resilience scorecard, and OpenMetrics exposition at 1 and 4 worker shards,
+# and the availability SLO must actually page during the incidents (the
+# alert log is part of the report, so the cmp covers it; see DESIGN.md §15).
+CHAOS_SMOKE_DIR ?= chaos-smoke-out
+chaos-smoke:
+	@mkdir -p $(CHAOS_SMOKE_DIR)
+	$(GO) run ./cmd/lambdatrim -chaos default -fleet-functions 3000 -fleet-workers 1 \
+		-scorecard $(CHAOS_SMOKE_DIR)/scorecard-w1.txt \
+		-openmetrics $(CHAOS_SMOKE_DIR)/openmetrics-w1.txt > $(CHAOS_SMOKE_DIR)/chaos-w1.txt
+	$(GO) run ./cmd/lambdatrim -chaos default -fleet-functions 3000 -fleet-workers 4 \
+		-scorecard $(CHAOS_SMOKE_DIR)/scorecard-w4.txt \
+		-openmetrics $(CHAOS_SMOKE_DIR)/openmetrics-w4.txt > $(CHAOS_SMOKE_DIR)/chaos-w4.txt
+	cmp $(CHAOS_SMOKE_DIR)/chaos-w1.txt $(CHAOS_SMOKE_DIR)/chaos-w4.txt
+	cmp $(CHAOS_SMOKE_DIR)/scorecard-w1.txt $(CHAOS_SMOKE_DIR)/scorecard-w4.txt
+	cmp $(CHAOS_SMOKE_DIR)/openmetrics-w1.txt $(CHAOS_SMOKE_DIR)/openmetrics-w4.txt
+	grep -q 'FIRING' $(CHAOS_SMOKE_DIR)/chaos-w1.txt
+	grep -q 'resilience scorecard' $(CHAOS_SMOKE_DIR)/chaos-w1.txt
+	@echo "chaos-smoke: byte-identical across worker shards"
 
 experiments:
 	$(GO) run ./cmd/experiments

@@ -66,6 +66,7 @@ var drivers = []struct {
 	{"rollout", "closed-loop canary/breaker/self-heal replay", func(s *experiments.Suite) (renderer, error) { return s.Rollout() }},
 	{"fleet", "fleet-scale sharded replay (10k functions, streaming telemetry)", func(s *experiments.Suite) (renderer, error) { return s.Fleet() }},
 	{"query", "metrics query engine over a fleet replay (rules, exemplars, 1-vs-4-worker identity)", func(s *experiments.Suite) (renderer, error) { return s.Query() }},
+	{"chaos", "incident-day chaos replay: mitigations off vs on over a 4-arm fleet", func(s *experiments.Suite) (renderer, error) { return s.Chaos() }},
 }
 
 func targetNames() []string {
@@ -90,8 +91,8 @@ func run() int {
 	metrics := flag.String("metrics", "", "write a JSON metrics snapshot of the run")
 	flame := flag.String("flame", "", "write a folded-stack flamegraph of the run (speedscope/flamegraph.pl)")
 	openmetrics := flag.String("openmetrics", "", "write an OpenMetrics text exposition of the run's metrics")
-	fleetFunctions := flag.Int("fleet-functions", 0, "population size for the fleet target (0: the 10k default)")
-	fleetWorkers := flag.Int("fleet-workers", 0, "worker shards for the fleet target, 0 = GOMAXPROCS (wall-clock only; output is byte-identical at any count)")
+	fleetFunctions := flag.Int("fleet-functions", 0, "population size for the fleet/query/chaos targets (0: each target's default)")
+	fleetWorkers := flag.Int("fleet-workers", 0, "worker shards for the fleet/query/chaos targets, 0 = GOMAXPROCS (wall-clock only; output — including the chaos scorecard — is byte-identical at any count)")
 	cpuprofile := flag.String("cpuprofile", "", "write a real-clock CPU profile of the run to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile (post-GC) at exit to this file")
 	flag.Parse()
@@ -103,8 +104,12 @@ func run() int {
 		fmt.Fprintf(os.Stderr, "-workers must be >= 1 (got %d)\n", *workers)
 		return 2
 	}
-	if *fleetFunctions < 0 || *fleetWorkers < 0 {
-		fmt.Fprintln(os.Stderr, "-fleet-functions and -fleet-workers must be >= 0")
+	if *fleetFunctions < 0 {
+		fmt.Fprintf(os.Stderr, "-fleet-functions must be >= 0, 0 meaning the target's default (got %d)\n", *fleetFunctions)
+		return 2
+	}
+	if *fleetWorkers < 0 {
+		fmt.Fprintf(os.Stderr, "-fleet-workers must be >= 0, 0 meaning GOMAXPROCS (got %d)\n", *fleetWorkers)
 		return 2
 	}
 	eng, err := pyruntime.ParseEngine(*engine)

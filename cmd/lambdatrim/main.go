@@ -41,6 +41,7 @@ import (
 
 	"repro/internal/appcorpus"
 	"repro/internal/appspec"
+	"repro/internal/chaos"
 	"repro/internal/debloat"
 	"repro/internal/experiments"
 	"repro/internal/faas"
@@ -71,8 +72,11 @@ func main() {
 	monitorFlag := fs.Bool("monitor", false, "replay a seeded trace workload under SLO burn-rate monitoring, original vs debloated")
 	rolloutFlag := fs.Bool("rollout", false, "replay a seeded trace through the closed-loop deployment controller: canary, breaker, self-heal — vs static fallback and an oracle-clean baseline")
 	fleetFlag := fs.Bool("fleet", false, "replay a synthetic corpus-shaped fleet day through the sharded virtual-time engine and print the fleet report (standalone; no app argument)")
-	fleetFunctions := fs.Int("fleet-functions", 10000, "fleet population size (with -fleet)")
-	fleetWorkers := fs.Int("fleet-workers", 0, "fleet worker shards, 0 = GOMAXPROCS (with -fleet; wall-clock only — output is byte-identical at any count)")
+	fleetFunctions := fs.Int("fleet-functions", 10000, "fleet population size (with -fleet/-chaos)")
+	fleetWorkers := fs.Int("fleet-workers", 0, "fleet worker shards, 0 = GOMAXPROCS (with -fleet/-chaos; wall-clock only — report, scorecard, and every exposition are byte-identical at any count)")
+	chaosSpec := fs.String("chaos", "", "replay the fleet day through the chaos engine: a semicolon-separated incident spec (e.g. 'zone-outage@9h+25m,zone=1'), @file to load one, or 'default' for the canonical incident day (implies -fleet; the report gains a resilience scorecard)")
+	chaosMit := fs.String("chaos-mitigations", "all", "graceful-degradation mechanisms with -chaos: all, none, or a comma list of hedge,shed,breaker,budget")
+	scorecardFile := fs.String("scorecard", "", "also write the resilience scorecard alone to this file (with -chaos)")
 	var queries multiFlag
 	fs.Var(&queries, "query", "evaluate an mql query over the fleet replay and print one JSON line (repeatable; implies -fleet and suppresses the text report)")
 	queryStep := fs.Duration("query-step", 0, "evaluate -query as a range query at this step instead of a single instant")
@@ -111,12 +115,16 @@ func main() {
 	}
 	pyruntime.SetDefaultEngine(eng)
 
-	if len(queries) > 0 || *rulesFlag != "" || *spanFlag != "" || *serveAddr != "" {
-		*fleetFlag = true // the query surface reads a fleet replay
+	if len(queries) > 0 || *rulesFlag != "" || *spanFlag != "" || *serveAddr != "" || *chaosSpec != "" {
+		*fleetFlag = true // the query and chaos surfaces read a fleet replay
 	}
 	if *fleetFlag {
-		if *fleetFunctions < 1 || *fleetWorkers < 0 {
-			fmt.Fprintln(os.Stderr, "-fleet-functions must be >= 1 and -fleet-workers >= 0")
+		if *fleetFunctions < 1 {
+			fmt.Fprintf(os.Stderr, "-fleet-functions must be >= 1 (got %d)\n", *fleetFunctions)
+			os.Exit(2)
+		}
+		if *fleetWorkers < 0 {
+			fmt.Fprintf(os.Stderr, "-fleet-workers must be >= 0, 0 meaning GOMAXPROCS (got %d)\n", *fleetWorkers)
 			os.Exit(2)
 		}
 		os.Exit(runFleet(fleetOptions{
@@ -124,6 +132,9 @@ func main() {
 			workers:      *fleetWorkers,
 			seed:         *faultSeed,
 			sloSpec:      *slo,
+			chaos:        *chaosSpec,
+			mitigations:  *chaosMit,
+			scorecard:    *scorecardFile,
 			queries:      queries,
 			queryStep:    *queryStep,
 			rules:        *rulesFlag,
@@ -381,6 +392,9 @@ type fleetOptions struct {
 	workers      int
 	seed         int64
 	sloSpec      string
+	chaos        string
+	mitigations  string
+	scorecard    string
 	queries      []string
 	queryStep    time.Duration
 	rules        string
@@ -418,6 +432,43 @@ func runFleet(opt fleetOptions) int {
 		Seed:           pc.Seed,
 		Pricing:        pc.Pricing,
 		LabelSeries:    querying,
+	}
+	if opt.chaos != "" {
+		spec := opt.chaos
+		if strings.HasPrefix(spec, "@") {
+			data, err := os.ReadFile(spec[1:])
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "reading -chaos: %v\n", err)
+				return 2
+			}
+			spec = strings.TrimSpace(string(data))
+		}
+		var incidents []chaos.Incident
+		if spec == "default" {
+			incidents = chaos.DefaultIncidentDay()
+		} else {
+			var err error
+			incidents, err = chaos.ParseIncidents(spec)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "parsing -chaos: %v\n", err)
+				return 2
+			}
+		}
+		mit, err := chaos.ParseMitigations(opt.mitigations)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "parsing -chaos-mitigations: %v\n", err)
+			return 2
+		}
+		// Field the wrapper arms alongside the paper's two, so the chaos
+		// day exercises the fallback double-bill and the breaker in one
+		// replay.
+		pc.ArmMix = []fleet.ArmShare{
+			{Arm: chaos.ArmDebloated, Frac: 0.25},
+			{Arm: chaos.ArmFallback, Frac: 0.25},
+			{Arm: chaos.ArmBreaker, Frac: 0.25},
+		}
+		cfg.Chaos = &chaos.Config{Seed: pc.Seed, Incidents: incidents, Mitigations: mit}
+		cfg.SLOs = fleet.DefaultChaosSLOs()
 	}
 	if opt.sloSpec != "" {
 		slos, err := monitor.ParseSLOs(opt.sloSpec)
@@ -475,6 +526,16 @@ func runFleet(opt fleetOptions) int {
 
 	if opt.openmetrics != "" {
 		if err := os.WriteFile(opt.openmetrics, res.OpenMetrics(), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+	}
+	if opt.scorecard != "" {
+		if res.Chaos == nil {
+			fmt.Fprintln(os.Stderr, "-scorecard needs -chaos (no chaos replay ran)")
+			return 2
+		}
+		if err := os.WriteFile(opt.scorecard, []byte(res.Scorecard()), 0o644); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			return 1
 		}

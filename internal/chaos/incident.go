@@ -1,0 +1,324 @@
+// Package chaos is a deterministic chaos engine over the fleet replay: it
+// assigns every function to a fault domain (zone → host) by seeded
+// hashing, drives time-bounded incidents on the virtual clock, and layers
+// graceful-degradation mechanisms (request hedging, adaptive load
+// shedding, retry budgets, and the rollout circuit breaker) over the
+// keep-alive pool dynamics so their interaction with λ-trim's deployment
+// arms can be scored.
+//
+// Every chaos decision is a pure hash of (seed, function, arrival
+// sequence, purpose salt) — no shared RNG stream exists, so a sharded
+// replay draws identical faults on any worker count and in any schedule,
+// and the engine composes with the faas fault injector without consuming
+// any of its draws. Chaos off is byte-identical to a replay without the
+// package.
+package chaos
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Kind names one incident shape.
+type Kind int
+
+const (
+	// ZoneOutage hard-fails requests to one zone (or all) for the window:
+	// Severity is the per-attempt failure probability.
+	ZoneOutage Kind = iota
+	// ThrottleStorm rejects admissions with Severity base probability,
+	// amplified by each client's own retry pressure — the storm that
+	// re-throttles itself.
+	ThrottleStorm
+	// LatencyStorm stretches handler execution by Severity on a Frac
+	// fraction of attempts.
+	LatencyStorm
+	// Brownout is a dependency brownout: cold-start initialization (the
+	// load_native import window) stretches by Severity, and the fallback
+	// wrapper's uncovered-path rate rises to Frac — the double-billing
+	// amplifier.
+	Brownout
+	// Churn recycles a Severity fraction of hosts across the window; each
+	// selected host's idle instances are flushed at a staggered point, so
+	// the next arrival pays a fresh cold start.
+	Churn
+)
+
+func (k Kind) String() string {
+	switch k {
+	case ZoneOutage:
+		return "zone-outage"
+	case ThrottleStorm:
+		return "throttle-storm"
+	case LatencyStorm:
+		return "latency-storm"
+	case Brownout:
+		return "brownout"
+	case Churn:
+		return "churn"
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+var kindNames = map[string]Kind{
+	"zone-outage":    ZoneOutage,
+	"throttle-storm": ThrottleStorm,
+	"latency-storm":  LatencyStorm,
+	"brownout":       Brownout,
+	"churn":          Churn,
+}
+
+// Incident is one time-bounded fault window on the virtual clock.
+type Incident struct {
+	Kind Kind
+	// Start and Duration bound the window [Start, Start+Duration).
+	Start    time.Duration
+	Duration time.Duration
+	// Zone restricts the incident to one fault domain; negative means
+	// every zone.
+	Zone int
+	// Severity is the kind's primary parameter: a probability for
+	// ZoneOutage/ThrottleStorm/Churn, a stretch factor (>= 1) for
+	// LatencyStorm/Brownout.
+	Severity float64
+	// Frac is the kind's secondary parameter: the stretched-attempt
+	// fraction for LatencyStorm, the storm fallback rate for Brownout.
+	// Zero for the other kinds.
+	Frac float64
+}
+
+// usesFrac reports whether the kind carries the secondary parameter.
+func (in Incident) usesFrac() bool {
+	return in.Kind == LatencyStorm || in.Kind == Brownout
+}
+
+// WithDefaults fills zero Severity/Frac with the kind's defaults.
+// Idempotent; the zone default (0 for ZoneOutage, all zones otherwise) is
+// applied by ParseIncidents, which can tell an omitted zone from an
+// explicit one.
+func (in Incident) WithDefaults() Incident {
+	switch in.Kind {
+	case ZoneOutage:
+		if in.Severity == 0 {
+			in.Severity = 0.95
+		}
+	case ThrottleStorm:
+		if in.Severity == 0 {
+			in.Severity = 0.5
+		}
+	case LatencyStorm:
+		if in.Severity == 0 {
+			in.Severity = 4
+		}
+		if in.Frac == 0 {
+			in.Frac = 0.3
+		}
+	case Brownout:
+		if in.Severity == 0 {
+			in.Severity = 3
+		}
+		if in.Frac == 0 {
+			in.Frac = 0.5
+		}
+	case Churn:
+		if in.Severity == 0 {
+			in.Severity = 0.8
+		}
+	}
+	return in
+}
+
+// Validate checks parameter ranges (after defaults).
+func (in Incident) Validate() error {
+	if _, ok := kindNames[in.Kind.String()]; !ok {
+		return fmt.Errorf("chaos: unknown incident kind %d", int(in.Kind))
+	}
+	if in.Start < 0 {
+		return fmt.Errorf("chaos: %s start %v is negative", in.Kind, in.Start)
+	}
+	if in.Duration <= 0 {
+		return fmt.Errorf("chaos: %s duration %v must be positive", in.Kind, in.Duration)
+	}
+	switch in.Kind {
+	case ZoneOutage, ThrottleStorm, Churn:
+		if !(in.Severity > 0 && in.Severity <= 1) {
+			return fmt.Errorf("chaos: %s sev %v out of (0, 1]", in.Kind, in.Severity)
+		}
+	default:
+		if !(in.Severity >= 1) {
+			return fmt.Errorf("chaos: %s sev %v must be >= 1 (a stretch factor)", in.Kind, in.Severity)
+		}
+	}
+	if in.usesFrac() && !(in.Frac > 0 && in.Frac <= 1) {
+		return fmt.Errorf("chaos: %s frac %v out of (0, 1]", in.Kind, in.Frac)
+	}
+	return nil
+}
+
+// Active reports whether the window covers the instant.
+func (in Incident) Active(at time.Duration) bool {
+	return at >= in.Start && at < in.Start+in.Duration
+}
+
+// appliesTo reports whether the incident covers the zone.
+func (in Incident) appliesTo(zone int) bool {
+	return in.Zone < 0 || in.Zone == zone
+}
+
+// String renders the canonical spec form, a ParseIncidents fixpoint:
+// kind@start+duration,zone=Z,sev=S[,frac=F] with zone "*" for all zones
+// and every post-default parameter printed explicitly.
+func (in Incident) String() string {
+	var b strings.Builder
+	b.WriteString(in.Kind.String())
+	b.WriteByte('@')
+	b.WriteString(in.Start.String())
+	b.WriteByte('+')
+	b.WriteString(in.Duration.String())
+	b.WriteString(",zone=")
+	if in.Zone < 0 {
+		b.WriteByte('*')
+	} else {
+		b.WriteString(strconv.Itoa(in.Zone))
+	}
+	b.WriteString(",sev=")
+	b.WriteString(strconv.FormatFloat(in.Severity, 'g', -1, 64))
+	if in.usesFrac() {
+		b.WriteString(",frac=")
+		b.WriteString(strconv.FormatFloat(in.Frac, 'g', -1, 64))
+	}
+	return b.String()
+}
+
+// FormatIncidents renders a schedule in the canonical spec form,
+// incidents joined by "; ". ParseIncidents(FormatIncidents(x)) == x for
+// any schedule ParseIncidents produced.
+func FormatIncidents(ins []Incident) string {
+	parts := make([]string, len(ins))
+	for i, in := range ins {
+		parts[i] = in.String()
+	}
+	return strings.Join(parts, "; ")
+}
+
+// ParseIncidents parses a chaos spec: incidents separated by ';', each
+//
+//	kind@start+duration[,zone=N|*][,sev=F][,frac=F]
+//
+// with Go duration syntax (e.g. brownout@13h+40m,sev=3,frac=0.6). Kinds:
+// zone-outage, throttle-storm, latency-storm, brownout, churn. An omitted
+// zone defaults to zone 0 for zone-outage and every zone otherwise;
+// omitted sev/frac take per-kind defaults. The result is sorted by start
+// time and validates; FormatIncidents renders it back to a canonical
+// fixpoint. An empty spec yields no incidents.
+func ParseIncidents(spec string) ([]Incident, error) {
+	var out []Incident
+	for _, part := range strings.Split(spec, ";") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		in, err := parseIncident(part)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, in)
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Start < out[j].Start })
+	return out, nil
+}
+
+func parseIncident(part string) (Incident, error) {
+	fields := strings.Split(part, ",")
+	head := strings.TrimSpace(fields[0])
+	kindStr, window, ok := strings.Cut(head, "@")
+	if !ok {
+		return Incident{}, fmt.Errorf("chaos: bad incident %q (want kind@start+duration)", part)
+	}
+	kind, ok := kindNames[strings.TrimSpace(kindStr)]
+	if !ok {
+		return Incident{}, fmt.Errorf("chaos: unknown incident kind %q (known: zone-outage throttle-storm latency-storm brownout churn)", kindStr)
+	}
+	startStr, durStr, ok := strings.Cut(window, "+")
+	if !ok {
+		return Incident{}, fmt.Errorf("chaos: bad incident window %q (want start+duration)", window)
+	}
+	start, err := time.ParseDuration(strings.TrimSpace(startStr))
+	if err != nil {
+		return Incident{}, fmt.Errorf("chaos: bad incident start %q: %v", startStr, err)
+	}
+	dur, err := time.ParseDuration(strings.TrimSpace(durStr))
+	if err != nil {
+		return Incident{}, fmt.Errorf("chaos: bad incident duration %q: %v", durStr, err)
+	}
+	in := Incident{Kind: kind, Start: start, Duration: dur, Zone: -1}
+	if kind == ZoneOutage {
+		in.Zone = 0 // an outage of every zone must be asked for explicitly
+	}
+	for _, f := range fields[1:] {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			continue
+		}
+		key, val, ok := strings.Cut(f, "=")
+		if !ok {
+			return Incident{}, fmt.Errorf("chaos: bad incident field %q (want key=value)", f)
+		}
+		val = strings.TrimSpace(val)
+		switch strings.TrimSpace(key) {
+		case "zone":
+			if val == "*" {
+				in.Zone = -1
+				break
+			}
+			z, err := strconv.Atoi(val)
+			if err != nil || z < 0 {
+				return Incident{}, fmt.Errorf("chaos: bad zone %q (want a zone index or *)", val)
+			}
+			in.Zone = z
+		case "sev":
+			s, err := strconv.ParseFloat(val, 64)
+			if err != nil {
+				return Incident{}, fmt.Errorf("chaos: bad sev %q: %v", val, err)
+			}
+			in.Severity = s
+		case "frac":
+			fr, err := strconv.ParseFloat(val, 64)
+			if err != nil {
+				return Incident{}, fmt.Errorf("chaos: bad frac %q: %v", val, err)
+			}
+			if !in.usesFrac() {
+				return Incident{}, fmt.Errorf("chaos: %s takes no frac parameter", in.Kind)
+			}
+			in.Frac = fr
+		default:
+			return Incident{}, fmt.Errorf("chaos: unknown incident field %q (known: zone sev frac)", key)
+		}
+	}
+	in = in.WithDefaults()
+	if err := in.Validate(); err != nil {
+		return Incident{}, err
+	}
+	return in, nil
+}
+
+// DefaultIncidentDay is the scripted incident day the chaos experiment and
+// the -chaos "default" spec replay: a churn wave in the night, a morning
+// throttle storm, a zone outage, an afternoon dependency brownout (the
+// fallback wrapper's worst case), and an evening latency storm.
+func DefaultIncidentDay() []Incident {
+	day := []Incident{
+		{Kind: Churn, Start: 2 * time.Hour, Duration: 30 * time.Minute, Zone: -1},
+		{Kind: ThrottleStorm, Start: 5 * time.Hour, Duration: 45 * time.Minute, Zone: -1, Severity: 0.6},
+		{Kind: ZoneOutage, Start: 9 * time.Hour, Duration: 25 * time.Minute, Zone: 1},
+		{Kind: Brownout, Start: 13 * time.Hour, Duration: 40 * time.Minute, Zone: -1, Severity: 3, Frac: 0.6},
+		{Kind: LatencyStorm, Start: 18 * time.Hour, Duration: 35 * time.Minute, Zone: -1, Severity: 4, Frac: 0.35},
+	}
+	for i := range day {
+		day[i] = day[i].WithDefaults()
+	}
+	return day
+}

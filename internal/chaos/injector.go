@@ -1,0 +1,105 @@
+package chaos
+
+import (
+	"time"
+
+	"repro/internal/faas"
+)
+
+// PlatformInjector adapts the engine to faas.ChaosInjector, so a
+// single-function faas.Platform simulation composes with the same
+// incident schedule the fleet replay runs. Each function name gets its
+// own hashed fault-domain placement and a private invocation counter;
+// directives are pure hashes of (seed, name, sequence, purpose) and draw
+// nothing from the platform's RNG streams — the composition contract
+// faas.Config.Chaos documents.
+//
+// The injector expresses what a per-invocation directive can: rejections
+// (zone outage, throttle storm) and phase stretches (brownout on init,
+// latency storm on exec). Churn waves act on pool instances, not
+// invocations, so they are fleet-replay-only and silently skipped here;
+// likewise the client-side degradation mechanisms (hedge/shed/budget)
+// live in the fleet's admission loop, not the platform.
+type PlatformInjector struct {
+	eng    *Engine
+	states map[string]*injectorState
+}
+
+type injectorState struct {
+	key       uint64
+	incidents []Incident // this zone's non-churn schedule, start-ordered
+	seq       int
+}
+
+// NewPlatformInjector builds an injector over the engine. Not safe for
+// concurrent use — a faas.Platform is single-threaded virtual time.
+func NewPlatformInjector(eng *Engine) *PlatformInjector {
+	return &PlatformInjector{eng: eng, states: make(map[string]*injectorState)}
+}
+
+// fnv64a hashes a function name into the chaos key space.
+func fnv64a(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+func (pi *PlatformInjector) state(fn string) *injectorState {
+	st, ok := pi.states[fn]
+	if !ok {
+		key := splitmix64(pi.eng.seedKey ^ splitmix64(fnv64a(fn)))
+		st = &injectorState{key: key}
+		zone := pi.eng.cfg.Topology.ZoneOf(key)
+		for _, in := range pi.eng.cfg.Incidents {
+			if in.Kind != Churn && in.appliesTo(zone) {
+				st.incidents = append(st.incidents, in)
+			}
+		}
+		pi.states[fn] = st
+	}
+	return st
+}
+
+// active mirrors FnState.active over the injector's per-name schedule.
+func (st *injectorState) active(kind Kind, at time.Duration) (Incident, bool) {
+	best := Incident{}
+	found := false
+	for _, in := range st.incidents {
+		if in.Start > at {
+			break
+		}
+		if in.Kind == kind && in.Active(at) && (!found || in.Severity > best.Severity) {
+			best, found = in, true
+		}
+	}
+	return best, found
+}
+
+// Directive implements faas.ChaosInjector.
+func (pi *PlatformInjector) Directive(fn string, at time.Duration) faas.ChaosDirective {
+	st := pi.state(fn)
+	st.seq++
+	var d faas.ChaosDirective
+	if outage, on := st.active(ZoneOutage, at); on && draw(st.key, saltOutage, st.seq, 0) < outage.Severity {
+		d.Reject = true
+		d.RejectClass = faas.FailureUnavailable
+		d.Detail = "chaos: zone outage"
+		return d
+	}
+	if storm, on := st.active(ThrottleStorm, at); on && draw(st.key, saltThrottle, st.seq, 0) < storm.Severity {
+		d.Reject = true
+		d.RejectClass = faas.FailureThrottle
+		d.Detail = "chaos: throttle storm"
+		return d
+	}
+	if brownout, on := st.active(Brownout, at); on {
+		d.InitFactor = brownout.Severity
+	}
+	if storm, on := st.active(LatencyStorm, at); on && draw(st.key, saltLatency, st.seq, 0) < storm.Frac {
+		d.ExecFactor = storm.Severity
+	}
+	return d
+}

@@ -1,0 +1,34 @@
+package faas
+
+import "time"
+
+// ChaosDirective is what a chaos injector tells the platform to do to one
+// request. The zero value does nothing. Directives are computed from
+// (function, virtual time) alone — the platform hands them no randomness,
+// so an injector composes with the FaultConfig injector without consuming
+// or perturbing any draw from the platform's fault stream (a nil injector
+// and one that always returns the zero directive are byte-identical).
+type ChaosDirective struct {
+	// Reject fails the request up front: never billed, never assigned an
+	// instance, E2E = routing overhead (the shape of a Lambda 429/5xx).
+	Reject bool
+	// RejectClass is the failure class of the rejection —
+	// FailureUnavailable (zone outage, the default) or FailureThrottle
+	// (throttle storm).
+	RejectClass FailureClass
+	// Detail annotates the rejection error.
+	Detail string
+	// InitFactor > 1 stretches Function Initialization (a dependency
+	// brownout lengthening the import window). Billed like any init;
+	// ignored for SnapStart restores, which do not import.
+	InitFactor float64
+	// ExecFactor > 1 stretches Function Execution (a latency storm).
+	ExecFactor float64
+}
+
+// ChaosInjector supplies per-request chaos directives on the virtual
+// clock. Implementations live outside this package (internal/chaos); the
+// platform only asks, once per invocation attempt, what should happen.
+type ChaosInjector interface {
+	Directive(fn string, at time.Duration) ChaosDirective
+}

@@ -1,0 +1,163 @@
+package faas
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+func TestClassify(t *testing.T) {
+	throttle := &FailureError{Class: FailureThrottle, Function: "fn", Detail: "limit"}
+	cases := []struct {
+		name string
+		err  error
+		want FailureClass
+	}{
+		{"nil", nil, FailureNone},
+		{"direct", throttle, FailureThrottle},
+		{"wrapped", fmt.Errorf("attempt 2: %w", throttle), FailureThrottle},
+		{"double-wrapped", fmt.Errorf("request: %w", fmt.Errorf("attempt: %w",
+			&FailureError{Class: FailureUnavailable})), FailureUnavailable},
+		{"unknown", errors.New("boom"), FailureHandler},
+		{"joined", errors.Join(errors.New("context"), throttle), FailureThrottle},
+	}
+	for _, tc := range cases {
+		if got := Classify(tc.err); got != tc.want {
+			t.Errorf("%s: Classify = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+func TestFailureClassStringOutOfRange(t *testing.T) {
+	if got := FailureClass(42).String(); got != "failure(42)" {
+		t.Errorf("FailureClass(42) = %q", got)
+	}
+	if got := FailureClass(-1).String(); got != "failure(-1)" {
+		t.Errorf("FailureClass(-1) = %q", got)
+	}
+}
+
+// TestRetryBudgetCompaction: a day-long monotone charge stream must not
+// accumulate expired entries — the backing slice stays bounded by the cap,
+// not by the total number of grants (the old prune leaked the expired
+// prefix and held every charge of the run).
+func TestRetryBudgetCompaction(t *testing.T) {
+	b := NewRetryBudget(4, time.Second)
+	grants := 0
+	for i := 0; i < 100000; i++ {
+		if b.Spend(time.Duration(i) * 300 * time.Millisecond) {
+			grants++
+		}
+		if len(b.spent) > b.MaxRetries {
+			t.Fatalf("step %d: %d resident entries exceed cap %d", i, len(b.spent), b.MaxRetries)
+		}
+	}
+	if grants < 1000 {
+		t.Fatalf("window never recovered: only %d grants", grants)
+	}
+	if c := cap(b.spent); c > 8 {
+		t.Errorf("backing array grew to %d entries despite compaction", c)
+	}
+	// Whole-run budgets store nothing at all.
+	whole := NewRetryBudget(2, 0)
+	for i := 0; i < 1000; i++ {
+		whole.Spend(time.Duration(i) * time.Second)
+	}
+	if whole.spent != nil {
+		t.Error("whole-run budget allocated per-charge storage")
+	}
+}
+
+// zeroInjector always returns the do-nothing directive. The platform
+// must treat it exactly like a nil injector: directives consume no
+// randomness, so wiring one in cannot perturb the fault stream.
+type zeroInjector struct{}
+
+func (zeroInjector) Directive(string, time.Duration) ChaosDirective { return ChaosDirective{} }
+
+func TestChaosZeroDirectiveByteIdenticalToNil(t *testing.T) {
+	want := faultedWorkloadChaos(42, nil)
+	got := faultedWorkloadChaos(42, zeroInjector{})
+	if got != want {
+		t.Fatal("zero-directive injector perturbed the faulted workload log")
+	}
+}
+
+// scriptInjector returns a fixed directive for every request.
+type scriptInjector struct{ d ChaosDirective }
+
+func (s scriptInjector) Directive(string, time.Duration) ChaosDirective { return s.d }
+
+func TestChaosRejectDirective(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Chaos = scriptInjector{d: ChaosDirective{Reject: true, RejectClass: FailureThrottle, Detail: "storm"}}
+	p := New(cfg)
+	p.Deploy(memApp("fn"))
+	inv, err := p.Invoke("fn", lightEvent)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inv.Class != FailureThrottle {
+		t.Errorf("class = %v, want throttle", inv.Class)
+	}
+	if inv.CostUSD != 0 || inv.BilledDuration != 0 {
+		t.Errorf("rejected request billed: cost=%v dur=%v", inv.CostUSD, inv.BilledDuration)
+	}
+	if inv.E2E != cfg.RoutingOverhead {
+		t.Errorf("E2E = %v, want routing overhead %v", inv.E2E, cfg.RoutingOverhead)
+	}
+	if Classify(inv.Err) != FailureThrottle {
+		t.Errorf("error classifies as %v", Classify(inv.Err))
+	}
+
+	// An unset class defaults to unavailable — the zone-outage shape.
+	cfg.Chaos = scriptInjector{d: ChaosDirective{Reject: true}}
+	p = New(cfg)
+	p.Deploy(memApp("fn"))
+	inv, err = p.Invoke("fn", lightEvent)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inv.Class != FailureUnavailable {
+		t.Errorf("default reject class = %v, want unavailable", inv.Class)
+	}
+}
+
+func TestChaosStretchDirectives(t *testing.T) {
+	cold := func(d ChaosDirective) *Invocation {
+		cfg := DefaultConfig()
+		if d != (ChaosDirective{}) {
+			cfg.Chaos = scriptInjector{d: d}
+		}
+		p := New(cfg)
+		p.Deploy(memApp("fn"))
+		inv, err := p.Invoke("fn", lightEvent)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if inv.Kind != ColdStart {
+			t.Fatalf("first invocation not cold: %v", inv.Kind)
+		}
+		return inv
+	}
+	base := cold(ChaosDirective{})
+	brown := cold(ChaosDirective{InitFactor: 3})
+	if brown.Init <= base.Init {
+		t.Errorf("brownout init %v not above baseline %v", brown.Init, base.Init)
+	}
+	if brown.Exec != base.Exec {
+		t.Errorf("brownout changed exec: %v vs %v", brown.Exec, base.Exec)
+	}
+	storm := cold(ChaosDirective{ExecFactor: 2})
+	if storm.Exec <= base.Exec {
+		t.Errorf("latency storm exec %v not above baseline %v", storm.Exec, base.Exec)
+	}
+	if storm.Init != base.Init {
+		t.Errorf("latency storm changed init: %v vs %v", storm.Init, base.Init)
+	}
+	// Stretched phases are billed: the brownout invocation costs more.
+	if brown.CostUSD <= base.CostUSD {
+		t.Errorf("brownout cost %v not above baseline %v", brown.CostUSD, base.CostUSD)
+	}
+}

@@ -13,13 +13,13 @@
 package faas
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 	"strconv"
 	"time"
 
 	"repro/internal/obs"
-	"repro/internal/pyruntime"
 )
 
 // FailureClass classifies how an invocation ended.
@@ -42,6 +42,10 @@ const (
 	// FailureInitCrash is a transient crash during Function
 	// Initialization (billed; the environment is destroyed).
 	FailureInitCrash
+	// FailureUnavailable is an up-front rejection because the platform
+	// side is down — a chaos-injected zone outage. Never billed;
+	// retryable (an independent attempt may land on a healthy host).
+	FailureUnavailable
 )
 
 func (c FailureClass) String() string {
@@ -58,6 +62,8 @@ func (c FailureClass) String() string {
 		return "throttle"
 	case FailureInitCrash:
 		return "init-crash"
+	case FailureUnavailable:
+		return "unavailable"
 	}
 	return fmt.Sprintf("failure(%d)", int(c))
 }
@@ -75,16 +81,15 @@ func (e *FailureError) Error() string {
 }
 
 // Classify maps an invocation error to its failure class: platform
-// failures keep their class, interpreter exceptions are handler errors.
+// failures keep their class (however deeply wrapped), interpreter
+// exceptions and every other error are handler errors.
 func Classify(err error) FailureClass {
 	if err == nil {
 		return FailureNone
 	}
-	if fe, ok := err.(*FailureError); ok {
+	var fe *FailureError
+	if errors.As(err, &fe) {
 		return fe.Class
-	}
-	if _, ok := err.(*pyruntime.PyErr); ok {
-		return FailureHandler
 	}
 	return FailureHandler
 }
@@ -159,7 +164,8 @@ type RetryBudget struct {
 	// to the whole run (spent retries never expire).
 	Window time.Duration
 
-	spent []time.Duration // charge times, ascending (platform time is monotonic)
+	spent []time.Duration // sliding-window charge times, ascending (Window > 0 only)
+	used  int             // whole-run charges (Window <= 0); no per-charge storage
 }
 
 // NewRetryBudget builds a budget allowing maxRetries per window.
@@ -170,6 +176,13 @@ func NewRetryBudget(maxRetries int, window time.Duration) *RetryBudget {
 // Spend charges one retry at the given sim time. It reports false — and
 // charges nothing — when the window's cap is already spent.
 func (b *RetryBudget) Spend(now time.Duration) bool {
+	if b.Window <= 0 {
+		if b.used >= b.MaxRetries {
+			return false
+		}
+		b.used++
+		return true
+	}
 	b.prune(now)
 	if len(b.spent) >= b.MaxRetries {
 		return false
@@ -180,25 +193,33 @@ func (b *RetryBudget) Spend(now time.Duration) bool {
 
 // Remaining reports how many retries the window has left at the given time.
 func (b *RetryBudget) Remaining(now time.Duration) int {
-	b.prune(now)
-	if n := b.MaxRetries - len(b.spent); n > 0 {
+	var n int
+	if b.Window <= 0 {
+		n = b.MaxRetries - b.used
+	} else {
+		b.prune(now)
+		n = b.MaxRetries - len(b.spent)
+	}
+	if n > 0 {
 		return n
 	}
 	return 0
 }
 
 // prune expires charges older than the window. Charges arrive in ascending
-// time order, so expiry is a prefix cut.
+// time order, so expiry is a prefix cut — compacted to the front of the
+// backing array so a long run keeps at most MaxRetries entries resident
+// instead of leaking an ever-growing expired prefix.
 func (b *RetryBudget) prune(now time.Duration) {
-	if b.Window <= 0 {
-		return
-	}
 	cut := now - b.Window
 	i := 0
 	for i < len(b.spent) && b.spent[i] <= cut {
 		i++
 	}
-	b.spent = b.spent[i:]
+	if i > 0 {
+		n := copy(b.spent, b.spent[i:])
+		b.spent = b.spent[:n]
+	}
 }
 
 // allowRetry charges one retry to the policy's budget (nil = unlimited).
@@ -225,7 +246,7 @@ func (rp RetryPolicy) retries(c FailureClass) bool {
 	}
 	if rp.RetryOn == nil {
 		return c == FailureThrottle || c == FailureInitCrash ||
-			c == FailureTimeout || c == FailureOOM
+			c == FailureTimeout || c == FailureOOM || c == FailureUnavailable
 	}
 	for _, rc := range rp.RetryOn {
 		if rc == c {

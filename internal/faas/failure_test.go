@@ -567,9 +567,17 @@ func TestQuickRetryBudgetBoundsWorkloadRetries(t *testing.T) {
 // faultedWorkload drives a mixed workload (singles, groups, idle gaps)
 // against a fault-heavy platform and returns the canonical log.
 func faultedWorkload(seed int64) string {
+	return faultedWorkloadChaos(seed, nil)
+}
+
+// faultedWorkloadChaos is faultedWorkload with a chaos injector wired in,
+// so the nil-vs-zero-directive byte-identity contract is testable on the
+// exact workload the determinism test pins.
+func faultedWorkloadChaos(seed int64, inj ChaosInjector) string {
 	cfg := DefaultConfig()
 	cfg.EnforceMemory = true
 	cfg.FaultSeed = seed
+	cfg.Chaos = inj
 	cfg.Faults = FaultConfig{
 		Enabled:          true,
 		InitCrashRate:    0.3,

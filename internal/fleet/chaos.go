@@ -1,0 +1,224 @@
+package fleet
+
+import (
+	"time"
+
+	"repro/internal/chaos"
+	"repro/internal/obs/monitor"
+	"repro/internal/trace"
+)
+
+// replayChaosFunction is replayFunction's gated variant: arrivals pass
+// through the chaos engine's admission loop before reaching the pool,
+// served requests take their phase durations (and billing) from the
+// engine's outcome instead of the member's static parameters, and churn
+// waves flush the member's pool instances. Dropped arrivals fold a failed
+// sample (no cost, no ledger row — the ledgers attribute dollars, and a
+// drop bills nothing) plus the chaos.* series the scorecard windows over.
+//
+// Determinism: the engine's per-function state is driven sequentially by
+// this function in arrival order, every chaos decision is a pure hash of
+// (seed, function, sequence, purpose), and every accumulator below is the
+// same kind the ungated path uses — so the worker-count byte-identity
+// argument carries over unchanged.
+func replayChaosFunction(cfg *Config, fn *Function, p *partial) {
+	st := cfg.chaosEngine.Function(chaos.FnView{
+		ID:           fn.ID,
+		Arm:          fn.Arm,
+		ColdInit:     fn.ColdInit,
+		Exec:         fn.Exec,
+		FallbackInit: fn.FallbackInit,
+		MemoryMB:     fn.MemoryMB,
+	})
+	as := p.chaosArm(fn.Arm)
+	next := fn.arrivalSource(cfg.Period)
+	var seq uint64
+	fnKey := exemplarFnKey(cfg.Seed, fn.ID)
+	var armNames *monitor.SeriesNames
+	if cfg.LabelSeries && !cfg.DisableTelemetry && fn.Arm != "" {
+		names := monitor.NamedSeries(monitor.Label{Key: "arm", Val: fn.Arm})
+		armNames = &names
+	}
+
+	gate := trace.PoolGate{
+		Admit: func(at time.Duration) bool {
+			as.Demand++
+			admitted := st.Admit(at)
+			if !cfg.DisableTelemetry {
+				p.store.Record(chaos.SeriesDemand, at, 1)
+			}
+			if admitted {
+				return true
+			}
+			d := st.Drop()
+			switch d.Class {
+			case "shed":
+				as.Shed++
+			case "unavailable":
+				as.Unavailable++
+			default:
+				as.ThrottledDrops++
+			}
+			as.Retries += uint64(d.Retries)
+			as.RetriesDenied += uint64(d.RetriesDenied)
+			as.ThrottledAttempts += uint64(d.ThrottledAttempts)
+			if d.Class != "shed" {
+				p.errors++
+			}
+			end := at + d.E2E
+			if end > p.latest {
+				p.latest = end
+			}
+			if cfg.DisableTelemetry {
+				return false
+			}
+			if d.Class == "shed" {
+				p.store.Record(chaos.SeriesShed, at, 1)
+			} else {
+				p.store.Record(chaos.SeriesBad, at, 1)
+			}
+			if d.ThrottledAttempts > 0 {
+				p.store.Record(chaos.SeriesThrottled, at, float64(d.ThrottledAttempts))
+			}
+			if d.RetriesDenied > 0 {
+				p.store.Record(chaos.SeriesRetryDenied, at, float64(d.RetriesDenied))
+			}
+			s := monitor.Sample{
+				Function: fn.Name,
+				Class:    d.Class,
+				E2E:      d.E2E,
+				MemoryMB: fn.MemoryMB,
+			}
+			monitor.FoldSample(p.store, end, s, cfg.SLOs)
+			if cfg.LabelSeries && armNames != nil {
+				monitor.FoldSampleInto(p.store, end, s, *armNames)
+			}
+			return false
+		},
+		Busy:  st.Serve,
+		Flush: st.FlushCut,
+	}
+
+	res := trace.SimulatePoolGated(next, fn.Exec, cfg.KeepAlive, gate, func(ev trace.PoolEvent) {
+		out := st.Outcome()
+		as.Served++
+		as.Retries += uint64(out.Retries)
+		as.RetriesDenied += uint64(out.RetriesDenied)
+		as.ThrottledAttempts += uint64(out.ThrottledAttempts)
+		if out.Fallback {
+			as.Fallbacks++
+		}
+		if out.Routed {
+			as.Routed++
+		}
+		if out.BreakerOpened {
+			as.BreakerOpens++
+		}
+		if out.Hedged {
+			as.Hedges++
+			if out.HedgeWon {
+				as.HedgeWins++
+			}
+		}
+		as.CostUSD += out.CostUSD
+		if out.Brownout {
+			as.BrownoutServed++
+			as.BrownoutCostUSD += out.CostUSD
+		}
+
+		at := ev.At + out.E2E
+		p.invocations++
+		if ev.Cold {
+			p.coldStarts++
+		}
+		if at > p.latest {
+			p.latest = at
+		}
+		if cfg.DisableTelemetry {
+			seq++
+			return
+		}
+		s := monitor.Sample{
+			Function:   fn.Name,
+			Cold:       ev.Cold,
+			Class:      "ok",
+			Init:       out.Init,
+			Exec:       out.Exec,
+			E2E:        out.E2E,
+			BilledInit: out.BilledInit,
+			BilledExec: out.BilledExec,
+			Billed:     out.Billed,
+			MemoryMB:   fn.MemoryMB,
+			CostUSD:    out.CostUSD,
+		}
+		monitor.FoldSample(p.store, at, s, cfg.SLOs)
+		if cfg.LabelSeries {
+			if armNames != nil {
+				monitor.FoldSampleInto(p.store, at, s, *armNames)
+			}
+			if s.Billed > 0 && s.CostUSD > 0 {
+				if s.BilledInit > 0 {
+					p.store.Record(costInitSeries, at, s.CostUSD*float64(s.BilledInit)/float64(s.Billed))
+				}
+				if s.BilledExec > 0 {
+					p.store.Record(costExecSeries, at, s.CostUSD*float64(s.BilledExec)/float64(s.Billed))
+				}
+			}
+		}
+		p.store.Record(chaos.SeriesServed, at, out.E2E.Seconds())
+		if out.ThrottledAttempts > 0 {
+			p.store.Record(chaos.SeriesThrottled, at, float64(out.ThrottledAttempts))
+		}
+		if out.RetriesDenied > 0 {
+			p.store.Record(chaos.SeriesRetryDenied, at, float64(out.RetriesDenied))
+		}
+		if out.Fallback {
+			p.store.Record(chaos.SeriesFallback, at, 1)
+		}
+		if out.Hedged {
+			p.store.Record(chaos.SeriesHedge, at, 1)
+			if out.HedgeWon {
+				p.store.Record(chaos.SeriesHedgeWin, at, 1)
+			}
+		}
+		if out.BreakerOpened {
+			p.store.Record(chaos.SeriesBreakerOpen, at, 1)
+		}
+		p.ledger.Record(s)
+		if fn.Arm != "" {
+			armed := s
+			armed.Function = fn.Arm
+			p.arms.Record(armed)
+			if fn.Archetype != "" {
+				armed.Function = fn.Archetype + "/" + fn.Arm
+				p.arch.Record(armed)
+			}
+		}
+		p.hist.Observe(s.E2E.Seconds())
+		p.reg.Inc("fleet.invocations", 1)
+		if ev.Cold {
+			p.reg.Inc("fleet.cold_starts", 1)
+		}
+		key := exemplarSampleKey(fnKey, seq)
+		p.ex.offer(Exemplar{
+			Function:  fn.Name,
+			Archetype: fn.Archetype,
+			Arm:       fn.Arm,
+			At:        at,
+			Init:      out.Init,
+			E2E:       out.E2E,
+			CostUSD:   s.CostUSD,
+			Cold:      ev.Cold,
+			seq:       seq,
+			key:       key,
+			span:      exemplarSpanKey(key),
+		})
+		seq++
+	})
+	if res.MaxInstances > p.peakLive {
+		p.peakLive = res.MaxInstances
+	}
+	if fn.Arm != "" {
+		p.armFns[fn.Arm]++
+	}
+}

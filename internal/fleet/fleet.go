@@ -38,6 +38,7 @@ import (
 	"sort"
 	"time"
 
+	"repro/internal/chaos"
 	"repro/internal/faas"
 	"repro/internal/obs"
 	"repro/internal/obs/monitor"
@@ -65,7 +66,12 @@ type Function struct {
 	// duration; MemoryMB the billed memory configuration.
 	ColdInit time.Duration
 	Exec     time.Duration
-	MemoryMB int
+	// FallbackInit is the original image's cold init, paid on top of the
+	// debloated attempt when a fallback-arm member hits an uncovered path
+	// under a chaos replay (zero: the chaos engine derives a default).
+	// Ignored outside chaos replays and for non-fallback arms.
+	FallbackInit time.Duration
+	MemoryMB     int
 	// Arrivals, when non-nil, are explicit sorted invocation offsets.
 	// When nil, arrivals stream from ArrivalStream(Seed, Rate, Period).
 	Arrivals []time.Duration
@@ -125,6 +131,18 @@ type Config struct {
 	// which is exactly what makes the merged rule series independent of
 	// the worker count.
 	Rules []query.Rule
+	// Chaos, when non-nil, replays every function through the chaos
+	// engine: incident-window admission rejections, latency/brownout
+	// stretches, churn flushes, graceful-degradation mechanisms, and the
+	// chaos.* telemetry series feeding the resilience scorecard. The
+	// engine's seed defaults to Seed and its pricing to Pricing. A nil
+	// Chaos leaves every artifact byte-identical to a build without the
+	// chaos layer (the gate hooks are bypassed entirely).
+	Chaos *chaos.Config
+
+	// chaosEngine is the validated engine built once per Replay from
+	// Chaos; shared read-only across worker shards.
+	chaosEngine *chaos.Engine
 
 	// blockDone, when set, runs on the merge goroutine after each block
 	// has been folded and released (test hook for memory-flatness
@@ -172,6 +190,14 @@ func DefaultSLOs() []monitor.SLO {
 	}
 }
 
+// DefaultChaosSLOs are the chaos-replay objectives: the standard fleet
+// pair plus an availability budget (at most 2% of requests may fail;
+// deliberately shed load is excluded — see monitor.KindAvailability).
+func DefaultChaosSLOs() []monitor.SLO {
+	return append(DefaultSLOs(),
+		monitor.SLO{Name: "fleet-availability", Kind: monitor.KindAvailability, Budget: 0.02})
+}
+
 // partial is one block's private telemetry shard. A partial is owned by
 // exactly one worker goroutine while its block replays, then handed to
 // the merger; no accumulator is ever written from two goroutines.
@@ -190,10 +216,17 @@ type partial struct {
 	latest      time.Duration
 	peakLive    int
 	armFns      map[string]int
+	// chaosArms accumulates per-arm resilience counters under a chaos
+	// replay (nil otherwise). Integer counters and independent per-key
+	// float sums, so the block-index merge order keeps it reproducible.
+	chaosArms map[string]*chaos.ArmStats
 }
 
 func newPartial(cfg *Config) *partial {
 	p := &partial{armFns: make(map[string]int)}
+	if cfg.chaosEngine != nil {
+		p.chaosArms = make(map[string]*chaos.ArmStats)
+	}
 	if cfg.DisableTelemetry {
 		return p
 	}
@@ -236,7 +269,24 @@ func (p *partial) merge(o *partial) error {
 	for arm, n := range o.armFns {
 		p.armFns[arm] += n
 	}
+	for arm, s := range o.chaosArms {
+		p.chaosArm(arm).Merge(s)
+	}
 	return nil
+}
+
+// chaosArm returns the arm's resilience accumulator, creating it on first
+// touch.
+func (p *partial) chaosArm(arm string) *chaos.ArmStats {
+	if p.chaosArms == nil {
+		p.chaosArms = make(map[string]*chaos.ArmStats)
+	}
+	s, ok := p.chaosArms[arm]
+	if !ok {
+		s = &chaos.ArmStats{}
+		p.chaosArms[arm] = s
+	}
+	return s
 }
 
 // Phase-labeled cost series (LabelSeries): the ledger's pro-rata init/
@@ -248,8 +298,13 @@ var (
 )
 
 // replayFunction streams one function's arrivals through the keep-alive
-// pool and folds every served invocation into the block's shard.
+// pool and folds every served invocation into the block's shard. Under a
+// chaos replay the gated variant runs instead.
 func replayFunction(cfg *Config, fn *Function, p *partial) {
+	if cfg.chaosEngine != nil {
+		replayChaosFunction(cfg, fn, p)
+		return
+	}
 	next := fn.arrivalSource(cfg.Period)
 	var seq uint64
 	fnKey := exemplarFnKey(cfg.Seed, fn.ID)
@@ -407,6 +462,20 @@ func Replay(cfg Config, fns []Function) (*Result, error) {
 	if err := validate(&cfg, fns); err != nil {
 		return nil, err
 	}
+	if cfg.Chaos != nil {
+		cc := *cfg.Chaos
+		if cc.Seed == 0 {
+			cc.Seed = cfg.Seed
+		}
+		if cc.Pricing == (faas.Pricing{}) {
+			cc.Pricing = cfg.Pricing
+		}
+		eng, err := chaos.NewEngine(cc)
+		if err != nil {
+			return nil, err
+		}
+		cfg.chaosEngine = eng
+	}
 	// Pre-apply SLO defaults once: FoldSample needs the final parameters
 	// to route per-SLO bad series, and EvaluateSLOs applies the same
 	// idempotent defaults again.
@@ -509,6 +578,10 @@ func Replay(cfg Config, fns []Function) (*Result, error) {
 	}
 	if !cfg.DisableTelemetry {
 		res.Alerts, res.FireCounts = monitor.EvaluateSLOs(final.store, cfg.SLOs, final.latest)
+		if cfg.chaosEngine != nil {
+			res.Chaos = chaos.BuildScorecard(cfg.chaosEngine, final.store,
+				final.latest, final.chaosArms, final.armFns)
+		}
 		if cfg.DashboardEvery > 0 {
 			res.Frames = renderFrames(&cfg, final, res.Alerts)
 		}

@@ -62,6 +62,14 @@ type PopConfig struct {
 	// DebloatedFraction is the probability a member deploys the debloated
 	// arm of its archetype.
 	DebloatedFraction float64
+	// ArmMix, when non-empty, replaces DebloatedFraction with an explicit
+	// arm distribution (shares summing to at most 1; the remainder
+	// deploys "original"). The chaos experiment uses it to field the
+	// fallback and breaker wrapper arms alongside the paper's two. Any
+	// arm other than "original" uses the archetype's debloated init and
+	// memory; "fallback" and "breaker" additionally carry FallbackInit,
+	// the original image's cold init paid on uncovered paths.
+	ArmMix []ArmShare
 	// RateMedian and RateSigma shape the log-normal per-function daily
 	// invocation rate (the Azure trace's heavy tail: most functions fire
 	// a handful of times, a few carry most of the volume). RateCap bounds
@@ -105,10 +113,19 @@ func GeneratePopulation(pc PopConfig, archs []Archetype) []Function {
 		h := exemplarFnKey(pc.Seed, id)
 		rng := rand.New(rand.NewSource(int64(h >> 1)))
 		a := archs[rng.Intn(len(archs))]
+		// One arm draw regardless of mix shape, so switching between
+		// DebloatedFraction and an equivalent ArmMix leaves every other
+		// per-member parameter untouched (and the default two-arm path is
+		// byte-identical to the pre-ArmMix generator).
 		arm := "original"
-		init, mem := a.InitOriginal, a.MemOriginalMB
-		if rng.Float64() < pc.DebloatedFraction {
+		armDraw := rng.Float64()
+		if len(pc.ArmMix) > 0 {
+			arm = armFromMix(pc.ArmMix, armDraw)
+		} else if armDraw < pc.DebloatedFraction {
 			arm = "debloated"
+		}
+		init, mem := a.InitOriginal, a.MemOriginalMB
+		if arm != "original" {
 			init, mem = a.InitDebloated, a.MemDebloatedMB
 		}
 		daily := math.Exp(rng.NormFloat64()*pc.RateSigma + math.Log(pc.RateMedian))
@@ -126,16 +143,28 @@ func GeneratePopulation(pc PopConfig, archs []Archetype) []Function {
 		coldInit := jitter(rng, init, 0.10, time.Millisecond, 5*time.Minute)
 		memMB := pc.Pricing.ConfigureMemory(mem * math.Exp(rng.NormFloat64()*0.10))
 
+		// The wrapper arms pay the original image's cold init when the
+		// fallback path fires. Derive it from the member's own jittered
+		// debloated init by the archetype ratio — no extra draw, so the
+		// stream stays aligned with the two-arm generator.
+		var fallbackInit time.Duration
+		if arm == "fallback" || arm == "breaker" {
+			ratio := float64(a.InitOriginal) / float64(a.InitDebloated)
+			fallbackInit = clampDuration(time.Duration(float64(coldInit)*ratio),
+				time.Millisecond, 5*time.Minute)
+		}
+
 		fns = append(fns, Function{
-			ID:        id,
-			Name:      fmt.Sprintf("fleet-%05d", id),
-			Archetype: a.Name,
-			Arm:       arm,
-			ColdInit:  coldInit,
-			Exec:      exec,
-			MemoryMB:  memMB,
-			Rate:      rate,
-			Seed:      int64(splitmix64(h^0xA5A5A5A5A5A5A5A5) >> 1),
+			ID:           id,
+			Name:         fmt.Sprintf("fleet-%05d", id),
+			Archetype:    a.Name,
+			Arm:          arm,
+			ColdInit:     coldInit,
+			Exec:         exec,
+			FallbackInit: fallbackInit,
+			MemoryMB:     memMB,
+			Rate:         rate,
+			Seed:         int64(splitmix64(h^0xA5A5A5A5A5A5A5A5) >> 1),
 		})
 	}
 	return fns
@@ -144,12 +173,34 @@ func GeneratePopulation(pc PopConfig, archs []Archetype) []Function {
 // jitter scales d log-normally with the given sigma, clamped to
 // [lo, hi].
 func jitter(rng *rand.Rand, d time.Duration, sigma float64, lo, hi time.Duration) time.Duration {
-	out := time.Duration(float64(d) * math.Exp(rng.NormFloat64()*sigma))
-	if out < lo {
-		out = lo
+	return clampDuration(time.Duration(float64(d)*math.Exp(rng.NormFloat64()*sigma)), lo, hi)
+}
+
+func clampDuration(d, lo, hi time.Duration) time.Duration {
+	if d < lo {
+		return lo
 	}
-	if out > hi {
-		out = hi
+	if d > hi {
+		return hi
 	}
-	return out
+	return d
+}
+
+// ArmShare is one entry of PopConfig.ArmMix.
+type ArmShare struct {
+	Arm  string
+	Frac float64
+}
+
+// armFromMix walks the cumulative shares; the leftover mass deploys the
+// original arm.
+func armFromMix(mix []ArmShare, draw float64) string {
+	cum := 0.0
+	for _, s := range mix {
+		cum += s.Frac
+		if draw < cum {
+			return s.Arm
+		}
+	}
+	return "original"
 }

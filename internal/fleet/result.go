@@ -7,6 +7,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/chaos"
 	"repro/internal/obs"
 	"repro/internal/obs/monitor"
 	"repro/internal/obs/query"
@@ -58,7 +59,20 @@ type Result struct {
 	// ArmFns counts fleet members per arm.
 	ArmFns map[string]int
 
+	// Chaos is the resilience scorecard — non-nil only when the replay
+	// ran with Config.Chaos and telemetry enabled.
+	Chaos *chaos.Scorecard
+
 	topK int
+}
+
+// Scorecard renders the resilience scorecard, empty outside chaos
+// replays.
+func (r *Result) Scorecard() string {
+	if r.Chaos == nil {
+		return ""
+	}
+	return r.Chaos.Render()
 }
 
 // CostUSD is the fleet's total Eq.-1 bill (0 with telemetry disabled).
@@ -307,6 +321,9 @@ func (r *Result) Render() string {
 	writeExemplars("slowest", r.Slowest)
 	writeExemplars("priciest", r.Priciest)
 	writeExemplars("seed-keyed sample", r.Sampled)
+	if r.Chaos != nil {
+		b.WriteString(r.Chaos.Render())
+	}
 	return b.String()
 }
 

@@ -34,6 +34,11 @@ const (
 	// KindCostRate burns a monetary budget: observed USD/hour over the
 	// window divided by BudgetUSD (the budgeted USD/hour).
 	KindCostRate
+	// KindAvailability counts an invocation bad when the platform failed
+	// it: any class other than "ok" — except "shed", which is the client
+	// deliberately dropping load to protect the rest (counting sheds as
+	// unavailability would penalize the mitigation that preserves it).
+	KindAvailability
 )
 
 func (k Kind) String() string {
@@ -48,6 +53,8 @@ func (k Kind) String() string {
 		return "cost-per-invocation"
 	case KindCostRate:
 		return "cost-rate"
+	case KindAvailability:
+		return "availability"
 	}
 	return fmt.Sprintf("kind(%d)", int(k))
 }
@@ -126,6 +133,8 @@ func (s SLO) bad(sample Sample) bool {
 		return sample.Cold
 	case KindCostPerInvocation:
 		return sample.CostUSD > s.BudgetUSD
+	case KindAvailability:
+		return sample.Class != "ok" && sample.Class != "shed"
 	}
 	return false
 }
@@ -187,6 +196,8 @@ func (m *Monitor) burn(def SLO, T, window time.Duration) float64 {
 //	cold=30%      cold-fraction objective: at most 30% cold starts
 //	costinv=2e-7  per-invocation cost objective: 95% of bills under $2e-7
 //	costrate=0.5  budget objective: at most $0.50 per hour
+//	avail=2%      availability objective: at most 2% of requests failed
+//	              (shed requests are excluded; see KindAvailability)
 //
 // Windows and burn thresholds take the engine defaults. An empty spec
 // yields no objectives.
@@ -235,8 +246,14 @@ func ParseSLOs(spec string) ([]SLO, error) {
 				return nil, fmt.Errorf("monitor: bad cost rate %q: %v", val, err)
 			}
 			out = append(out, SLO{Name: "cost-burn", Kind: KindCostRate, BudgetUSD: f})
+		case "avail":
+			f, err := parseFraction(val)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, SLO{Name: "availability", Kind: KindAvailability, Budget: f})
 		default:
-			return nil, fmt.Errorf("monitor: unknown SLO key %q (known: p95 err cold costinv costrate)", key)
+			return nil, fmt.Errorf("monitor: unknown SLO key %q (known: p95 err cold costinv costrate avail)", key)
 		}
 	}
 	return out, nil

@@ -190,6 +190,30 @@ func SimulatePoolObserved(arrivals []time.Duration, duration time.Duration, keep
 // memory — the substrate the sharded fleet replay engine runs on. The
 // dynamics are identical to SimulatePoolObserved (which wraps this).
 func SimulatePoolStream(next func() (time.Duration, bool), duration time.Duration, keepAlive time.Duration, observe func(PoolEvent)) PoolResult {
+	return SimulatePoolGated(next, duration, keepAlive, PoolGate{}, observe)
+}
+
+// PoolGate hooks the pool dynamics for a chaos layer. Every hook is
+// optional; the zero gate reproduces SimulatePoolStream bit-for-bit.
+type PoolGate struct {
+	// Admit decides whether the arrival reaches the platform at all. A
+	// false return drops the arrival: it is not counted, not assigned an
+	// instance, and not observed (the gate owner accounts for it).
+	Admit func(at time.Duration) bool
+	// Busy returns how long the assigned instance is held for this
+	// arrival (nil: the fixed duration argument). Called once per served
+	// arrival, after the cold/warm decision.
+	Busy func(at time.Duration, cold bool) time.Duration
+	// Flush returns the latest instance-recycle instant at or before the
+	// arrival (negative: none): instances freed at or before the cut are
+	// gone — a churn wave's staggered host recycle. Instances busy across
+	// the cut survive (they are running, not idle).
+	Flush func(at time.Duration) time.Duration
+}
+
+// SimulatePoolGated is SimulatePoolStream with a chaos gate over
+// admission, hold time, and instance churn.
+func SimulatePoolGated(next func() (time.Duration, bool), duration time.Duration, keepAlive time.Duration, gate PoolGate, observe func(PoolEvent)) PoolResult {
 	type inst struct {
 		freeAt time.Duration
 	}
@@ -200,31 +224,43 @@ func SimulatePoolStream(next func() (time.Duration, bool), duration time.Duratio
 		if !ok {
 			return res
 		}
+		if gate.Admit != nil && !gate.Admit(at) {
+			continue
+		}
+		cut := time.Duration(-1)
+		if gate.Flush != nil {
+			cut = gate.Flush(at)
+		}
 		res.Invocations++
 		// Find the most-recently-freed idle, non-expired instance (greedy
 		// MRU assignment minimizes cold starts for a single function).
 		best := -1
 		for i := range pool {
-			if pool[i].freeAt <= at && at-pool[i].freeAt <= keepAlive {
+			if pool[i].freeAt <= at && at-pool[i].freeAt <= keepAlive && pool[i].freeAt > cut {
 				if best < 0 || pool[i].freeAt > pool[best].freeAt {
 					best = i
 				}
 			}
 		}
 		cold := best < 0
+		busy := duration
+		if gate.Busy != nil {
+			busy = gate.Busy(at, cold)
+		}
 		if !cold {
 			res.WarmStarts++
-			pool[best].freeAt = at + duration
+			pool[best].freeAt = at + busy
 		} else {
 			res.ColdStarts++
-			// Expired idle instances can be dropped opportunistically.
+			// Expired (or churned-away) idle instances can be dropped
+			// opportunistically.
 			live := pool[:0]
 			for _, p := range pool {
-				if p.freeAt > at || at-p.freeAt <= keepAlive {
+				if (p.freeAt > at || at-p.freeAt <= keepAlive) && p.freeAt > cut {
 					live = append(live, p)
 				}
 			}
-			pool = append(live, inst{freeAt: at + duration})
+			pool = append(live, inst{freeAt: at + busy})
 		}
 		if len(pool) > res.MaxInstances {
 			res.MaxInstances = len(pool)
